@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ *
+ * Every bench prints the paper's reported values next to the model's
+ * measured values in one Table, so running every binary under build/bench/
+ * regenerates the whole evaluation.
+ */
+
+#ifndef CRYOWIRE_BENCH_BENCH_COMMON_HH
+#define CRYOWIRE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.hh"
+
+namespace cryo::bench
+{
+
+/** Banner identifying which figure/table a binary regenerates. */
+inline void
+printHeader(const std::string &experiment, const std::string &what)
+{
+    std::printf("\n=== CryoWire reproduction: %s ===\n%s\n\n",
+                experiment.c_str(), what.c_str());
+}
+
+/** Footer with a one-line verdict. */
+inline void
+printVerdict(const std::string &verdict)
+{
+    std::printf("%s\n", verdict.c_str());
+}
+
+} // namespace cryo::bench
+
+#endif // CRYOWIRE_BENCH_BENCH_COMMON_HH

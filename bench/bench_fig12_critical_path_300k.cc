@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 12: stage-wise critical-path delay of the baseline core at
+ * 300 K, normalized to the longest stage.
+ */
+
+#include "bench_common.hh"
+
+#include "pipeline/critical_path.hh"
+#include "pipeline/stage_library.hh"
+#include "tech/technology.hh"
+
+int
+main()
+{
+    using namespace cryo;
+    using namespace cryo::pipeline;
+
+    bench::printHeader(
+        "Fig. 12 - 300 K critical-path delays",
+        "All 13 representative BOOM/Skylake stages; backend forwarding "
+        "stages are the frequency bottleneck.");
+
+    auto technology = tech::Technology::freePdk45();
+    CriticalPathModel model{technology, Floorplan::skylakeLike()};
+    const auto stages = boomSkylakeStages();
+
+    Table t({"stage", "kind", "delay", "wire share", "pipelinable"});
+    for (const auto &d : model.stageDelays(stages, 300.0)) {
+        t.addRow({d.name,
+                  d.kind == StageKind::Frontend ? "frontend" : "backend",
+                  Table::num(d.total()), Table::pct(d.wireFraction()),
+                  d.pipelinable ? "yes" : "no"});
+    }
+    t.addRule();
+    t.addRow({"critical stage",
+              model.criticalStage(stages, 300.0,
+                                  technology.mosfet().params().nominal),
+              Table::num(model.maxDelay(stages, 300.0)), "", ""});
+    t.addRow({"frontend avg wire (paper ~19%)", "",
+              "", Table::pct(averageWireFraction(stages,
+                                                 StageKind::Frontend)),
+              ""});
+    t.addRow({"backend avg wire (paper ~45%)", "",
+              "", Table::pct(averageWireFraction(stages,
+                                                 StageKind::Backend)),
+              ""});
+    t.print();
+
+    bench::printVerdict(
+        "300K Observations #1/#2: backend stages carry the wire delay, "
+        "and the un-pipelinable bypass stages set the cycle time.");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the analytic model kernels:
+ * repeater optimization, critical-path evaluation, superpipelining,
+ * and a full interval-simulation run.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/system_builder.hh"
+#include "pipeline/stage_library.hh"
+#include "pipeline/superpipeline.hh"
+#include "sys/interval_sim.hh"
+#include "sys/workload.hh"
+#include "tech/technology.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace cryo;
+
+const tech::Technology &
+technology()
+{
+    static tech::Technology t = tech::Technology::freePdk45();
+    return t;
+}
+
+void
+BM_RepeaterOptimize(benchmark::State &state)
+{
+    using namespace units;
+    const double len = static_cast<double>(state.range(0)) * mm;
+    tech::RepeateredWire rep{
+        technology().wire(tech::WireLayer::Global),
+        technology().mosfet()};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rep.optimize(len, 77.0));
+}
+BENCHMARK(BM_RepeaterOptimize)->Arg(2)->Arg(6)->Arg(20);
+
+void
+BM_CriticalPath(benchmark::State &state)
+{
+    pipeline::CriticalPathModel model{technology(),
+                                      pipeline::Floorplan::skylakeLike()};
+    const auto stages = pipeline::boomSkylakeStages();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.maxDelay(stages, 77.0));
+}
+BENCHMARK(BM_CriticalPath);
+
+void
+BM_SuperpipelinePlan(benchmark::State &state)
+{
+    pipeline::CriticalPathModel model{technology(),
+                                      pipeline::Floorplan::skylakeLike()};
+    pipeline::Superpipeliner sp{model};
+    const auto stages = pipeline::boomSkylakeStages();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sp.plan(stages, 77.0));
+}
+BENCHMARK(BM_SuperpipelinePlan);
+
+void
+BM_IntervalSimRun(benchmark::State &state)
+{
+    core::SystemBuilder builder{technology()};
+    sys::IntervalSimulator sim;
+    const auto design = builder.cryoSpCryoBus77();
+    const auto suite = sys::parsec21();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.run(design, suite[i % suite.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntervalSimRun);
+
+void
+BM_FullParsecEvaluation(benchmark::State &state)
+{
+    core::SystemBuilder builder{technology()};
+    sys::IntervalSimulator sim;
+    const auto designs = builder.table4Systems();
+    const auto suite = sys::parsec21();
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (const auto &d : designs) {
+            for (const auto &w : suite)
+                acc += sim.run(d, w).timePerInstr;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_FullParsecEvaluation);
+
+} // namespace
+
+BENCHMARK_MAIN();

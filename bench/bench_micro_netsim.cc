@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the cycle-accurate simulator
+ * kernels: bus stepping, router stepping, and arbitration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "netsim/arbiter.hh"
+#include "netsim/bus_net.hh"
+#include "netsim/router_net.hh"
+#include "netsim/traffic.hh"
+#include "noc/noc_config.hh"
+#include "tech/technology.hh"
+
+namespace
+{
+
+using namespace cryo;
+using namespace cryo::netsim;
+
+const noc::NocDesigner &
+designer()
+{
+    static tech::Technology technology = tech::Technology::freePdk45();
+    static noc::NocDesigner d{technology};
+    return d;
+}
+
+void
+BM_BusStep(benchmark::State &state)
+{
+    const double rate = static_cast<double>(state.range(0)) / 1000.0;
+    BusNetwork net(64, BusTiming::fromConfig(designer().cryoBus(), 1));
+    TrafficSpec tr;
+    tr.injectionRate = rate;
+    TrafficGenerator gen(64, tr);
+    for (auto _ : state) {
+        for (const Packet &p : gen.tick(net.now()))
+            net.inject(p);
+        net.step();
+        net.delivered().clear();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BusStep)->Arg(1)->Arg(10)->Arg(15);
+
+void
+BM_MeshStep(benchmark::State &state)
+{
+    const double rate = static_cast<double>(state.range(0)) / 1000.0;
+    RouterNetwork net(
+        RouterNetConfig::fromConfig(designer().mesh(77.0, 1)));
+    TrafficSpec tr;
+    tr.injectionRate = rate;
+    TrafficGenerator gen(64, tr);
+    for (auto _ : state) {
+        for (const Packet &p : gen.tick(net.now()))
+            net.inject(p);
+        net.step();
+        net.delivered().clear();
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MeshStep)->Arg(10)->Arg(100)->Arg(300);
+
+void
+BM_MatrixArbiter(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    MatrixArbiter arb(n);
+    std::vector<bool> req(static_cast<std::size_t>(n), true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.arbitrate(req));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatrixArbiter)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_TrafficTick(benchmark::State &state)
+{
+    TrafficSpec tr;
+    tr.injectionRate = 0.05;
+    TrafficGenerator gen(64, tr);
+    Cycle c = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.tick(c++));
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_TrafficTick);
+
+} // namespace
+
+BENCHMARK_MAIN();

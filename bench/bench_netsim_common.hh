@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared netsim factories for the load-latency benches (Figs 18, 21,
+ * 25, 26).
+ */
+
+#ifndef CRYOWIRE_BENCH_BENCH_NETSIM_COMMON_HH
+#define CRYOWIRE_BENCH_BENCH_NETSIM_COMMON_HH
+
+#include <memory>
+
+#include "netsim/bus_net.hh"
+#include "netsim/load_latency.hh"
+#include "netsim/router_net.hh"
+#include "noc/noc_config.hh"
+
+namespace cryo::bench
+{
+
+/** Bus network factory bound to an analytic design point. */
+inline netsim::NetworkFactory
+busFactory(const noc::NocConfig &cfg, int ways = 1)
+{
+    const netsim::BusTiming timing =
+        netsim::BusTiming::fromConfig(cfg, ways);
+    const int nodes = cfg.topology().cores();
+    return [timing, nodes]() -> std::unique_ptr<netsim::Network> {
+        return std::make_unique<netsim::BusNetwork>(nodes, timing);
+    };
+}
+
+/** Router network factory bound to an analytic design point. */
+inline netsim::NetworkFactory
+routerFactory(const noc::NocConfig &cfg)
+{
+    const netsim::RouterNetConfig rc =
+        netsim::RouterNetConfig::fromConfig(cfg);
+    return [rc]() -> std::unique_ptr<netsim::Network> {
+        return std::make_unique<netsim::RouterNetwork>(rc);
+    };
+}
+
+/** Measurement window sized for bench runtime. */
+inline netsim::MeasureOpts
+benchOpts()
+{
+    netsim::MeasureOpts o;
+    o.warmupCycles = 1500;
+    o.measureCycles = 5000;
+    return o;
+}
+
+/**
+ * Directory-protocol traffic for router NoCs: requests generate 5-flit
+ * data responses on the same network, and latency is the round trip.
+ * The split-transaction buses carry requests on the address plane.
+ */
+inline netsim::TrafficSpec
+directoryTraffic()
+{
+    netsim::TrafficSpec tr;
+    tr.responseFlits = 5;
+    return tr;
+}
+
+} // namespace cryo::bench
+
+#endif // CRYOWIRE_BENCH_BENCH_NETSIM_COMMON_HH

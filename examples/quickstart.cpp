@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: build the paper's cryogenic computer in ~30 lines.
+ *
+ * Creates the calibrated technology, derives CryoSP and CryoBus,
+ * assembles the five evaluated systems, and prints the headline
+ * result - the 77 K machine runs PARSEC ~3.8x faster than the 300 K
+ * baseline at roughly the same total power.
+ *
+ *   ./quickstart
+ */
+
+#include <cstdio>
+
+#include "core/cryowire.hh"
+
+int
+main()
+{
+    using namespace cryo;
+
+    // 1. The calibrated 45-nm-class technology (cryo-MOSFET + wires).
+    auto technology = tech::Technology::freePdk45();
+    std::printf("wire speed-up at 77 K (semi-global, long): %.2fx\n",
+                1.0 / technology.wire(tech::WireLayer::SemiGlobal)
+                          .resistanceRatio(77.0));
+    std::printf("transistor speed-up at 77 K: %.2fx\n",
+                technology.transistorSpeedup(77.0));
+
+    // 2. Derive the cores: the wire-aware superpipelined CryoSP vs the
+    //    prior-art CHP-core and the 300 K baseline.
+    core::SystemBuilder builder{technology};
+    const auto cryosp = builder.cores().cryoSP();
+    std::printf("\nCryoSP: %.2f GHz, depth %d, Vdd %.2f V (baseline: "
+                "4.00 GHz, depth 14, 1.25 V)\n",
+                cryosp.frequency / 1e9, cryosp.pipelineDepth,
+                cryosp.voltage.vdd);
+
+    // 3. The interconnect: CryoBus reaches a 1-cycle broadcast.
+    const auto cryobus = builder.nocs().cryoBus();
+    const auto breakdown = cryobus.busBreakdown();
+    std::printf("CryoBus broadcast: %d cycle(s) at %d hops/cycle "
+                "(300 K bus needed %d cycles)\n",
+                breakdown.broadcast, cryobus.hopsPerCycle(),
+                builder.nocs().sharedBus300().busBreakdown().broadcast);
+
+    // 4. Run PARSEC through the system simulator.
+    sys::IntervalSimulator sim;
+    const double speedup = sim.meanSpeedup(builder.cryoSpCryoBus77(),
+                                           builder.baseline300Mesh(),
+                                           sys::parsec21());
+    std::printf("\nCryoSP + CryoBus vs 300 K baseline on PARSEC: "
+                "%.2fx (paper: 3.82x)\n", speedup);
+
+    // 5. And the power bill, cooling included.
+    power::McpatLite mcpat{technology};
+    const auto p = mcpat.corePower(cryosp, builder.cores().baseline300());
+    std::printf("CryoSP total power incl. 10.65x cooling: %.2fx the "
+                "300 K core (paper: ~1.0x)\n", p.total());
+    return 0;
+}

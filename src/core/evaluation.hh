@@ -1,0 +1,71 @@
+/**
+ * @file
+ * High-level evaluation helpers: run a suite over a set of designs and
+ * report normalized performance (the Fig. 23/24 experiment in one
+ * call), and total-system power.
+ */
+
+#ifndef CRYOWIRE_CORE_EVALUATION_HH
+#define CRYOWIRE_CORE_EVALUATION_HH
+
+#include <string>
+#include <vector>
+
+#include "core/system_builder.hh"
+#include "power/cooling.hh"
+#include "power/mcpat_lite.hh"
+#include "power/orion_lite.hh"
+#include "sys/interval_sim.hh"
+#include "sys/workload.hh"
+
+namespace cryo::core
+{
+
+/** Per-workload normalized performance across designs. */
+struct SuiteResult
+{
+    std::vector<std::string> designs;
+    std::vector<std::string> workloads;
+    /** perf[w][d], normalized to the baseline design's column. */
+    std::vector<std::vector<double>> perf;
+    /** Arithmetic mean per design over the suite. */
+    std::vector<double> mean;
+};
+
+/**
+ * Evaluation front end combining the interval simulator and power
+ * models.
+ */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const tech::Technology &tech, int cores = 64);
+
+    /**
+     * Run @p suite over @p designs; normalize performance to column
+     * @p baseline_idx.
+     */
+    SuiteResult evaluate(const std::vector<sys::SystemDesign> &designs,
+                         const std::vector<sys::Workload> &suite,
+                         std::size_t baseline_idx = 0) const;
+
+    /** The Fig.-23 experiment: Table-4 systems over PARSEC 2.1,
+     * normalized to CHP-core (77K, Mesh). */
+    SuiteResult parsecComparison() const;
+
+    /** The Fig.-24 experiment: SPEC rate mode with the aggressive
+     * prefetcher, including the 2-way interleaved CryoBus. */
+    SuiteResult specComparison() const;
+
+    const SystemBuilder &builder() const { return builder_; }
+    const sys::IntervalSimulator &simulator() const { return sim_; }
+
+  private:
+    const tech::Technology &tech_;
+    SystemBuilder builder_;
+    sys::IntervalSimulator sim_;
+};
+
+} // namespace cryo::core
+
+#endif // CRYOWIRE_CORE_EVALUATION_HH

@@ -1,0 +1,78 @@
+#include "voltage_optimizer.hh"
+
+#include "util/log.hh"
+
+namespace cryo::core
+{
+
+VoltageOptimizer::VoltageOptimizer(
+    const tech::Technology &tech,
+    const pipeline::CriticalPathModel &model)
+    : tech_(tech), model_(model), mcpat_(tech, /*iso_activity=*/false)
+{
+}
+
+VoltagePlanPoint
+VoltageOptimizer::evaluate(const pipeline::CoreConfig &core,
+                           const pipeline::CoreConfig &baseline,
+                           double temp_k, tech::VoltagePoint v,
+                           VoltageConstraints constraints) const
+{
+    VoltagePlanPoint p;
+    p.voltage = v;
+    const auto &mosfet = tech_.mosfet();
+
+    if (v.vdd < constraints.minVdd ||
+        v.vdd < constraints.minVddVthRatio * v.vth ||
+        v.vdd <= v.vth) {
+        return p; // margin violation
+    }
+    p.leakageFactor = mosfet.leakageFactor(temp_k, v);
+    if (!mosfet.voltageScalingFeasible(temp_k, v))
+        return p; // would leak more than the 300 K baseline
+
+    pipeline::CoreConfig candidate = core;
+    candidate.tempK = temp_k;
+    candidate.voltage = v;
+    candidate.frequency = model_.frequency(core.stages, temp_k, v);
+    const auto power = mcpat_.corePower(candidate, baseline);
+    p.frequency = candidate.frequency;
+    p.totalPower = power.total();
+    p.feasible = p.totalPower <= constraints.totalPowerBudget + 1e-9;
+    return p;
+}
+
+VoltagePlanPoint
+VoltageOptimizer::optimize(const pipeline::CoreConfig &core,
+                           const pipeline::CoreConfig &baseline,
+                           double temp_k, VoltageObjective objective,
+                           VoltageConstraints constraints) const
+{
+    fatalIf(constraints.vddStep <= 0.0 || constraints.vthStep <= 0.0,
+            "voltage grid steps must be positive");
+    fatalIf(core.stages.empty(), "core has no pipeline stages");
+
+    VoltagePlanPoint best;
+    double best_score = -1.0;
+    for (double vdd = constraints.minVdd; vdd <= constraints.vddMax;
+         vdd += constraints.vddStep) {
+        for (double vth = constraints.vthMin;
+             vth <= constraints.vthMax; vth += constraints.vthStep) {
+            const auto p = evaluate(core, baseline, temp_k,
+                                    {vdd, vth}, constraints);
+            if (!p.feasible)
+                continue;
+            const double score =
+                objective == VoltageObjective::Frequency
+                    ? p.frequency
+                    : p.frequency / p.totalPower;
+            if (score > best_score) {
+                best_score = score;
+                best = p;
+            }
+        }
+    }
+    return best;
+}
+
+} // namespace cryo::core

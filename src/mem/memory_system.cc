@@ -1,0 +1,101 @@
+#include "memory_system.hh"
+
+#include "util/log.hh"
+#include "util/units.hh"
+
+namespace cryo::mem
+{
+
+MemTiming
+MemTiming::at300()
+{
+    using namespace units;
+    MemTiming t;
+    t.l1 = 4 / (4 * GHz);
+    t.l2 = 12 / (4 * GHz);
+    t.l3 = 20 / (4 * GHz);
+    t.dram = 60.32 * ns;
+    return t;
+}
+
+MemTiming
+MemTiming::at77()
+{
+    using namespace units;
+    MemTiming t;
+    t.l1 = 2 / (4 * GHz);
+    t.l2 = 6 / (4 * GHz);
+    t.l3 = 10 / (4 * GHz);
+    t.dram = 15.84 * ns;
+    return t;
+}
+
+MemTiming
+MemTiming::atTemperature(double temp_k)
+{
+    const MemTiming hot = at300();
+    const MemTiming cold = at77();
+    if (temp_k >= 300.0)
+        return hot;
+    if (temp_k <= 77.0)
+        return cold;
+    const double f = (300.0 - temp_k) / (300.0 - 77.0);
+    MemTiming t;
+    t.l1 = hot.l1 + f * (cold.l1 - hot.l1);
+    t.l2 = hot.l2 + f * (cold.l2 - hot.l2);
+    t.l3 = hot.l3 + f * (cold.l3 - hot.l3);
+    t.dram = hot.dram + f * (cold.dram - hot.dram);
+    return t;
+}
+
+MemorySystem::MemorySystem(MemTiming timing, const noc::NocConfig &noc)
+    : timing_(timing), noc_(noc)
+{
+}
+
+double
+MemorySystem::nocTransactionLatency() const
+{
+    const double cycle = 1.0 / noc_.clockFreq();
+    if (noc_.topology().isBus()) {
+        // Snooping bus at zero load: with bus parking the idle arbiter
+        // pre-grants, so the request costs only the broadcast
+        // traversal; the data returns on the decoupled, wide data
+        // plane as a directed transfer (arbitration + traversal +
+        // serialization in line beats).
+        const auto b = noc_.busBreakdown();
+        const double request = b.broadcast * cycle;
+        const int data_hops = noc_.topology().maxBroadcastHops();
+        const double response =
+            (1 + noc_.linkCycles(data_hops) + (kBusDataBeats - 1))
+            * cycle;
+        return request + response;
+    }
+    // Directory protocol: unicast request to the home L3 slice, data
+    // response back.
+    return noc_.unicastLatency(kRequestFlits)
+        + noc_.unicastLatency(kDataFlits);
+}
+
+LlcLatency
+MemorySystem::l3Hit() const
+{
+    LlcLatency l;
+    l.noc = nocTransactionLatency();
+    l.cache = timing_.l3;
+    return l;
+}
+
+LlcLatency
+MemorySystem::l3Miss() const
+{
+    // A miss adds the DRAM access plus a second interconnect traversal
+    // out to the memory controller and back (the controller sits at
+    // the die edge, not in the home slice).
+    LlcLatency l = l3Hit();
+    l.noc += nocTransactionLatency();
+    l.dram = timing_.dram;
+    return l;
+}
+
+} // namespace cryo::mem

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Memory-hierarchy latency model (Table 4 memory specification).
+ *
+ * 300 K memory follows the i7-6700 cache ladder and DDR4-2400; 77 K
+ * memory uses the CryoCache [43] and CLL-DRAM [37] numbers: caches
+ * twice as fast, DRAM 3.8x faster. Combined with a NocConfig this
+ * yields the L3 hit/miss breakdowns of Fig. 16.
+ */
+
+#ifndef CRYOWIRE_MEM_MEMORY_SYSTEM_HH
+#define CRYOWIRE_MEM_MEMORY_SYSTEM_HH
+
+#include "noc/noc_config.hh"
+
+namespace cryo::mem
+{
+
+/** Cache and DRAM timing (Table 4, converted to seconds). */
+struct MemTiming
+{
+    double l1 = 1.0e-9;     ///< 4 cycles @ 4 GHz
+    double l2 = 3.0e-9;     ///< 12 cycles @ 4 GHz
+    double l3 = 5.0e-9;     ///< 20 cycles @ 4 GHz
+    double dram = 60.32e-9; ///< DDR4-2400 random access
+
+    /** The paper's 300 K memory (Table 4). */
+    static MemTiming at300();
+
+    /** The paper's 77 K memory: CryoCache + CLL-DRAM (Table 4). */
+    static MemTiming at77();
+
+    /**
+     * Linear interpolation between the two published design points -
+     * used by the Fig. 27 temperature sweep.
+     */
+    static MemTiming atTemperature(double temp_k);
+};
+
+/** One L3 transaction's latency decomposition (Fig. 16 stacks). */
+struct LlcLatency
+{
+    double noc = 0.0;   ///< interconnect portion [s]
+    double cache = 0.0; ///< L3 array portion [s]
+    double dram = 0.0;  ///< DRAM portion (misses only) [s]
+
+    double total() const { return noc + cache + dram; }
+    double nocShare() const { return total() > 0 ? noc / total() : 0; }
+};
+
+/**
+ * Composes cache/DRAM timing with an interconnect design.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(MemTiming timing, const noc::NocConfig &noc);
+
+    /** Fig. 16(a): L3 hit latency breakdown. */
+    LlcLatency l3Hit() const;
+
+    /** Fig. 16(b): L3 miss latency breakdown. */
+    LlcLatency l3Miss() const;
+
+    /** Interconnect cost of one L3 transaction [s] (zero load). */
+    double nocTransactionLatency() const;
+
+    const MemTiming &timing() const { return timing_; }
+    const noc::NocConfig &noc() const { return noc_; }
+
+    /** Coherence request packet size [flits]. */
+    static constexpr int kRequestFlits = 1;
+
+    /** Cache-line data response size [flits] (64 B / 128-bit links). */
+    static constexpr int kDataFlits = 5;
+
+    /**
+     * Cache-line beats on the bus designs' decoupled data plane, which
+     * is wider than a router link (256-bit split-transaction data bus).
+     */
+    static constexpr int kBusDataBeats = 2;
+
+  private:
+    MemTiming timing_;
+    noc::NocConfig noc_; ///< by value: designs are built as temporaries
+};
+
+} // namespace cryo::mem
+
+#endif // CRYOWIRE_MEM_MEMORY_SYSTEM_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Bus/switch arbiters. CryoBus uses a matrix arbiter in the central
+ * controller (Fig. 19, step 2); the routers use round-robin.
+ */
+
+#ifndef CRYOWIRE_NETSIM_ARBITER_HH
+#define CRYOWIRE_NETSIM_ARBITER_HH
+
+#include <vector>
+
+namespace cryo::netsim
+{
+
+/**
+ * Matrix arbiter: a least-recently-served priority matrix. W[i][j]
+ * set means i beats j; the winner's row is cleared and column set,
+ * making it lowest priority next time - strong fairness with O(n^2)
+ * state, the classic choice for bus arbitration.
+ */
+class MatrixArbiter
+{
+  public:
+    explicit MatrixArbiter(int requesters);
+
+    /**
+     * Pick the winner among @p requests (index per requester, true =
+     * requesting); -1 if none. Updates the priority matrix.
+     */
+    int arbitrate(const std::vector<bool> &requests);
+
+    int size() const { return n_; }
+
+    /** True when @p a currently has priority over @p b. */
+    bool beats(int a, int b) const;
+
+  private:
+    int n_;
+    std::vector<bool> w_; ///< n x n row-major priority matrix
+};
+
+/**
+ * Round-robin arbiter for router switch allocation.
+ */
+class RoundRobinArbiter
+{
+  public:
+    explicit RoundRobinArbiter(int requesters);
+
+    /** Pick the next requester at or after the rotating pointer. */
+    int arbitrate(const std::vector<bool> &requests);
+
+  private:
+    int n_;
+    int next_ = 0;
+};
+
+} // namespace cryo::netsim
+
+#endif // CRYOWIRE_NETSIM_ARBITER_HH

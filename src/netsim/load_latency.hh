@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Load-latency measurement driver (the BookSim experiment of Figs 18,
+ * 21, 25, 26).
+ */
+
+#ifndef CRYOWIRE_NETSIM_LOAD_LATENCY_HH
+#define CRYOWIRE_NETSIM_LOAD_LATENCY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "netsim/network.hh"
+#include "netsim/traffic.hh"
+
+namespace cryo::netsim
+{
+
+/** One point of a load-latency curve. */
+struct LoadPoint
+{
+    double injectionRate = 0.0;   ///< packets / node / cycle offered
+    double avgLatency = 0.0;      ///< cycles (meaningless if saturated)
+    double p99Latency = 0.0;      ///< cycles
+    double throughput = 0.0;      ///< packets / node / cycle accepted
+    bool saturated = false;
+};
+
+/** Measurement controls. */
+struct MeasureOpts
+{
+    Cycle warmupCycles = 3000;
+    Cycle measureCycles = 12000;
+    double saturationLatency = 400.0; ///< cycles; beyond this = saturated
+    double backlogFactor = 4.0; ///< in-flight growth ratio = saturated
+};
+
+/** Builds a fresh network instance for each measured point. */
+using NetworkFactory = std::function<std::unique_ptr<Network>()>;
+
+/**
+ * Measure one operating point: warm up, then observe delivered-packet
+ * latency and throughput over the measurement window.
+ */
+LoadPoint measureLoadPoint(const NetworkFactory &factory,
+                           TrafficSpec traffic, MeasureOpts opts = {});
+
+/**
+ * Sweep injection rates and return the curve; points after the first
+ * saturated one are still measured (the curve keeps its shape).
+ */
+std::vector<LoadPoint> sweepLoadLatency(const NetworkFactory &factory,
+                                        TrafficSpec traffic,
+                                        const std::vector<double> &rates,
+                                        MeasureOpts opts = {});
+
+/**
+ * Binary-search the saturation throughput (packets/node/cycle) of a
+ * network under @p traffic, to @p tolerance.
+ */
+double saturationRate(const NetworkFactory &factory, TrafficSpec traffic,
+                      double hi = 1.0, double tolerance = 0.005,
+                      MeasureOpts opts = {});
+
+/** Zero-load latency: the latency at a vanishing injection rate. */
+double zeroLoadLatency(const NetworkFactory &factory, TrafficSpec traffic,
+                       MeasureOpts opts = {});
+
+} // namespace cryo::netsim
+
+#endif // CRYOWIRE_NETSIM_LOAD_LATENCY_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Common interface of the cycle-accurate network models.
+ */
+
+#ifndef CRYOWIRE_NETSIM_NETWORK_HH
+#define CRYOWIRE_NETSIM_NETWORK_HH
+
+#include <vector>
+
+#include "netsim/packet.hh"
+#include "util/stats.hh"
+
+namespace cryo::netsim
+{
+
+/**
+ * A cycle-stepped interconnect simulator.
+ */
+class Network
+{
+  public:
+    virtual ~Network() = default;
+
+    /** Queue a packet at its source NI (takes effect this cycle). */
+    virtual void inject(const Packet &p) = 0;
+
+    /** Advance one clock cycle. */
+    virtual void step() = 0;
+
+    /** Current cycle. */
+    virtual Cycle now() const = 0;
+
+    /** Number of endpoint nodes. */
+    virtual int nodes() const = 0;
+
+    /** Packets currently queued or in flight. */
+    virtual std::size_t inFlight() const = 0;
+
+    /** Delivered packets since the last drain. */
+    std::vector<Packet> &delivered() { return delivered_; }
+
+    /** Move out and clear the delivered list. */
+    std::vector<Packet>
+    drainDelivered()
+    {
+        std::vector<Packet> out = std::move(delivered_);
+        delivered_.clear();
+        return out;
+    }
+
+  protected:
+    std::vector<Packet> delivered_;
+};
+
+} // namespace cryo::netsim
+
+#endif // CRYOWIRE_NETSIM_NETWORK_HH

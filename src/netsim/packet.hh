@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Packet bookkeeping for the cycle-accurate network simulator.
+ */
+
+#ifndef CRYOWIRE_NETSIM_PACKET_HH
+#define CRYOWIRE_NETSIM_PACKET_HH
+
+#include <cstdint>
+
+namespace cryo::netsim
+{
+
+using Cycle = std::uint64_t;
+
+/**
+ * A network packet (a coherence request or data response).
+ */
+struct Packet
+{
+    std::uint64_t id = 0;
+    int src = 0;
+    int dst = 0;          ///< destination node; ignored for broadcasts
+    bool broadcast = false;
+    int flits = 1;
+    int tag = 0;          ///< 0 = request, 1 = data response
+    Cycle injected = 0;   ///< cycle the source queued it
+    Cycle delivered = 0;  ///< cycle the tail flit reached the sink
+
+    Cycle latency() const { return delivered - injected; }
+};
+
+} // namespace cryo::netsim
+
+#endif // CRYOWIRE_NETSIM_PACKET_HH

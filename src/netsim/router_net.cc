@@ -1,0 +1,349 @@
+#include "router_net.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace cryo::netsim
+{
+
+RouterNetConfig
+RouterNetConfig::fromConfig(const noc::NocConfig &cfg)
+{
+    RouterNetConfig out;
+    out.kind = cfg.topology().kind();
+    out.cores = cfg.topology().cores();
+    const int routers = cfg.topology().routerCount();
+    fatalIf(routers <= 0, "router network needs routers");
+    out.concentration = out.cores / routers;
+    out.routerCycles = cfg.routerSpec().pipelineCycles;
+    out.virtualChannels = cfg.routerSpec().virtualChannels;
+    out.vcBufferFlits = cfg.routerSpec().bufferDepth;
+    out.hopsPerCycle = cfg.hopsPerCycle();
+    return out;
+}
+
+RouterNetwork::RouterNetwork(RouterNetConfig cfg) : cfg_(cfg)
+{
+    fatalIf(cfg_.cores < 4, "network needs at least 4 cores");
+    fatalIf(cfg_.concentration < 1, "concentration must be >= 1");
+    fatalIf(cfg_.cores % cfg_.concentration != 0,
+            "cores must divide evenly across routers");
+    fatalIf(cfg_.routerCycles < 1, "router pipeline must be >= 1 cycle");
+    fatalIf(cfg_.virtualChannels < 1, "need at least one VC");
+    fatalIf(cfg_.vcBufferFlits < 1, "VC buffers must hold >= 1 flit");
+    fatalIf(cfg_.hopsPerCycle < 1, "links cover >= 1 hop per cycle");
+
+    routers_ = cfg_.cores / cfg_.concentration;
+    gridSide_ = static_cast<int>(std::lround(std::sqrt(routers_)));
+    fatalIf(gridSide_ * gridSide_ != routers_,
+            "router count must form a square grid");
+
+    outLinks_.resize(static_cast<std::size_t>(routers_));
+    inQueueIds_.resize(static_cast<std::size_t>(routers_));
+
+    // Router spacing in tile hops: concentrated networks space their
+    // routers sqrt(concentration) tiles apart.
+    const int spacing = static_cast<int>(
+        std::lround(std::sqrt(static_cast<double>(cfg_.concentration))));
+
+    switch (cfg_.kind) {
+      case noc::TopologyKind::Mesh:
+      case noc::TopologyKind::CMesh:
+        buildMeshLinks(spacing);
+        break;
+      case noc::TopologyKind::FlattenedButterfly:
+        buildButterflyLinks(spacing);
+        break;
+      default:
+        fatal("RouterNetwork only models Mesh, CMesh and FB");
+    }
+
+    // One injection queue per node at its local router (the NI source
+    // queue: unbounded, latency accrues there under overload).
+    injectQueueId_.resize(static_cast<std::size_t>(cfg_.cores));
+    for (int n = 0; n < cfg_.cores; ++n) {
+        const int r = routerOf(n);
+        const int qid = static_cast<int>(queues_.size());
+        queues_.emplace_back();
+        queues_.back().capacity = 0;
+        inQueueIds_[static_cast<std::size_t>(r)].push_back(qid);
+        injectQueueId_[static_cast<std::size_t>(n)] = qid;
+    }
+
+    rrPointer_.assign(links_.size(), 0);
+}
+
+int
+RouterNetwork::linkCycles(int spacings) const
+{
+    const int hops = std::max(1, spacings);
+    return std::max(1, (hops + cfg_.hopsPerCycle - 1) / cfg_.hopsPerCycle);
+}
+
+int
+RouterNetwork::flowVc(int src, int dst) const
+{
+    // Static per-flow VC: preserves same-flow ordering and keeps the
+    // dimension-ordered channel-dependency graph acyclic.
+    const unsigned mix = static_cast<unsigned>(src) * 2654435761u
+        + static_cast<unsigned>(dst) * 40503u;
+    return static_cast<int>(mix % static_cast<unsigned>(
+        cfg_.virtualChannels));
+}
+
+void
+RouterNetwork::addLink(int from, int to, int cycles)
+{
+    Link l;
+    l.from = from;
+    l.to = to;
+    l.cycles = cycles;
+    l.lockedPkt.assign(static_cast<std::size_t>(cfg_.virtualChannels),
+                       0);
+    l.lockedQueue.assign(static_cast<std::size_t>(cfg_.virtualChannels),
+                         -1);
+    // One buffered queue per VC at the downstream input.
+    l.toQueueBase = static_cast<int>(queues_.size());
+    for (int v = 0; v < cfg_.virtualChannels; ++v) {
+        queues_.emplace_back();
+        queues_.back().capacity = cfg_.vcBufferFlits;
+        inQueueIds_[static_cast<std::size_t>(to)].push_back(
+            l.toQueueBase + v);
+    }
+    const int lid = static_cast<int>(links_.size());
+    outLinks_[static_cast<std::size_t>(from)].push_back(lid);
+    linkIndex_[(static_cast<std::uint64_t>(from) << 32) |
+               static_cast<std::uint32_t>(to)] = lid;
+    links_.push_back(std::move(l));
+}
+
+void
+RouterNetwork::buildMeshLinks(int spacing_hops)
+{
+    const int c = linkCycles(spacing_hops);
+    for (int r = 0; r < routers_; ++r) {
+        const int x = routerX(r);
+        const int y = routerY(r);
+        if (x + 1 < gridSide_)
+            addLink(r, routerAt(x + 1, y), c);
+        if (x > 0)
+            addLink(r, routerAt(x - 1, y), c);
+        if (y + 1 < gridSide_)
+            addLink(r, routerAt(x, y + 1), c);
+        if (y > 0)
+            addLink(r, routerAt(x, y - 1), c);
+    }
+}
+
+void
+RouterNetwork::buildButterflyLinks(int spacing_hops)
+{
+    // Express links to every router in the same row and column, with
+    // traversal cycles proportional to the physical span.
+    for (int r = 0; r < routers_; ++r) {
+        const int x = routerX(r);
+        const int y = routerY(r);
+        for (int ox = 0; ox < gridSide_; ++ox) {
+            if (ox != x) {
+                addLink(r, routerAt(ox, y),
+                        linkCycles(std::abs(ox - x) * spacing_hops));
+            }
+        }
+        for (int oy = 0; oy < gridSide_; ++oy) {
+            if (oy != y) {
+                addLink(r, routerAt(x, oy),
+                        linkCycles(std::abs(oy - y) * spacing_hops));
+            }
+        }
+    }
+}
+
+int
+RouterNetwork::route(int router, int dst_router) const
+{
+    if (router == dst_router)
+        return -1;
+    const int x = routerX(router);
+    const int y = routerY(router);
+    const int dx = routerX(dst_router);
+    const int dy = routerY(dst_router);
+
+    int next;
+    switch (cfg_.kind) {
+      case noc::TopologyKind::Mesh:
+      case noc::TopologyKind::CMesh:
+        // Dimension-ordered XY routing (deadlock-free).
+        if (x != dx)
+            next = routerAt(x + (dx > x ? 1 : -1), y);
+        else
+            next = routerAt(x, y + (dy > y ? 1 : -1));
+        break;
+      case noc::TopologyKind::FlattenedButterfly:
+        // Row express link first, then column (minimal, <= 2 hops).
+        next = (x != dx) ? routerAt(dx, y) : routerAt(x, dy);
+        break;
+      default:
+        panic("unsupported topology in route()");
+    }
+    const auto it = linkIndex_.find(
+        (static_cast<std::uint64_t>(router) << 32) |
+        static_cast<std::uint32_t>(next));
+    fatalIf(it == linkIndex_.end(), "route produced a missing link");
+    return it->second;
+}
+
+void
+RouterNetwork::inject(const Packet &p)
+{
+    fatalIf(p.src < 0 || p.src >= cfg_.cores, "source out of range");
+    fatalIf(p.dst < 0 || p.dst >= cfg_.cores, "destination out of range");
+    fatalIf(p.id == 0, "packet ids must be non-zero");
+    Packet copy = p;
+    copy.injected = now_;
+    active_[copy.id] = copy;
+    auto &q =
+        queues_[static_cast<std::size_t>(injectQueueId_[
+            static_cast<std::size_t>(p.src)])];
+    const int vc = flowVc(p.src, p.dst);
+    for (int s = 0; s < p.flits; ++s) {
+        // The NI presents flits back-to-back after the local router's
+        // pipeline latency.
+        q.q.push_back({copy.id, s, s == 0, s == p.flits - 1, vc,
+                       now_ + static_cast<Cycle>(cfg_.routerCycles + s)});
+        q.reserved += 1;
+    }
+}
+
+void
+RouterNetwork::serviceLink(Link &l)
+{
+    auto &in_ids = inQueueIds_[static_cast<std::size_t>(l.from)];
+    const int lid = static_cast<int>(&l - links_.data());
+
+    auto try_send = [&](int qid) -> bool {
+        InQueue &q = queues_[static_cast<std::size_t>(qid)];
+        if (q.q.empty())
+            return false;
+        FlitEntry &f = q.q.front();
+        if (f.readyAt > now_)
+            return false;
+
+        const auto vc = static_cast<std::size_t>(f.vc);
+        if (l.lockedPkt[vc] != 0) {
+            // The VC is held by a packet in flight; only its next flit
+            // (from the same input queue) may use it.
+            if (f.pkt != l.lockedPkt[vc] || qid != l.lockedQueue[vc])
+                return false;
+        } else {
+            if (!f.head)
+                return false;
+            const int dst_router = routerOf(active_.at(f.pkt).dst);
+            if (route(l.from, dst_router) != lid)
+                return false;
+        }
+
+        InQueue &dst_q =
+            queues_[static_cast<std::size_t>(l.toQueueBase + f.vc)];
+        if (dst_q.capacity > 0 && dst_q.reserved >= dst_q.capacity)
+            return false; // no credit downstream on this VC
+
+        // Move the flit: it arrives after the wire traversal and is
+        // routable after the downstream router pipeline.
+        FlitEntry moved = f;
+        moved.readyAt = now_ + static_cast<Cycle>(l.cycles)
+            + static_cast<Cycle>(cfg_.routerCycles);
+        dst_q.reserved += 1;
+        inFlight_.push_back(
+            {now_ + static_cast<Cycle>(l.cycles),
+             l.toQueueBase + f.vc, moved});
+
+        if (moved.head) {
+            l.lockedPkt[vc] = moved.pkt;
+            l.lockedQueue[vc] = qid;
+        }
+        if (moved.tail) {
+            l.lockedPkt[vc] = 0;
+            l.lockedQueue[vc] = -1;
+        }
+        q.q.pop_front();
+        q.reserved -= 1;
+        return true;
+    };
+
+    // One flit per cycle crosses the physical channel; round-robin
+    // across this router's input queues (covering all VCs) arbitrates
+    // both switch allocation and VC interleaving.
+    const int n = static_cast<int>(in_ids.size());
+    int &ptr = rrPointer_[static_cast<std::size_t>(lid)];
+    for (int k = 0; k < n; ++k) {
+        const int qid = in_ids[static_cast<std::size_t>((ptr + k) % n)];
+        if (try_send(qid)) {
+            ptr = (ptr + k + 1) % n;
+            return;
+        }
+    }
+}
+
+void
+RouterNetwork::serviceEjection(int r)
+{
+    // One ejection port per router-local node; each can sink one flit
+    // per cycle.
+    auto &in_ids = inQueueIds_[static_cast<std::size_t>(r)];
+    std::vector<bool> port_used(
+        static_cast<std::size_t>(cfg_.concentration), false);
+    for (int qid : in_ids) {
+        InQueue &q = queues_[static_cast<std::size_t>(qid)];
+        if (q.q.empty())
+            continue;
+        FlitEntry &f = q.q.front();
+        if (f.readyAt > now_)
+            continue;
+        Packet &pkt = active_.at(f.pkt);
+        if (routerOf(pkt.dst) != r)
+            continue;
+        const int port = pkt.dst % cfg_.concentration;
+        if (port_used[static_cast<std::size_t>(port)])
+            continue;
+        port_used[static_cast<std::size_t>(port)] = true;
+        if (f.tail) {
+            pkt.delivered = now_;
+            delivered_.push_back(pkt);
+            active_.erase(f.pkt);
+        }
+        q.q.pop_front();
+        q.reserved -= 1;
+    }
+}
+
+void
+RouterNetwork::step()
+{
+    // 1. Land in-flight flits that arrive this cycle. Per-VC queues
+    //    are each fed by one link at one flit per cycle, so order is
+    //    preserved.
+    for (auto it = inFlight_.begin(); it != inFlight_.end();) {
+        if (it->at <= now_) {
+            queues_[static_cast<std::size_t>(it->queue)].q.push_back(
+                it->flit);
+            it = inFlight_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // 2. Eject before switching so freshly freed slots are usable next
+    //    cycle (not this one), matching a real credit round-trip.
+    for (int r = 0; r < routers_; ++r)
+        serviceEjection(r);
+
+    // 3. Switch allocation per output link.
+    for (Link &l : links_)
+        serviceLink(l);
+
+    ++now_;
+}
+
+} // namespace cryo::netsim

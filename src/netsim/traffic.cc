@@ -1,0 +1,133 @@
+#include "traffic.hh"
+
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace cryo::netsim
+{
+
+const char *
+trafficPatternName(TrafficPattern p)
+{
+    switch (p) {
+      case TrafficPattern::UniformRandom:
+        return "uniform random";
+      case TrafficPattern::Transpose:
+        return "transpose";
+      case TrafficPattern::BitReverse:
+        return "bit reverse";
+      case TrafficPattern::Hotspot:
+        return "hotspot";
+      case TrafficPattern::Burst:
+        return "burst";
+    }
+    return "unknown";
+}
+
+TrafficGenerator::TrafficGenerator(int nodes, TrafficSpec spec)
+    : nodes_(nodes), spec_(spec), rng_(spec.seed),
+      burstOn_(static_cast<std::size_t>(nodes), false)
+{
+    fatalIf(nodes < 2, "traffic needs at least two nodes");
+    fatalIf(spec_.injectionRate < 0.0, "injection rate must be >= 0");
+    fatalIf(spec_.flitsPerPacket < 1, "packets need at least one flit");
+    fatalIf(spec_.hotspotNode < 0 || spec_.hotspotNode >= nodes,
+            "hotspot node out of range");
+    gridSide_ = static_cast<int>(std::lround(std::sqrt(nodes)));
+    if (gridSide_ * gridSide_ != nodes)
+        gridSide_ = 0; // non-square networks lack transpose
+}
+
+int
+TrafficGenerator::uniformDestination(int src)
+{
+    int dst = static_cast<int>(rng_.below(nodes_ - 1));
+    if (dst >= src)
+        ++dst;
+    return dst;
+}
+
+int
+TrafficGenerator::patternDestination(int src) const
+{
+    switch (spec_.pattern) {
+      case TrafficPattern::Transpose: {
+          fatalIf(gridSide_ == 0, "transpose needs a square network");
+          const int x = src % gridSide_;
+          const int y = src / gridSide_;
+          return x * gridSide_ + y;
+      }
+      case TrafficPattern::BitReverse: {
+          // Reverse the bits of the index within ceil(log2(nodes)).
+          int bits = 0;
+          while ((1 << bits) < nodes_)
+              ++bits;
+          int rev = 0;
+          for (int b = 0; b < bits; ++b) {
+              if (src & (1 << b))
+                  rev |= 1 << (bits - 1 - b);
+          }
+          return rev % nodes_;
+      }
+      case TrafficPattern::Hotspot:
+        return spec_.hotspotNode;
+      default:
+        return src; // uniform/burst destinations are drawn, not mapped
+    }
+}
+
+std::vector<Packet>
+TrafficGenerator::tick(Cycle now)
+{
+    std::vector<Packet> out;
+    for (int src = 0; src < nodes_; ++src) {
+        double rate = spec_.injectionRate;
+        if (spec_.pattern == TrafficPattern::Burst) {
+            // Two-state Markov modulation; the *average* rate equals
+            // injectionRate, so during bursts nodes inject at
+            // rate / duty-cycle.
+            const double duty = spec_.burstOnProb /
+                (spec_.burstOnProb + spec_.burstOffProb);
+            if (burstOn_[src]) {
+                if (rng_.chance(spec_.burstOffProb))
+                    burstOn_[src] = false;
+            } else {
+                if (rng_.chance(spec_.burstOnProb))
+                    burstOn_[src] = true;
+            }
+            rate = burstOn_[src] ? spec_.injectionRate / duty : 0.0;
+        }
+        if (!rng_.chance(rate))
+            continue;
+
+        int dst;
+        switch (spec_.pattern) {
+          case TrafficPattern::UniformRandom:
+          case TrafficPattern::Burst:
+            dst = uniformDestination(src);
+            break;
+          case TrafficPattern::Hotspot:
+            // A fixed share goes to the hotspot; the rest is uniform.
+            dst = rng_.chance(spec_.hotspotFraction)
+                ? spec_.hotspotNode : uniformDestination(src);
+            break;
+          default:
+            dst = patternDestination(src);
+            break;
+        }
+        if (dst == src)
+            continue; // self-mapped nodes under deterministic patterns
+
+        Packet p;
+        p.id = nextId_++;
+        p.src = src;
+        p.dst = dst;
+        p.flits = spec_.flitsPerPacket;
+        p.injected = now;
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace cryo::netsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Fully-bound NoC design points (topology + temperature + voltage +
+ * router/link timing) - the rows of Table 4 plus the analysis designs
+ * of Section 5.
+ */
+
+#ifndef CRYOWIRE_NOC_NOC_CONFIG_HH
+#define CRYOWIRE_NOC_NOC_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "noc/router_model.hh"
+#include "noc/topology.hh"
+#include "noc/wire_link.hh"
+#include "tech/technology.hh"
+
+namespace cryo::noc
+{
+
+/** Cache-coherence protocol the interconnect supports (Table 4). */
+enum class Protocol
+{
+    DirectoryBased,
+    SnoopBased
+};
+
+const char *protocolName(Protocol p);
+
+/** Fig.-20 bus-transaction latency decomposition, in bus cycles. */
+struct BusLatencyBreakdown
+{
+    int request = 0;     ///< source -> arbiter signal
+    int arbitration = 0; ///< matrix-arbiter decision
+    int grant = 0;       ///< arbiter -> source signal
+    int control = 0;     ///< cross-link switch setup (CryoBus only)
+    int broadcast = 0;   ///< granted core -> all snoopers
+
+    int total() const
+    {
+        return request + arbitration + grant + control + broadcast;
+    }
+};
+
+/**
+ * One interconnect design point.
+ */
+class NocConfig
+{
+  public:
+    NocConfig(std::string name, Topology topology, Protocol protocol,
+              double temp_k, tech::VoltagePoint voltage, double clock_freq,
+              RouterSpec router_spec, int hops_per_cycle,
+              bool dynamic_links);
+
+    const std::string &name() const { return name_; }
+    const Topology &topology() const { return topo_; }
+    Protocol protocol() const { return protocol_; }
+    double tempK() const { return tempK_; }
+    const tech::VoltagePoint &voltage() const { return voltage_; }
+    double clockFreq() const { return clockFreq_; }
+    const RouterSpec &routerSpec() const { return routerSpec_; }
+    int hopsPerCycle() const { return hopsPerCycle_; }
+    bool dynamicLinks() const { return dynamicLinks_; }
+
+    /** Cycles to cover @p hops of wire (ceil against hops/cycle). */
+    int linkCycles(double hops) const;
+
+    /**
+     * Zero-load one-way latency of a @p flits packet between
+     * uniform-random endpoints [s]. Router path for router NoCs; a
+     * full bus transaction for buses.
+     */
+    double unicastLatency(int flits) const;
+
+    /** Same, for the worst-case path. */
+    double maxUnicastLatency(int flits) const;
+
+    /** Bus only: the Fig.-20 decomposition for a 1-flit broadcast. */
+    BusLatencyBreakdown busBreakdown() const;
+
+    /**
+     * Bus only: cycles the shared medium is occupied per transaction
+     * of @p flits - the quantity that bounds bandwidth (Guideline #2).
+     */
+    int busOccupancyCycles(int flits) const;
+
+    /** Network-interface overhead charged per packet [cycles]. */
+    static constexpr int kNiCycles = 2;
+
+  private:
+    std::string name_;
+    Topology topo_;
+    Protocol protocol_;
+    double tempK_;
+    tech::VoltagePoint voltage_;
+    double clockFreq_;
+    RouterSpec routerSpec_;
+    int hopsPerCycle_;
+    bool dynamicLinks_;
+};
+
+/**
+ * Builds the paper's design points from the technology models.
+ */
+class NocDesigner
+{
+  public:
+    explicit NocDesigner(const tech::Technology &tech, int cores = 64);
+
+    /** Table-4 designs. */
+    NocConfig mesh300() const;
+    NocConfig mesh77() const;
+    NocConfig cryoBus() const;
+
+    /** Section-5.1 analysis designs. */
+    NocConfig sharedBus300() const;
+    NocConfig sharedBus77() const;
+    NocConfig hTreeBus300() const;
+    NocConfig sharedBusAt(double temp_k) const;
+    NocConfig cryoBusAt(double temp_k) const;
+    NocConfig cmesh(double temp_k, int router_cycles) const;
+    NocConfig flattenedButterfly(double temp_k, int router_cycles) const;
+    NocConfig mesh(double temp_k, int router_cycles) const;
+
+    /** NoC voltage domain operating points (Table 4). */
+    static constexpr tech::VoltagePoint kV300{1.0, 0.468};
+    static constexpr tech::VoltagePoint kV77{0.55, 0.225};
+
+    const WireLink &wireLink() const { return link_; }
+    const tech::Technology &technology() const { return tech_; }
+    int cores() const { return cores_; }
+
+  private:
+    tech::VoltagePoint voltageAt(double temp_k) const;
+    NocConfig routerNoc(std::string name, Topology topo, double temp_k,
+                        int router_cycles) const;
+    NocConfig busNoc(std::string name, Topology topo, double temp_k,
+                     bool dynamic_links) const;
+
+    const tech::Technology &tech_;
+    int cores_;
+    WireLink link_;
+};
+
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_NOC_CONFIG_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * NoC router frequency model (CC-Model with a router Verilog input,
+ * Fig. 6 step 3).
+ *
+ * A router's critical path (VC allocation, switch allocation, crossbar)
+ * is almost entirely transistor logic with short local wiring, so its
+ * cryogenic gain is small - the paper's model reports +9.3% at 77 K,
+ * which is the root cause of Guideline #1: router-based NoCs cannot
+ * exploit the fast cryogenic wires.
+ */
+
+#ifndef CRYOWIRE_NOC_ROUTER_MODEL_HH
+#define CRYOWIRE_NOC_ROUTER_MODEL_HH
+
+#include "tech/technology.hh"
+
+namespace cryo::noc
+{
+
+/** Router microarchitecture parameters (Table 4). */
+struct RouterSpec
+{
+    int pipelineCycles = 1;  ///< 1 (academia [34,50]) or 3 (industry)
+    int virtualChannels = 4; ///< per input port
+    int bufferDepth = 3;     ///< flits per VC [33]
+    double logicFraction = 0.97; ///< critical-path transistor share
+};
+
+/**
+ * Frequency of a router across temperature/voltage.
+ */
+class RouterModel
+{
+  public:
+    /**
+     * @param tech       technology models
+     * @param spec       router microarchitecture
+     * @param base_freq  300 K frequency at nominal NoC voltage [Hz]
+     * @param nominal_v  the NoC voltage domain's 300 K point
+     */
+    RouterModel(const tech::Technology &tech, RouterSpec spec,
+                double base_freq = 4.0e9,
+                tech::VoltagePoint nominal_v = {1.0, 0.468});
+
+    /** Clock frequency at (T, V) [Hz]. */
+    double frequency(double temp_k, const tech::VoltagePoint &v) const;
+
+    /** Frequency at the NoC nominal voltage. */
+    double frequency(double temp_k) const;
+
+    /** frequency(T)/frequency(300 K) at nominal voltage. */
+    double speedup(double temp_k) const;
+
+    const RouterSpec &spec() const { return spec_; }
+    double baseFrequency() const { return baseFreq_; }
+    const tech::VoltagePoint &nominalVoltage() const { return nominalV_; }
+
+  private:
+    /** Critical-path delay multiplier vs (300 K, nominal). */
+    double delayScale(double temp_k, const tech::VoltagePoint &v) const;
+
+    const tech::Technology &tech_;
+    RouterSpec spec_;
+    double baseFreq_;
+    tech::VoltagePoint nominalV_;
+};
+
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_ROUTER_MODEL_HH

@@ -1,0 +1,179 @@
+#include "topology.hh"
+
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace cryo::noc
+{
+
+namespace
+{
+
+/** Integer square root with perfect-square check. */
+int
+gridSideOf(int cores)
+{
+    fatalIf(cores < 4, "topology needs at least 4 cores");
+    const int side = static_cast<int>(std::lround(std::sqrt(cores)));
+    fatalIf(side * side != cores,
+            "core count must be a perfect square for a tiled layout");
+    return side;
+}
+
+/**
+ * Average absolute coordinate distance between two uniform-random
+ * points on a k-wide axis: (k^2 - 1) / (3 k).
+ */
+double
+avgAxisDistance(int k)
+{
+    return (static_cast<double>(k) * k - 1.0) / (3.0 * k);
+}
+
+} // namespace
+
+const char *
+topologyKindName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::Mesh:
+        return "Mesh";
+      case TopologyKind::CMesh:
+        return "CMesh";
+      case TopologyKind::FlattenedButterfly:
+        return "Flattened Butterfly";
+      case TopologyKind::SharedBus:
+        return "Shared bus";
+      case TopologyKind::HTreeBus:
+        return "CryoBus H-tree";
+    }
+    return "unknown";
+}
+
+std::string
+Topology::name() const
+{
+    return topologyKindName(kind_);
+}
+
+bool
+Topology::isBus() const
+{
+    return kind_ == TopologyKind::SharedBus ||
+        kind_ == TopologyKind::HTreeBus;
+}
+
+Topology
+Topology::mesh(int cores)
+{
+    Topology t;
+    t.kind_ = TopologyKind::Mesh;
+    t.cores_ = cores;
+    t.gridSide_ = gridSideOf(cores);
+    const int k = t.gridSide_;
+    t.routerCount_ = cores;
+    // Manhattan distance, uniform-random source/destination.
+    t.avgUnicastHops_ = 2.0 * avgAxisDistance(k);
+    t.maxUnicastHops_ = 2 * (k - 1);
+    t.avgPathRouters_ = t.avgUnicastHops_ + 1.0;
+    t.maxPathRouters_ = t.maxUnicastHops_ + 1;
+    return t;
+}
+
+Topology
+Topology::cmesh(int cores, int concentration)
+{
+    fatalIf(concentration < 1, "concentration must be positive");
+    Topology t;
+    t.kind_ = TopologyKind::CMesh;
+    t.cores_ = cores;
+    t.gridSide_ = gridSideOf(cores);
+    fatalIf(cores % concentration != 0,
+            "cores must divide evenly into routers");
+    const int routers = cores / concentration;
+    const int rk = gridSideOf(routers);
+    t.routerCount_ = routers;
+    // Router spacing doubles with 4-way concentration: each
+    // router-to-router link spans sqrt(concentration) tile hops.
+    const double link_hops = std::sqrt(static_cast<double>(concentration));
+    t.avgUnicastHops_ = 2.0 * avgAxisDistance(rk) * link_hops;
+    t.maxUnicastHops_ =
+        static_cast<int>(std::lround(2 * (rk - 1) * link_hops));
+    t.avgPathRouters_ = 2.0 * avgAxisDistance(rk) + 1.0;
+    t.maxPathRouters_ = 2 * (rk - 1) + 1;
+    return t;
+}
+
+Topology
+Topology::flattenedButterfly(int cores, int concentration)
+{
+    Topology t;
+    t.kind_ = TopologyKind::FlattenedButterfly;
+    t.cores_ = cores;
+    t.gridSide_ = gridSideOf(cores);
+    fatalIf(cores % concentration != 0,
+            "cores must divide evenly into routers");
+    const int routers = cores / concentration;
+    const int rk = gridSideOf(routers);
+    t.routerCount_ = routers;
+    const double link_hops = std::sqrt(static_cast<double>(concentration));
+
+    // Any router reaches any other in <= 2 router hops (one row, one
+    // column express link). Average router hops over uniform pairs:
+    const double n = routers;
+    const double p_same = 1.0 / n;
+    const double p_row = (rk - 1) / n;
+    const double p_col = (rk - 1) / n;
+    const double p_diag = 1.0 - p_same - p_row - p_col;
+    t.avgPathRouters_ = (p_row + p_col) * 2.0 + p_diag * 3.0 + p_same * 1.0;
+    t.maxPathRouters_ = 3;
+
+    // Express-link wire length: average |i - j| router spacings.
+    const double avg_axis = avgAxisDistance(rk);
+    t.avgUnicastHops_ =
+        ((p_row + p_col) * avg_axis + p_diag * 2.0 * avg_axis) * link_hops;
+    // Longest path: full row + full column express links.
+    t.maxUnicastHops_ =
+        static_cast<int>(std::lround(2 * (rk - 1) * link_hops));
+    return t;
+}
+
+Topology
+Topology::sharedBus(int cores)
+{
+    Topology t;
+    t.kind_ = TopologyKind::SharedBus;
+    t.cores_ = cores;
+    t.gridSide_ = gridSideOf(cores);
+    t.routerCount_ = 0;
+    // Conventional bidirectional bus snaking through the tile grid,
+    // arbiter at the die centre. Worst source-to-farthest-snooper
+    // distance spans half the serpentine: 30 hops for 64 cores
+    // (Section 5.2.1).
+    t.maxBroadcastHops_ = cores / 2 - 2;
+    t.arbiterHops_ = cores / 4; // worst leaf to centre along the snake
+    t.avgUnicastHops_ = t.maxBroadcastHops_ / 2.0;
+    t.maxUnicastHops_ = t.maxBroadcastHops_;
+    return t;
+}
+
+Topology
+Topology::hTreeBus(int cores)
+{
+    Topology t;
+    t.kind_ = TopologyKind::HTreeBus;
+    t.cores_ = cores;
+    t.gridSide_ = gridSideOf(cores);
+    t.routerCount_ = 0;
+    // H-tree with the arbiter at the root (die centre): depth is
+    // 3/4 of the grid side in tile hops (8 mm + 4 mm levels on the
+    // 16 mm die), so leaf-to-leaf broadcast = 12 hops for 64 cores.
+    t.arbiterHops_ = 3 * t.gridSide_ / 4;
+    t.maxBroadcastHops_ = 2 * t.arbiterHops_;
+    t.avgUnicastHops_ = t.maxBroadcastHops_ * 0.6;
+    t.maxUnicastHops_ = t.maxBroadcastHops_;
+    return t;
+}
+
+} // namespace cryo::noc

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The five NoC topologies of Fig. 15/19 as hop-count geometry.
+ *
+ * All distances are in *tile hops* (adjacent-tile spacing, 2 mm on the
+ * 16 mm / 8x8 die), the unit the wire-link model prices. Router-based
+ * topologies also expose router counts per path; bus topologies expose
+ * the broadcast geometry that sets their occupancy.
+ */
+
+#ifndef CRYOWIRE_NOC_TOPOLOGY_HH
+#define CRYOWIRE_NOC_TOPOLOGY_HH
+
+#include <string>
+
+namespace cryo::noc
+{
+
+enum class TopologyKind
+{
+    Mesh,               ///< 2D mesh, XY routing [17]
+    CMesh,              ///< concentrated mesh (4 cores/router) [8]
+    FlattenedButterfly, ///< row/column express links [32]
+    SharedBus,          ///< conventional bidirectional bus [36]
+    HTreeBus            ///< CryoBus H-tree (Fig. 19)
+};
+
+const char *topologyKindName(TopologyKind kind);
+
+/**
+ * Geometry summary of a topology instance.
+ */
+class Topology
+{
+  public:
+    static Topology mesh(int cores);
+    static Topology cmesh(int cores, int concentration = 4);
+    static Topology flattenedButterfly(int cores, int concentration = 4);
+    static Topology sharedBus(int cores);
+    static Topology hTreeBus(int cores);
+
+    TopologyKind kind() const { return kind_; }
+    std::string name() const;
+    int cores() const { return cores_; }
+    bool isBus() const;
+
+    /** Routers in the network (0 for buses). */
+    int routerCount() const { return routerCount_; }
+
+    /** Average routers traversed on a uniform-random unicast path. */
+    double avgPathRouters() const { return avgPathRouters_; }
+
+    /** Maximum routers on any unicast path. */
+    int maxPathRouters() const { return maxPathRouters_; }
+
+    /** Average unicast wire distance [tile hops]. */
+    double avgUnicastHops() const { return avgUnicastHops_; }
+
+    /** Maximum unicast wire distance [tile hops]. */
+    int maxUnicastHops() const { return maxUnicastHops_; }
+
+    /**
+     * Bus only: wire distance from the worst-placed source to the
+     * farthest snooper (30 for the 64-core serpentine bus, 12 for the
+     * 64-core H-tree - Section 5.2.1).
+     */
+    int maxBroadcastHops() const { return maxBroadcastHops_; }
+
+    /** Bus only: wire distance from a core to the central arbiter. */
+    int arbiterHops() const { return arbiterHops_; }
+
+    /** Grid side of the tile array (8 for 64 cores). */
+    int gridSide() const { return gridSide_; }
+
+  private:
+    Topology() = default;
+
+    TopologyKind kind_ = TopologyKind::Mesh;
+    int cores_ = 0;
+    int gridSide_ = 0;
+    int routerCount_ = 0;
+    double avgPathRouters_ = 0.0;
+    int maxPathRouters_ = 0;
+    double avgUnicastHops_ = 0.0;
+    int maxUnicastHops_ = 0;
+    int maxBroadcastHops_ = 0;
+    int arbiterHops_ = 0;
+};
+
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_TOPOLOGY_HH

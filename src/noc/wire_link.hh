@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Global wire-link model (the CACTI-NUCA substitute, Fig. 6 step 4).
+ *
+ * Takes the NUCA layout (die size, bank/tile grid), derives the
+ * per-hop link length, and reports the latency of a latency-optimally
+ * repeatered global link at any temperature/voltage. The paper's
+ * anchors: a 2 mm link takes 0.064 ns at 300 K (4 hops per 4 GHz
+ * cycle) and ~3x less at 77 K (12 hops per cycle); the 6 mm CryoBus
+ * link speeds up 3.05x (Fig. 10).
+ */
+
+#ifndef CRYOWIRE_NOC_WIRE_LINK_HH
+#define CRYOWIRE_NOC_WIRE_LINK_HH
+
+#include "tech/technology.hh"
+
+namespace cryo::noc
+{
+
+/** NUCA-style layout the link model is derived from. */
+struct NucaLayout
+{
+    double dieWidth = 16e-3;  ///< [m]
+    double dieHeight = 16e-3; ///< [m]
+    int tilesX = 8;
+    int tilesY = 8;
+};
+
+/**
+ * Repeatered global link between adjacent tiles.
+ */
+class WireLink
+{
+  public:
+    WireLink(const tech::Technology &tech, NucaLayout layout = {},
+             tech::VoltagePoint nominal_v = {1.0, 0.468});
+
+    /** Distance between adjacent tile centres [m]. */
+    double hopLength() const;
+
+    /** Latency of one hop at (T, V) [s]. */
+    double hopDelay(double temp_k, const tech::VoltagePoint &v) const;
+
+    /** Hop latency at the NoC nominal voltage. */
+    double hopDelay(double temp_k) const;
+
+    /**
+     * How many hops a signal covers in one cycle of @p freq at (T, V);
+     * at least 1 (a sub-hop-per-cycle link is pipelined per hop).
+     */
+    int hopsPerCycle(double freq, double temp_k,
+                     const tech::VoltagePoint &v) const;
+
+    /** Latency of a multi-hop traversal, in cycles of @p freq. */
+    int traversalCycles(int hops, double freq, double temp_k,
+                        const tech::VoltagePoint &v) const;
+
+    /** End-to-end latency of an arbitrary-length link [s]. */
+    double linkDelay(double length, double temp_k,
+                     const tech::VoltagePoint &v) const;
+
+    /** hopDelay(300 K) / hopDelay(T) at nominal voltage. */
+    double speedup(double temp_k) const;
+
+    const NucaLayout &layout() const { return layout_; }
+
+  private:
+    const tech::Technology &tech_;
+    NucaLayout layout_;
+    tech::VoltagePoint nominalV_;
+};
+
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_WIRE_LINK_HH

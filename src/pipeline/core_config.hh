@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The Table-3 core-design ladder: 300K Baseline -> 77K Superpipeline ->
+ * +CryoCore -> CryoSP, plus the prior-work CHP-core [16].
+ */
+
+#ifndef CRYOWIRE_PIPELINE_CORE_CONFIG_HH
+#define CRYOWIRE_PIPELINE_CORE_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/critical_path.hh"
+#include "pipeline/stage.hh"
+#include "tech/technology.hh"
+
+namespace cryo::pipeline
+{
+
+/** Out-of-order structure sizes (Table 3 rows). */
+struct CoreStructures
+{
+    int width = 8;            ///< issue width
+    int loadQueue = 72;
+    int storeQueue = 56;
+    int issueQueue = 97;
+    int reorderBuffer = 224;
+    int intRegisters = 180;
+    int fpRegisters = 168;
+};
+
+/** One fully-specified core design point. */
+struct CoreConfig
+{
+    std::string name;
+    double tempK = 300.0;
+    tech::VoltagePoint voltage{1.25, 0.47};
+    CoreStructures structures;
+    int pipelineDepth = 14;
+
+    /** Model-derived clock frequency [Hz]. */
+    double frequency = 4.0e9;
+
+    /** Frequency Table 3 reports, for side-by-side comparison [Hz]. */
+    double paperFrequency = 4.0e9;
+
+    /** IPC at iso-frequency relative to 300K Baseline (Table 3). */
+    double ipcFactor = 1.0;
+
+    /** Stage list the frequency was derived from. */
+    StageList stages;
+
+    /** Paper's relative core power (Table 3), for comparison. */
+    double paperCorePower = 1.0;
+
+    /** Paper's relative total (device + cooling) power (Table 3). */
+    double paperTotalPower = 1.0;
+};
+
+/**
+ * Derives the Table-3 ladder from the models (frequency from the
+ * critical-path model + superpipeliner, IPC from the IPC model) while
+ * carrying the paper's published values for every bench to print
+ * alongside.
+ */
+class CoreDesigner
+{
+  public:
+    explicit CoreDesigner(const tech::Technology &tech);
+
+    CoreConfig baseline300() const;
+    CoreConfig baseline77() const;           ///< cooled, un-redesigned
+    CoreConfig superpipeline77() const;
+    CoreConfig superpipelineCryoCore77() const;
+    CoreConfig cryoSP() const;
+    CoreConfig chpCore() const;
+
+    /** The five Table-3 columns in order. */
+    std::vector<CoreConfig> table3Ladder() const;
+
+    const CriticalPathModel &model() const { return model_; }
+
+    /** Structure sizes after CryoCore down-sizing (half width). */
+    static CoreStructures cryoCoreStructures();
+
+  private:
+    const tech::Technology &tech_;
+    Floorplan floorplan_;
+    CriticalPathModel model_;
+};
+
+} // namespace cryo::pipeline
+
+#endif // CRYOWIRE_PIPELINE_CORE_CONFIG_HH

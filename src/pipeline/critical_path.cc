@@ -1,0 +1,142 @@
+#include "critical_path.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+#include "util/units.hh"
+
+namespace cryo::pipeline
+{
+
+CriticalPathModel::CriticalPathModel(const tech::Technology &tech,
+                                     Floorplan floorplan, double ref_freq)
+    : tech_(tech), floorplan_(std::move(floorplan)), refFreq_(ref_freq)
+{
+    fatalIf(ref_freq <= 0.0, "reference frequency must be positive");
+}
+
+CriticalPathModel::WireSetup
+CriticalPathModel::wireSetup(WireClass wc) const
+{
+    using namespace units;
+    using tech::WireLayer;
+    switch (wc) {
+      case WireClass::None:
+      case WireClass::ShortLocal:
+        // Wires between adjacent gates inside a unit.
+        return {WireLayer::Local, 250 * um, 24.0, 8.0};
+      case WireClass::CacheArray:
+        // SRAM word/bit-lines: longer local runs across an array.
+        return {WireLayer::Local, 300 * um, 32.0, 8.0};
+      case WireClass::CamBroadcast:
+        // Tag broadcast across all entries: the highest-fanout local
+        // wires in the machine [49, 63].
+        return {WireLayer::Local, 450 * um, 64.0, 16.0};
+      case WireClass::ForwardingWire:
+        // Floorplan-length semi-global wire with a bypass-class driver.
+        return {WireLayer::SemiGlobal, floorplan_.forwardingWireLength(),
+                140.0, 16.0};
+    }
+    panic("unknown wire class");
+}
+
+double
+CriticalPathModel::wireScale(WireClass wc, double temp_k,
+                             const tech::VoltagePoint &v) const
+{
+    if (wc == WireClass::None)
+        return 1.0;
+    const WireSetup ws = wireSetup(wc);
+    tech::WireRC rc{tech_.wire(ws.layer), tech_.mosfet(), ws.driver,
+                    ws.load};
+    const double ref = rc.delay(ws.length, 300.0,
+                                tech_.mosfet().params().nominal);
+    return rc.delay(ws.length, temp_k, v) / ref;
+}
+
+StageDelay
+CriticalPathModel::stageDelay(const PipelineStage &stage, double temp_k,
+                              const tech::VoltagePoint &v) const
+{
+    StageDelay d;
+    d.name = stage.name;
+    d.kind = stage.kind;
+    d.pipelinable = stage.pipelinable;
+    d.logic = stage.logic300() * tech_.mosfet().delayFactor(temp_k, v);
+    d.wire = stage.wire300() * wireScale(stage.wireClass, temp_k, v);
+    return d;
+}
+
+StageDelay
+CriticalPathModel::stageDelay(const PipelineStage &stage,
+                              double temp_k) const
+{
+    return stageDelay(stage, temp_k, tech_.mosfet().params().nominal);
+}
+
+std::vector<StageDelay>
+CriticalPathModel::stageDelays(const StageList &stages, double temp_k,
+                               const tech::VoltagePoint &v) const
+{
+    std::vector<StageDelay> out;
+    out.reserve(stages.size());
+    for (const auto &s : stages)
+        out.push_back(stageDelay(s, temp_k, v));
+    return out;
+}
+
+std::vector<StageDelay>
+CriticalPathModel::stageDelays(const StageList &stages,
+                               double temp_k) const
+{
+    return stageDelays(stages, temp_k, tech_.mosfet().params().nominal);
+}
+
+double
+CriticalPathModel::maxDelay(const StageList &stages, double temp_k,
+                            const tech::VoltagePoint &v) const
+{
+    fatalIf(stages.empty(), "pipeline has no stages");
+    double best = 0.0;
+    for (const auto &s : stages)
+        best = std::max(best, stageDelay(s, temp_k, v).total());
+    return best;
+}
+
+double
+CriticalPathModel::maxDelay(const StageList &stages, double temp_k) const
+{
+    return maxDelay(stages, temp_k, tech_.mosfet().params().nominal);
+}
+
+std::string
+CriticalPathModel::criticalStage(const StageList &stages, double temp_k,
+                                 const tech::VoltagePoint &v) const
+{
+    fatalIf(stages.empty(), "pipeline has no stages");
+    const PipelineStage *best = &stages.front();
+    double best_delay = 0.0;
+    for (const auto &s : stages) {
+        const double d = stageDelay(s, temp_k, v).total();
+        if (d > best_delay) {
+            best_delay = d;
+            best = &s;
+        }
+    }
+    return best->name;
+}
+
+double
+CriticalPathModel::frequency(const StageList &stages, double temp_k,
+                             const tech::VoltagePoint &v) const
+{
+    return refFreq_ / maxDelay(stages, temp_k, v);
+}
+
+double
+CriticalPathModel::frequency(const StageList &stages, double temp_k) const
+{
+    return frequency(stages, temp_k, tech_.mosfet().params().nominal);
+}
+
+} // namespace cryo::pipeline

@@ -1,0 +1,59 @@
+#include "floorplan.hh"
+
+#include <cmath>
+
+#include "util/log.hh"
+#include "util/units.hh"
+
+namespace cryo::pipeline
+{
+
+Floorplan
+Floorplan::skylakeLike()
+{
+    using namespace units;
+    // Table 1: areas/widths from BOOM synthesized with Design Compiler
+    // on FreePDK45. Heights: ALU 74.66 um, regfile 1092.2 um; the
+    // 8*ALU + regfile stack gives the 1686 um forwarding wire.
+    UnitGeometry alu{"ALU", 25757 * um * um, 345 * um};
+    UnitGeometry regfile{"register file", 376820 * um * um, 345 * um};
+    return Floorplan{alu, regfile, 8};
+}
+
+Floorplan::Floorplan(UnitGeometry alu, UnitGeometry regfile, int alu_count)
+    : alu_(std::move(alu)), regfile_(std::move(regfile)),
+      aluCount_(alu_count)
+{
+    fatalIf(aluCount_ < 1, "floorplan needs at least one ALU");
+    fatalIf(alu_.area <= 0.0 || alu_.width <= 0.0,
+            "ALU geometry must be positive");
+    fatalIf(regfile_.area <= 0.0 || regfile_.width <= 0.0,
+            "register-file geometry must be positive");
+}
+
+double
+Floorplan::forwardingWireLength() const
+{
+    return aluCount_ * alu_.height() + regfile_.height();
+}
+
+double
+Floorplan::writebackWireLength() const
+{
+    return aluCount_ * alu_.height() + 0.5 * regfile_.height();
+}
+
+Floorplan
+Floorplan::scaled(double factor) const
+{
+    fatalIf(factor <= 0.0, "floorplan scale factor must be positive");
+    UnitGeometry alu = alu_;
+    UnitGeometry regfile = regfile_;
+    alu.area *= factor;
+    alu.width *= std::sqrt(factor);
+    regfile.area *= factor;
+    regfile.width *= std::sqrt(factor);
+    return Floorplan{alu, regfile, aluCount_};
+}
+
+} // namespace cryo::pipeline

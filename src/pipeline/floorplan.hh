@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Floorplan-aware inter-unit wire model (CC-Model extension, Sec 3.1.2).
+ *
+ * The paper derives the length of long inter-unit wires from a
+ * Skylake-based floorplan plus unit areas synthesized from BOOM:
+ * the forwarding wire traverses all eight ALUs and the register file,
+ * so its length is the sum of their heights (Table 1: 1686 um).
+ */
+
+#ifndef CRYOWIRE_PIPELINE_FLOORPLAN_HH
+#define CRYOWIRE_PIPELINE_FLOORPLAN_HH
+
+#include <string>
+#include <vector>
+
+namespace cryo::pipeline
+{
+
+/**
+ * One microarchitectural unit placed in the floorplan.
+ */
+struct UnitGeometry
+{
+    std::string name;
+    double area;  ///< [m^2]
+    double width; ///< [m]
+
+    /** Height implied by area/width [m]. */
+    double height() const { return area / width; }
+};
+
+/**
+ * Simplified Skylake-like execution-cluster floorplan: a column of
+ * ALUs stacked on the register file, sharing one forwarding-wire bundle
+ * (the layout of Palacharla et al. that the paper follows [39,48,49]).
+ */
+class Floorplan
+{
+  public:
+    /** The paper's Table-1 floorplan (8 ALUs + register file). */
+    static Floorplan skylakeLike();
+
+    /**
+     * @param alu        geometry of one ALU
+     * @param regfile    geometry of the register file
+     * @param alu_count  number of ALUs sharing the forwarding wires
+     */
+    Floorplan(UnitGeometry alu, UnitGeometry regfile, int alu_count);
+
+    const UnitGeometry &alu() const { return alu_; }
+    const UnitGeometry &regfile() const { return regfile_; }
+    int aluCount() const { return aluCount_; }
+
+    /**
+     * Length of the data-forwarding wire: the vertical run across all
+     * ALUs plus the register file [m]. Table 1 reports 1686 um.
+     */
+    double forwardingWireLength() const;
+
+    /**
+     * Length of the ALU -> register-file writeback wire: across the
+     * ALU column to the register-file midpoint [m].
+     */
+    double writebackWireLength() const;
+
+    /**
+     * Scale every unit's area by @p factor (width scales by sqrt) -
+     * models CryoCore-style structure down-sizing, which shortens the
+     * forwarding wires.
+     */
+    Floorplan scaled(double factor) const;
+
+  private:
+    UnitGeometry alu_;
+    UnitGeometry regfile_;
+    int aluCount_;
+};
+
+} // namespace cryo::pipeline
+
+#endif // CRYOWIRE_PIPELINE_FLOORPLAN_HH

@@ -1,0 +1,39 @@
+#include "ipc_model.hh"
+
+#include "util/log.hh"
+
+namespace cryo::pipeline
+{
+
+IpcModel::IpcModel(IpcWorkloadStats stats) : stats_(stats)
+{
+    fatalIf(stats_.mispredictsPerKiloInstr < 0.0,
+            "misprediction density cannot be negative");
+    fatalIf(stats_.dependentPairFraction < 0.0 ||
+                stats_.dependentPairFraction > 1.0,
+            "dependent-pair fraction must be in [0, 1]");
+}
+
+double
+IpcModel::frontendDeepeningFactor(int extra_frontend_stages) const
+{
+    fatalIf(extra_frontend_stages < 0, "stage count cannot be negative");
+    // Each misprediction refills through the added stages: CPI grows by
+    // (mispredicts/instr) * extra stages.
+    const double extra_cpi = stats_.mispredictsPerKiloInstr / 1000.0
+        * extra_frontend_stages;
+    return 1.0 / (1.0 + extra_cpi);
+}
+
+double
+IpcModel::bypassPipeliningFactor(int bypass_cycles) const
+{
+    fatalIf(bypass_cycles < 1, "bypass needs at least one cycle");
+    // Every dependent pair pays (cycles - 1) bubbles ("loose loops sink
+    // chips" [13]).
+    const double extra_cpi =
+        stats_.dependentPairFraction * (bypass_cycles - 1);
+    return 1.0 / (1.0 + extra_cpi);
+}
+
+} // namespace cryo::pipeline

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * First-order IPC model for pipelining decisions.
+ *
+ * The only IPC cost of *frontend* superpipelining is the longer
+ * branch-misprediction refill: every misprediction pays the extra
+ * frontend stages. With the PARSEC-average misprediction density the
+ * paper's three added stages cost 4.2% IPC - the number its gem5 runs
+ * report (Section 4.4).
+ *
+ * Pipelining a *backend* bypass stage would stall every dependent
+ * instruction pair instead, which is why those stages are
+ * un-pipelinable: the model exposes that cost too, so the trade-off the
+ * paper describes can be evaluated quantitatively.
+ */
+
+#ifndef CRYOWIRE_PIPELINE_IPC_MODEL_HH
+#define CRYOWIRE_PIPELINE_IPC_MODEL_HH
+
+namespace cryo::pipeline
+{
+
+/** Workload statistics the IPC model needs. */
+struct IpcWorkloadStats
+{
+    /** Branch mispredictions per kilo-instruction (PARSEC avg ~14). */
+    double mispredictsPerKiloInstr = 14.0;
+
+    /** Fraction of instructions consuming a just-produced value. */
+    double dependentPairFraction = 0.25;
+};
+
+/**
+ * Analytic IPC-ratio model.
+ */
+class IpcModel
+{
+  public:
+    explicit IpcModel(IpcWorkloadStats stats = {});
+
+    /**
+     * IPC multiplier (< 1) for adding @p extra_frontend_stages to the
+     * frontend. 3 stages at default stats = 0.958, the paper's -4.2%.
+     */
+    double frontendDeepeningFactor(int extra_frontend_stages) const;
+
+    /**
+     * IPC multiplier for pipelining the execute-bypass loop into
+     * @p bypass_cycles cycles (1 = back-to-back, no cost). Shows why
+     * the backend stages are un-pipelinable: 2 cycles at default stats
+     * already costs 20%.
+     */
+    double bypassPipeliningFactor(int bypass_cycles) const;
+
+    const IpcWorkloadStats &stats() const { return stats_; }
+
+  private:
+    IpcWorkloadStats stats_;
+};
+
+} // namespace cryo::pipeline
+
+#endif // CRYOWIRE_PIPELINE_IPC_MODEL_HH

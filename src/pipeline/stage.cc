@@ -1,0 +1,49 @@
+#include "stage.hh"
+
+namespace cryo::pipeline
+{
+
+const char *
+wireClassName(WireClass wc)
+{
+    switch (wc) {
+      case WireClass::None:
+        return "none";
+      case WireClass::ShortLocal:
+        return "short-local";
+      case WireClass::CacheArray:
+        return "cache-array";
+      case WireClass::CamBroadcast:
+        return "cam-broadcast";
+      case WireClass::ForwardingWire:
+        return "forwarding-wire";
+    }
+    return "unknown";
+}
+
+int
+frontendStageCount(const StageList &stages)
+{
+    int n = 0;
+    for (const auto &s : stages) {
+        if (s.kind == StageKind::Frontend)
+            ++n;
+    }
+    return n;
+}
+
+double
+averageWireFraction(const StageList &stages, StageKind kind)
+{
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &s : stages) {
+        if (s.kind == kind) {
+            sum += s.wireFraction;
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+} // namespace cryo::pipeline

@@ -1,0 +1,54 @@
+#include "stage_library.hh"
+
+namespace cryo::pipeline
+{
+
+/*
+ * Calibration notes.
+ *
+ * delay300 values are normalized to the longest 300 K stage (execute
+ * bypass = 1.0), matching the normalization of Fig. 12. wireFraction
+ * constants reproduce the paper's reported aggregates:
+ *
+ *  - Fig. 2: the three forwarding stages (writeback, execute bypass,
+ *    data read from bypass) average 57.6% wire portion.
+ *  - Fig. 12 annotations: frontend stages average ~19% wire, backend
+ *    stages ~45%.
+ *  - Fig. 13: at 77 K the maximum delay (now fetch1) shrinks by only
+ *    ~19%, while the forwarding stages fall to ~0.6.
+ *  - Fig. 14: the un-pipelinable target (execute bypass at 77 K)
+ *    implies a 38% lower cycle time than the 300 K baseline.
+ *
+ * Un-pipelinable stages are those in the dependent-execution loops:
+ * wakeup & select (issue loop), data read from bypass and execute
+ * bypass (back-to-back bypass loop), FP issue (same loop for floats)
+ * [13, 48, 49].
+ */
+StageList
+boomSkylakeStages()
+{
+    using enum StageKind;
+    using enum WireClass;
+    return {
+        // Frontend (Fig. 11 top): overriding predictor + fetch.
+        {"fetch1", Frontend, 0.96, 0.18, ShortLocal, true, 2},
+        {"fetch2", Frontend, 0.72, 0.32, CacheArray, true, 2},
+        {"fetch3", Frontend, 0.91, 0.12, ShortLocal, true, 2},
+        {"decode & rename", Frontend, 0.89, 0.08, ShortLocal, true, 2},
+        {"rename & dispatch", Frontend, 0.70, 0.25, ShortLocal, true, 2},
+
+        // Backend (Fig. 11 bottom): read-after-issue design.
+        {"wakeup & select", Backend, 0.84, 0.42, CamBroadcast, false, 1},
+        {"register read", Backend, 0.74, 0.30, CacheArray, true, 2},
+        {"data read from bypass", Backend, 0.97, 0.55, ForwardingWire,
+         false, 1},
+        {"execute bypass", Backend, 1.00, 0.55, ForwardingWire, false, 1},
+        {"writeback", Backend, 0.95, 0.63, ForwardingWire, true, 2},
+        {"wakeup from writeback", Backend, 0.92, 0.47, ForwardingWire,
+         true, 2},
+        {"LSQ search", Backend, 0.86, 0.45, CamBroadcast, true, 2},
+        {"FP issue select", Backend, 0.82, 0.38, CamBroadcast, false, 1},
+    };
+}
+
+} // namespace cryo::pipeline

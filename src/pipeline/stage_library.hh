@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The calibrated 13-stage BOOM/Skylake-like pipeline (Fig. 11/12).
+ */
+
+#ifndef CRYOWIRE_PIPELINE_STAGE_LIBRARY_HH
+#define CRYOWIRE_PIPELINE_STAGE_LIBRARY_HH
+
+#include "pipeline/stage.hh"
+
+namespace cryo::pipeline
+{
+
+/**
+ * The 13 representative stages the paper analyzes, with per-stage
+ * logic/wire decomposition calibrated against Fig. 2 and Fig. 12
+ * (see stage_library.cc for the anchor of every constant).
+ *
+ * The total pipeline depth of the machine is 14 (Table 3); commit is
+ * asynchronous in BOOM and excluded, exactly as in the paper.
+ */
+StageList boomSkylakeStages();
+
+/** Names of the stages the paper's Fig. 2 breaks down. */
+inline constexpr const char *kFig2Stages[] = {
+    "writeback", "execute bypass", "data read from bypass"};
+
+/** Full-machine pipeline depth corresponding to boomSkylakeStages(). */
+inline constexpr int kBaselineDepth = 14;
+
+} // namespace cryo::pipeline
+
+#endif // CRYOWIRE_PIPELINE_STAGE_LIBRARY_HH

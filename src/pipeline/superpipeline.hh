@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's Section-4.4 superpipelining methodology.
+ *
+ * 1. The *target latency* is the longest un-pipelinable backend stage
+ *    at the design temperature (execute bypass at 77 K).
+ * 2. Every pipelinable stage whose delay exceeds the target is cut into
+ *    enough substages (bounded by its maxSplit) to fit under it, paying
+ *    a latch/skew overhead per cut.
+ * 3. The result is a deeper pipeline clocked at 1/target.
+ *
+ * At 300 K the target is execute bypass itself (1.0), no stage exceeds
+ * it, and the plan is empty - "further frontend pipelining is
+ * meaningless at 300 K", as the paper observes.
+ */
+
+#ifndef CRYOWIRE_PIPELINE_SUPERPIPELINE_HH
+#define CRYOWIRE_PIPELINE_SUPERPIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/critical_path.hh"
+
+namespace cryo::pipeline
+{
+
+/** One stage the plan decides to cut. */
+struct StageSplit
+{
+    std::string stage;
+    int pieces;
+    std::vector<std::string> substages;
+};
+
+/** Outcome of planning at one operating point. */
+struct SuperpipelinePlan
+{
+    double targetLatency = 0.0;  ///< longest un-pipelinable delay
+    std::string targetStage;     ///< which stage set the target
+    std::vector<StageSplit> splits;
+    StageList result;            ///< the superpipelined stage list
+    int addedStages = 0;         ///< extra pipeline stages vs input
+
+    /** True when at least one stage was cut. */
+    bool effective() const { return addedStages > 0; }
+};
+
+/**
+ * Plans and applies frontend superpipelining.
+ */
+class Superpipeliner
+{
+  public:
+    /**
+     * @param model          critical-path model
+     * @param latch_overhead flip-flop setup + clock-q + skew cost per
+     *                       cut, in the Fig.-12 normalization
+     *                       (0.08 = 20 ps at the 4 GHz / 250 ps base)
+     */
+    explicit Superpipeliner(const CriticalPathModel &model,
+                            double latch_overhead = 0.08);
+
+    /** Plan at (T, V). */
+    SuperpipelinePlan plan(const StageList &stages, double temp_k,
+                           const tech::VoltagePoint &v) const;
+
+    /** Plan at nominal voltage. */
+    SuperpipelinePlan plan(const StageList &stages, double temp_k) const;
+
+    double latchOverhead() const { return latchOverhead_; }
+
+    /**
+     * Canonical substage names for the three stages the paper cuts;
+     * generic "(i/k)" suffixes otherwise.
+     */
+    static std::vector<std::string> substageNames(const std::string &stage,
+                                                  int pieces);
+
+  private:
+    const CriticalPathModel &model_;
+    double latchOverhead_;
+};
+
+} // namespace cryo::pipeline
+
+#endif // CRYOWIRE_PIPELINE_SUPERPIPELINE_HH

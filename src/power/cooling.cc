@@ -1,0 +1,34 @@
+#include "cooling.hh"
+
+#include "util/log.hh"
+
+namespace cryo::power
+{
+
+CoolingModel::CoolingModel(double carnot_efficiency, double hot_side_k)
+    : efficiency_(carnot_efficiency), hotSideK_(hot_side_k)
+{
+    fatalIf(carnot_efficiency <= 0.0 || carnot_efficiency > 1.0,
+            "Carnot efficiency must be in (0, 1]");
+    fatalIf(hot_side_k <= 0.0, "hot-side temperature must be positive");
+}
+
+double
+CoolingModel::overhead(double temp_k) const
+{
+    fatalIf(temp_k <= 0.0, "temperature must be positive");
+    if (temp_k >= hotSideK_)
+        return 0.0; // no refrigeration needed at/above the hot side
+    // Ideal COP = T_cold / (T_hot - T_cold); the real cooler achieves
+    // a fixed fraction of it.
+    const double carnot_cop = temp_k / (hotSideK_ - temp_k);
+    return 1.0 / (efficiency_ * carnot_cop);
+}
+
+double
+CoolingModel::totalPowerFactor(double temp_k) const
+{
+    return 1.0 + overhead(temp_k);
+}
+
+} // namespace cryo::power

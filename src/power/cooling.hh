@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cryogenic cooling-cost model (Section 6.1.2).
+ *
+ * P_total = (1 + CO) * P_device. The paper uses CO = 9.65 at 77 K from
+ * measured Stinger LN-recycling systems [27, 62]; for other
+ * temperatures (Fig. 27) it assumes 30% of the Carnot coefficient of
+ * performance, i.e. CO(T) = (300 - T) / (0.3 T) - which evaluates to
+ * exactly 9.65 at 77 K.
+ */
+
+#ifndef CRYOWIRE_POWER_COOLING_HH
+#define CRYOWIRE_POWER_COOLING_HH
+
+namespace cryo::power
+{
+
+/**
+ * Cooling overhead across temperature.
+ */
+class CoolingModel
+{
+  public:
+    /**
+     * @param carnot_efficiency fraction of the Carnot COP the real
+     *        cooler achieves (0.3 in the paper)
+     * @param hot_side_k        heat-rejection temperature (300 K)
+     */
+    explicit CoolingModel(double carnot_efficiency = 0.3,
+                          double hot_side_k = 300.0);
+
+    /** Watts of cooling power per watt of device heat at @p temp_k. */
+    double overhead(double temp_k) const;
+
+    /** Total-power multiplier 1 + CO(T); 10.65 at 77 K. */
+    double totalPowerFactor(double temp_k) const;
+
+    double carnotEfficiency() const { return efficiency_; }
+
+  private:
+    double efficiency_;
+    double hotSideK_;
+};
+
+} // namespace cryo::power
+
+#endif // CRYOWIRE_POWER_COOLING_HH

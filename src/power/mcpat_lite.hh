@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Structure-level core power model (the McPAT substitute, Sec 6.1.2),
+ * integrated with cryo-MOSFET for temperature/voltage scaling exactly
+ * as the paper integrates McPAT with CC-Model.
+ *
+ * Dynamic power: sum over microarchitectural structures of
+ * weight * (width ratio)^width_exp * (size ratio)^size_exp, times
+ * Vdd^2, activity, and a latch term per pipeline stage. Static power:
+ * Vdd * Ileak(T, Vth) * device count.
+ */
+
+#ifndef CRYOWIRE_POWER_MCPAT_LITE_HH
+#define CRYOWIRE_POWER_MCPAT_LITE_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/core_config.hh"
+#include "power/cooling.hh"
+#include "tech/technology.hh"
+
+namespace cryo::power
+{
+
+/** Core power split, relative to the 300 K baseline core's total. */
+struct CorePower
+{
+    double dynamic = 0.0;
+    double leakage = 0.0;
+    double device() const { return dynamic + leakage; }
+    double cooling = 0.0; ///< cryo-cooler power for this heat
+    double total() const { return device() + cooling; }
+};
+
+/**
+ * Relative core power across the Table-3 design ladder.
+ */
+class McpatLite
+{
+  public:
+    /**
+     * @param tech         technology (leakage model)
+     * @param iso_activity when true, dynamic power uses the access
+     *        activity of a fixed workload trace rather than scaling
+     *        with clock frequency - the accounting Table 3 uses for
+     *        its voltage-scaled rows
+     */
+    McpatLite(const tech::Technology &tech, bool iso_activity = true);
+
+    /**
+     * Power of @p config relative to @p baseline (whose total device
+     * power defines 1.0).
+     */
+    CorePower corePower(const pipeline::CoreConfig &config,
+                        const pipeline::CoreConfig &baseline) const;
+
+    /**
+     * Effective switched capacitance of a core relative to the
+     * baseline structures - the CryoCore down-sizing factor (the paper
+     * reports -77.8% power for CryoCore's halved machine).
+     */
+    double capacitanceRatio(const pipeline::CoreStructures &s,
+                            const pipeline::CoreStructures &base,
+                            int depth, int base_depth) const;
+
+    /** Leakage fraction of the 300 K baseline core's device power. */
+    static constexpr double kBaselineLeakShare = 0.05;
+
+  private:
+    const tech::Technology &tech_;
+    bool isoActivity_;
+    CoolingModel cooling_;
+};
+
+} // namespace cryo::power
+
+#endif // CRYOWIRE_POWER_MCPAT_LITE_HH

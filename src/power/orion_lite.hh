@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NoC power model (the Orion 2.0 substitute, Sec 6.1.2), integrated
+ * with cryo-MOSFET for temperature/voltage scaling.
+ *
+ * Energy per coherence transaction is decomposed into router passes
+ * (buffer write/read + crossbar + allocators), link-hop wire charging,
+ * and NI processing; static power is buffer/repeater leakage. The
+ * relative energies are calibrated against Fig. 22 (see orion_lite.cc)
+ * and the structural differences do the rest: the conventional bus
+ * broadcasts both legs over the whole serpentine, CryoBus broadcasts
+ * requests over the (shorter) H-tree and *directs* data responses
+ * through the dynamic link connection.
+ */
+
+#ifndef CRYOWIRE_POWER_ORION_LITE_HH
+#define CRYOWIRE_POWER_ORION_LITE_HH
+
+#include "mem/memory_system.hh"
+#include "noc/noc_config.hh"
+#include "power/cooling.hh"
+#include "tech/technology.hh"
+
+namespace cryo::power
+{
+
+/** NoC power split (relative units until normalized by the caller). */
+struct NocPower
+{
+    double dynamic = 0.0;
+    double leakage = 0.0;
+    double cooling = 0.0;
+    double device() const { return dynamic + leakage; }
+    double total() const { return device() + cooling; }
+};
+
+/**
+ * Relative NoC power across designs at a common traffic rate.
+ */
+class OrionLite
+{
+  public:
+    explicit OrionLite(const tech::Technology &tech);
+
+    /**
+     * Power of @p cfg at @p tx_per_node_cycle coherence transactions
+     * per node per cycle, in the model's raw units. Divide by the
+     * total() of a reference design (300 K Mesh in Fig. 22) to get the
+     * paper's normalization.
+     */
+    NocPower power(const noc::NocConfig &cfg,
+                   double tx_per_node_cycle = 0.005) const;
+
+    /** Energy of one transaction on @p cfg [raw units]. */
+    double transactionEnergy(const noc::NocConfig &cfg) const;
+
+  private:
+    const tech::Technology &tech_;
+    CoolingModel cooling_;
+};
+
+} // namespace cryo::power
+
+#endif // CRYOWIRE_POWER_ORION_LITE_HH

@@ -1,0 +1,206 @@
+#include "interval_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace cryo::sys
+{
+
+namespace
+{
+
+/** Coherence/NoC transactions overlap less than DRAM misses. */
+constexpr double kNocMlp = 1.5;
+
+/** Wormhole/allocation efficiency against the bisection bound. */
+constexpr double kBisectionEfficiency = 0.7;
+
+/** Flits per coherence transaction (request + data response). */
+constexpr int kTxFlits =
+    mem::MemorySystem::kRequestFlits + mem::MemorySystem::kDataFlits;
+
+} // namespace
+
+double
+IntervalSimulator::saturationTxRate(const noc::NocConfig &noc,
+                                    int bus_ways)
+{
+    const auto &topo = noc.topology();
+    if (topo.isBus()) {
+        // One grant per cycle per way, each holding the medium for the
+        // broadcast occupancy.
+        const double per_way =
+            1.0 / noc.busOccupancyCycles(mem::MemorySystem::kRequestFlits);
+        return per_way * bus_ways / topo.cores();
+    }
+    // Bisection bound: a k x k router grid has k channels crossing the
+    // cut in each direction; uniform traffic sends half its flits
+    // across.
+    const int rk = static_cast<int>(std::lround(
+        std::sqrt(static_cast<double>(topo.routerCount()))));
+    const double capacity_flits = 2.0 * rk * kBisectionEfficiency;
+    double crossing_links = capacity_flits;
+    if (topo.kind() == noc::TopologyKind::FlattenedButterfly) {
+        // Express links multiply the cut width: with rk routers per
+        // row, (rk/2)^2 row links cross the cut in each row.
+        const double per_row = (rk / 2.0) * (rk / 2.0);
+        crossing_links = 2.0 * per_row * rk / (rk - 1.0)
+            * kBisectionEfficiency;
+    }
+    return crossing_links /
+        (topo.cores() * 0.5 * kTxFlits);
+}
+
+double
+IntervalSimulator::syncOpCost(const SystemDesign &design)
+{
+    const double cycle = 1.0 / design.noc.clockFreq();
+    if (design.idealNoc)
+        return cycle; // an ideal ordered medium still serializes ops
+    if (design.noc.topology().isBus()) {
+        // Back-to-back grants: each op holds the ordering point for
+        // one broadcast occupancy. Interleaving does not help here -
+        // a contended lock/barrier variable lives on one way.
+        return design.noc.busOccupancyCycles(
+                   mem::MemorySystem::kRequestFlits) * cycle;
+    }
+    // Directory: each op is a serialized round trip through the home
+    // node (request + forwarded response) plus the directory access.
+    mem::MemorySystem ms{design.mem, design.noc};
+    return ms.nocTransactionLatency() + design.mem.l3;
+}
+
+SimResult
+IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
+{
+    const auto &core = design.core;
+    fatalIf(core.frequency <= 0.0, "core frequency must be positive");
+    fatalIf(core.ipcFactor <= 0.0, "IPC factor must be positive");
+    fatalIf(w.mlp <= 0.0, "MLP must be positive");
+
+    mem::MemorySystem ms{design.mem, design.noc};
+    const bool snooping = design.idealNoc ||
+        design.noc.protocol() == noc::Protocol::SnoopBased;
+
+    // Interconnect transactions per kilo-instruction: data plus (for
+    // directories) explicit coherence, plus prefetch traffic; sync ops
+    // ride the same medium.
+    const double tx_pki = w.l3Apki + w.prefetchApki + w.syncPki
+        + (snooping ? 0.0 : w.cohPki);
+    // Latency-critical interconnect transactions (prefetches excluded).
+    const double critical_pki =
+        w.l3Apki + (snooping ? 0.0 : w.cohPki);
+
+    const double noc_zero_load =
+        design.idealNoc ? 0.0 : ms.nocTransactionLatency();
+
+    CpiStack s;
+    s.core = w.cpiCore / core.ipcFactor / core.frequency;
+    s.l2 = w.l2Apki / 1000.0 * design.mem.l2 / w.mlp;
+    s.l3Cache = w.l3Apki / 1000.0 * design.mem.l3 / kNocMlp;
+    s.dram = w.dramApki / 1000.0 * design.mem.dram / w.mlp;
+
+    const double sat = design.idealNoc
+        ? 1.0 : saturationTxRate(design.noc, design.busWays);
+    const double op_cost0 = syncOpCost(design);
+
+    // Misses traverse the interconnect twice (home slice + memory
+    // controller); the extra leg counts toward the NoC portion.
+    const double mc_pki = w.dramApki;
+
+    double t = s.core + s.l2 + s.l3Cache + s.dram
+        + (critical_pki + mc_pki) / 1000.0 * noc_zero_load / kNocMlp
+        + w.syncPki / 1000.0 * design.noc.topology().cores() * op_cost0;
+    double rho = 0.0;
+
+    // The wait curve is evaluated below a stability cap; offered load
+    // beyond the saturation bandwidth is handled by the explicit
+    // throughput bound after convergence.
+    constexpr double rho_cap = 0.90;
+
+    for (int it = 0; it < kMaxIterations; ++it) {
+        const double instr_rate = 1.0 / t; // per second, per core
+        const double tx_per_node_cycle = tx_pki / 1000.0 * instr_rate
+            / design.noc.clockFreq();
+        rho = design.idealNoc ? 0.0 : tx_per_node_cycle / sat;
+        const double rho_eff = std::min(rho, rho_cap);
+
+        // M/D/1-shaped wait. For the bus the service time is the
+        // broadcast occupancy; for a distributed router network the
+        // queueing delay accumulates hop by hop, so the wait scales
+        // with the traversal itself (the standard load-latency curve).
+        double service;
+        if (design.idealNoc) {
+            service = 0.0;
+        } else if (design.noc.topology().isBus()) {
+            service = design.noc.busOccupancyCycles(
+                          mem::MemorySystem::kRequestFlits)
+                / design.noc.clockFreq();
+        } else {
+            service = noc_zero_load;
+        }
+        const double wait = service * rho_eff / (2.0 * (1.0 - rho_eff));
+
+        s.l3Noc = (critical_pki + mc_pki) / 1000.0 * noc_zero_load
+            / kNocMlp;
+        s.queue = critical_pki / 1000.0 * wait / kNocMlp;
+        const double op_cost = op_cost0 + wait;
+        s.sync = w.syncPki / 1000.0
+            * design.noc.topology().cores() * op_cost;
+
+        const double t_new = s.core + s.l2 + s.l3Noc + s.l3Cache
+            + s.dram + s.sync + s.queue;
+        const double t_next = 0.5 * t + 0.5 * t_new;
+        if (std::abs(t_next - t) / t < 1e-9) {
+            t = t_next;
+            break;
+        }
+        t = t_next;
+    }
+
+    // Throughput bound: the interconnect cannot accept transactions
+    // faster than its saturation bandwidth, so execution time is at
+    // least tx-per-instruction / bandwidth. Offered load above the
+    // bound pins the system there (the Fig. 24 contention victims).
+    SimResult r;
+    bool saturated = false;
+    if (!design.idealNoc) {
+        const double t_bound = tx_pki / 1000.0
+            / (sat * design.noc.clockFreq());
+        if (t < t_bound) {
+            s.queue += t_bound - t;
+            t = t_bound;
+            saturated = true;
+            rho = 1.0;
+        }
+    }
+    r.timePerInstr = t;
+    r.stack = s;
+    r.utilization = std::min(rho, 1.0);
+    r.saturated = saturated || rho >= kRhoMax;
+    return r;
+}
+
+double
+IntervalSimulator::speedup(const SystemDesign &design,
+                           const SystemDesign &baseline,
+                           const Workload &w) const
+{
+    return run(baseline, w).timePerInstr / run(design, w).timePerInstr;
+}
+
+double
+IntervalSimulator::meanSpeedup(const SystemDesign &design,
+                               const SystemDesign &baseline,
+                               const std::vector<Workload> &suite) const
+{
+    fatalIf(suite.empty(), "suite has no workloads");
+    double sum = 0.0;
+    for (const auto &w : suite)
+        sum += speedup(design, baseline, w);
+    return sum / static_cast<double>(suite.size());
+}
+
+} // namespace cryo::sys

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * System-level interval simulator (the gem5 full-system substitute).
+ *
+ * Execution time per instruction composes:
+ *  - core time: CPI / (IPC factor) / frequency;
+ *  - the cache ladder: per-level accesses x latency / MLP;
+ *  - interconnect transactions at the protocol-dependent count
+ *    (directory protocols also pay the coherence transactions a
+ *    snooping bus folds into its broadcast);
+ *  - synchronization: each barrier/lock op serializes one coherence
+ *    operation per core at the interconnect ordering point;
+ *  - queueing: an M/D/1 wait on the interconnect's saturation
+ *    bandwidth, solved to a fixed point with the instruction rate.
+ */
+
+#ifndef CRYOWIRE_SYS_INTERVAL_SIM_HH
+#define CRYOWIRE_SYS_INTERVAL_SIM_HH
+
+#include <string>
+#include <vector>
+
+#include "mem/memory_system.hh"
+#include "noc/noc_config.hh"
+#include "pipeline/core_config.hh"
+#include "sys/workload.hh"
+
+namespace cryo::sys
+{
+
+/** One complete system design point (a Table-4 row). */
+struct SystemDesign
+{
+    std::string name;
+    pipeline::CoreConfig core;
+    noc::NocConfig noc;
+    mem::MemTiming mem;
+    bool idealNoc = false; ///< Fig. 17's zero-latency snooping NoC
+    int busWays = 1;       ///< address-interleaving ways (Section 7.1)
+};
+
+/** Time-per-instruction decomposition [s] (the Fig. 3 CPI stack). */
+struct CpiStack
+{
+    double core = 0.0;
+    double l2 = 0.0;
+    double l3Noc = 0.0;   ///< interconnect zero-load portion
+    double l3Cache = 0.0;
+    double dram = 0.0;
+    double sync = 0.0;    ///< serialized coherence ops at barriers
+    double queue = 0.0;   ///< interconnect contention wait
+
+    double total() const
+    {
+        return core + l2 + l3Noc + l3Cache + dram + sync + queue;
+    }
+
+    /** The paper's Fig.-3 "NoC" portion: traversal + contention +
+     * synchronization, all interconnect-borne. */
+    double
+    nocShare() const
+    {
+        const double t = total();
+        return t > 0.0 ? (l3Noc + sync + queue) / t : 0.0;
+    }
+};
+
+/** Simulation outcome for one (design, workload) pair. */
+struct SimResult
+{
+    double timePerInstr = 0.0; ///< [s]
+    CpiStack stack;
+    double utilization = 0.0;  ///< interconnect rho
+    bool saturated = false;
+
+    /** Performance = inverse execution time. */
+    double perf() const { return 1.0 / timePerInstr; }
+};
+
+/**
+ * The interval simulator.
+ */
+class IntervalSimulator
+{
+  public:
+    IntervalSimulator() = default;
+
+    /** Simulate one workload on one design. */
+    SimResult run(const SystemDesign &design, const Workload &w) const;
+
+    /** Speed-up of @p design over @p baseline on @p w. */
+    double speedup(const SystemDesign &design,
+                   const SystemDesign &baseline, const Workload &w) const;
+
+    /** Arithmetic-mean speed-up over a suite (Fig. 23/24 averages). */
+    double meanSpeedup(const SystemDesign &design,
+                       const SystemDesign &baseline,
+                       const std::vector<Workload> &suite) const;
+
+    /**
+     * Interconnect saturation bandwidth [transactions/node/cycle]:
+     * grant-rate/occupancy bound for buses, bisection bound for router
+     * networks (cross-checked against the netsim in the test suite).
+     */
+    static double saturationTxRate(const noc::NocConfig &noc,
+                                   int bus_ways);
+
+    /** NoC-ordering-point cost of one serialized coherence op [s]. */
+    static double syncOpCost(const SystemDesign &design);
+
+    /** Fixed-point iterations (converges well before this). */
+    static constexpr int kMaxIterations = 120;
+
+    /** Utilization clamp treated as saturation. */
+    static constexpr double kRhoMax = 0.995;
+};
+
+} // namespace cryo::sys
+
+#endif // CRYOWIRE_SYS_INTERVAL_SIM_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Workload characterizations driving the system-level model.
+ *
+ * The paper obtains per-workload behaviour from gem5 traces of PARSEC
+ * 2.1 (multi-threaded, Figs 3/17/23) and SPEC 2006/2017 rate mode
+ * (Fig. 24). We encode each workload as the interval-model parameters
+ * those traces reduce to: core CPI, the miss ladder (accesses per
+ * kilo-instruction at each level), memory-level parallelism, and
+ * synchronization density. Values are calibrated once against the
+ * paper's Fig. 3 CPI stacks and reused unchanged for every design
+ * point, the same way the paper reuses its traces.
+ */
+
+#ifndef CRYOWIRE_SYS_WORKLOAD_HH
+#define CRYOWIRE_SYS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+namespace cryo::sys
+{
+
+/** One workload's interval-model parameters. */
+struct Workload
+{
+    std::string name;
+
+    /** Core-bound CPI on the 8-wide baseline (no memory stalls). */
+    double cpiCore = 0.6;
+
+    /** L1 misses (L2 accesses) per kilo-instruction. */
+    double l2Apki = 20.0;
+
+    /** L2 misses (L3 data transactions) per kilo-instruction. */
+    double l3Apki = 5.0;
+
+    /**
+     * Additional coherence transactions per kilo-instruction that only
+     * a directory protocol pays (invalidations, upgrades, 3-hop
+     * forwards for shared data). A snooping bus resolves these within
+     * the broadcast itself, which is the protocol advantage the paper
+     * credits for streamcluster's CryoBus gain.
+     */
+    double cohPki = 0.0;
+
+    /** L3 misses (DRAM accesses) per kilo-instruction. */
+    double dramApki = 1.0;
+
+    /** Memory-level parallelism: outstanding-miss overlap divisor. */
+    double mlp = 2.0;
+
+    /** Synchronization (barrier/lock) operations per kilo-instruction;
+     * each serializes one coherence op per core at the ordering point. */
+    double syncPki = 0.0;
+
+    /** Branch mispredictions per kilo-instruction. */
+    double branchMpki = 14.0;
+
+    /**
+     * Extra interconnect transactions per kilo-instruction from the
+     * aggressive stride prefetcher of Section 7.1 (they load the NoC
+     * but do not stall the core).
+     */
+    double prefetchApki = 0.0;
+};
+
+/** The PARSEC 2.1 suite (Fig. 3 / Fig. 17 / Fig. 23). */
+std::vector<Workload> parsec21();
+
+/** SPEC 2006 + 2017 mix with the aggressive prefetcher (Fig. 24). */
+std::vector<Workload> specRateAggressivePrefetch();
+
+/**
+ * CloudSuite-style scale-out server workloads [20] - the heaviest
+ * injection band of Fig. 18. Not part of the paper's per-workload
+ * figures (it only draws their band), included here so the band's
+ * endpoints come from actual workload models.
+ */
+std::vector<Workload> cloudSuite();
+
+/** Look up a workload by name in a suite; fatal() if absent. */
+const Workload &findWorkload(const std::vector<Workload> &suite,
+                             const std::string &name);
+
+/** Per-core request-injection bands of Fig. 18 [requests/node/cycle]. */
+struct InjectionBand
+{
+    std::string suite;
+    double lo;
+    double hi;
+};
+
+/** The four workload bands drawn on Fig. 18 / Fig. 21. */
+std::vector<InjectionBand> injectionBands();
+
+} // namespace cryo::sys
+
+#endif // CRYOWIRE_SYS_WORKLOAD_HH

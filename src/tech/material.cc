@@ -1,0 +1,91 @@
+#include "material.hh"
+
+#include <cmath>
+
+#include "util/log.hh"
+
+namespace cryo::tech
+{
+
+namespace
+{
+
+/** Integrand of the Bloch-Grüneisen J5 integral. */
+double
+j5Integrand(double t)
+{
+    if (t < 1e-8) {
+        // t^5 / ((e^t-1)(1-e^-t)) -> t^3 as t -> 0.
+        return t * t * t;
+    }
+    const double em = std::expm1(t);          // e^t - 1
+    const double den = em * (1.0 - std::exp(-t));
+    return std::pow(t, 5) / den;
+}
+
+} // namespace
+
+double
+BlochGruneisen::integralJ5(double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    // Composite Simpson with enough panels for <1e-8 relative error in
+    // the range of interest (x in [1, 10]).
+    constexpr int panels = 512;
+    const double h = x / (2 * panels);
+    double sum = j5Integrand(0.0) + j5Integrand(x);
+    for (int i = 1; i < 2 * panels; ++i) {
+        const double t = h * i;
+        sum += j5Integrand(t) * ((i % 2) ? 4.0 : 2.0);
+    }
+    return sum * h / 3.0;
+}
+
+BlochGruneisen::BlochGruneisen(double debye_temp_k)
+    : debyeTemp_(debye_temp_k)
+{
+    fatalIf(debye_temp_k <= 0.0, "Debye temperature must be positive");
+    const double ratio = 300.0 / debyeTemp_;
+    norm300_ = std::pow(ratio, 5) * integralJ5(1.0 / ratio);
+}
+
+double
+BlochGruneisen::phononFactor(double temp_k) const
+{
+    fatalIf(temp_k <= 0.0, "temperature must be positive");
+    const double ratio = temp_k / debyeTemp_;
+    const double value = std::pow(ratio, 5) * integralJ5(1.0 / ratio);
+    return value / norm300_;
+}
+
+Conductor::Conductor(double rho_300k, double rho_77k, double debye_temp_k)
+    : bg_(debye_temp_k)
+{
+    fatalIf(rho_300k <= 0.0, "rho(300K) must be positive");
+    fatalIf(rho_77k <= 0.0, "rho(77K) must be positive");
+    fatalIf(rho_77k >= rho_300k,
+            "rho(77K) must be below rho(300K) for a metal");
+
+    const double f77 = bg_.phononFactor(77.0);
+    // Solve [rho_res + f77 * rho_ph = rho77; rho_res + rho_ph = rho300].
+    rhoPhonon300_ = (rho_300k - rho_77k) / (1.0 - f77);
+    rhoResidual_ = rho_300k - rhoPhonon300_;
+    fatalIf(rhoResidual_ < 0.0,
+            "anchors imply negative residual resistivity; "
+            "rho(77K) is below the pure-phonon limit");
+}
+
+double
+Conductor::resistivity(double temp_k) const
+{
+    return rhoResidual_ + rhoPhonon300_ * bg_.phononFactor(temp_k);
+}
+
+double
+Conductor::resistivityRatio(double temp_k) const
+{
+    return resistivity(temp_k) / resistivity(300.0);
+}
+
+} // namespace cryo::tech

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Temperature-dependent electrical resistivity of interconnect metal.
+ *
+ * The paper's cryo-wire model consumes measured Intel-45nm resistivity
+ * at 300 K and 77 K [44, 52] and interpolates. We reproduce that with a
+ * physical decomposition (Matthiessen's rule):
+ *
+ *   rho(T) = rho_residual + rho_phonon(T)
+ *
+ * where rho_phonon follows the Bloch-Grüneisen law for copper
+ * (Debye temperature 343 K) and rho_residual lumps impurity, surface
+ * (Fuchs-Sondheimer), and grain-boundary (Mayadas-Shatzkes) scattering,
+ * which are approximately temperature-independent. Thinner wires have a
+ * larger residual term, so their cryogenic gain is smaller - exactly the
+ * size effect reported by Plombon et al. [52].
+ */
+
+#ifndef CRYOWIRE_TECH_MATERIAL_HH
+#define CRYOWIRE_TECH_MATERIAL_HH
+
+namespace cryo::tech
+{
+
+/**
+ * Bloch-Grüneisen phonon-resistivity curve, normalized so that
+ * phononFactor(300 K) == 1.
+ */
+class BlochGruneisen
+{
+  public:
+    /** @param debye_temp_k Debye temperature [K] (343 K for copper). */
+    explicit BlochGruneisen(double debye_temp_k = 343.0);
+
+    /** rho_phonon(T) / rho_phonon(300 K). */
+    double phononFactor(double temp_k) const;
+
+    double debyeTemp() const { return debyeTemp_; }
+
+    /**
+     * The raw Bloch-Grüneisen integral J5(x) = int_0^x t^5 /
+     * ((e^t - 1)(1 - e^-t)) dt, evaluated numerically.
+     */
+    static double integralJ5(double x);
+
+  private:
+    double debyeTemp_;
+    double norm300_; ///< (300/Theta)^5 * J5(Theta/300), cached.
+};
+
+/**
+ * A conductor with Matthiessen decomposition into residual and phonon
+ * resistivity. All resistivities in ohm-m.
+ */
+class Conductor
+{
+  public:
+    /**
+     * @param rho_300k   total resistivity at 300 K
+     * @param rho_77k    total resistivity at 77 K (measured anchor)
+     * @param debye_temp_k Debye temperature for the phonon curve
+     *
+     * The residual term is solved from the two anchors:
+     *   rho_77k = rho_res + f(77) * rho_ph300
+     *   rho_300k = rho_res + rho_ph300
+     */
+    Conductor(double rho_300k, double rho_77k, double debye_temp_k = 343.0);
+
+    /** Total resistivity at @p temp_k [ohm-m]. */
+    double resistivity(double temp_k) const;
+
+    /** rho(T) / rho(300 K): < 1 below room temperature. */
+    double resistivityRatio(double temp_k) const;
+
+    double residualResistivity() const { return rhoResidual_; }
+    double phononResistivity300() const { return rhoPhonon300_; }
+
+  private:
+    BlochGruneisen bg_;
+    double rhoResidual_;
+    double rhoPhonon300_;
+};
+
+} // namespace cryo::tech
+
+#endif // CRYOWIRE_TECH_MATERIAL_HH

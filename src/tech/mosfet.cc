@@ -1,0 +1,138 @@
+#include "mosfet.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hh"
+#include "util/units.hh"
+
+namespace cryo::tech
+{
+
+Mosfet::Mosfet(MosfetParams params) : params_(std::move(params))
+{
+    fatalIf(params_.nominal.vdd <= params_.nominal.vth,
+            "nominal Vdd must exceed nominal Vth");
+    fatalIf(params_.driveGainAnchors.size() < 2,
+            "need at least two drive-gain anchors");
+    fatalIf(!std::is_sorted(params_.driveGainAnchors.begin(),
+                            params_.driveGainAnchors.end(),
+                            [](const auto &a, const auto &b) {
+                                return a.first < b.first;
+                            }),
+            "drive-gain anchors must be sorted by temperature");
+}
+
+double
+Mosfet::driveGain(double temp_k) const
+{
+    const auto &a = params_.driveGainAnchors;
+    if (temp_k <= a.front().first)
+        return a.front().second;
+    if (temp_k >= a.back().first)
+        return a.back().second;
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        if (temp_k <= a[i].first) {
+            const double t0 = a[i - 1].first;
+            const double t1 = a[i].first;
+            const double g0 = a[i - 1].second;
+            const double g1 = a[i].second;
+            return g0 + (g1 - g0) * (temp_k - t0) / (t1 - t0);
+        }
+    }
+    return a.back().second;
+}
+
+double
+Mosfet::alpha(double temp_k) const
+{
+    // Temperature-independent (see MosfetParams::alpha): cooling at a
+    // fixed voltage point then speeds logic by exactly driveGain(T),
+    // which is what the paper's router model (+9.3% at 77 K) and core
+    // model (+8%) require.
+    (void)temp_k;
+    return params_.alpha;
+}
+
+double
+Mosfet::voltageSpeed(double temp_k, const VoltagePoint &v) const
+{
+    // DIBL is folded into the alpha calibration for delay purposes (it
+    // only appears explicitly in the leakage model); the exponent was
+    // fitted against the paper's Vdd/Vth-scaled frequency anchors.
+    const double overdrive = v.vdd - v.vth;
+    fatalIf(overdrive <= 0.0, "Vdd must exceed Vth");
+    return std::pow(overdrive, alpha(temp_k)) / v.vdd;
+}
+
+double
+Mosfet::delayFactor(double temp_k, const VoltagePoint &v) const
+{
+    const double nominal_speed = voltageSpeed(temp_k, params_.nominal);
+    const double speed = voltageSpeed(temp_k, v) * driveGain(temp_k);
+    return nominal_speed / speed;
+}
+
+double
+Mosfet::delayFactor(double temp_k) const
+{
+    return delayFactor(temp_k, params_.nominal);
+}
+
+double
+Mosfet::subthresholdSwing(double temp_k) const
+{
+    return params_.subthresholdN * constants::thermalVoltage(temp_k)
+        * std::log(10.0);
+}
+
+double
+Mosfet::leakageFactor(double temp_k, const VoltagePoint &v) const
+{
+    auto subthreshold = [this](double t, const VoltagePoint &p) {
+        const double n_vt = params_.subthresholdN
+            * constants::thermalVoltage(t);
+        // Vth lowered by DIBL at higher Vdd.
+        const double vth_eff = p.vth - params_.dibl * p.vdd;
+        return std::exp(-vth_eff / n_vt);
+    };
+    const double ref = subthreshold(300.0, params_.nominal);
+    return subthreshold(temp_k, v) / ref;
+}
+
+bool
+Mosfet::voltageScalingFeasible(double temp_k, const VoltagePoint &v) const
+{
+    return leakageFactor(temp_k, v) <= 1.0 + 1e-9;
+}
+
+double
+Mosfet::driverResistance(double temp_k, const VoltagePoint &v,
+                         double h) const
+{
+    fatalIf(h <= 0.0, "driver size must be positive");
+    return params_.unitResistance300 * delayFactor(temp_k, v) / h;
+}
+
+double
+Mosfet::gateCap(double h) const
+{
+    return params_.unitGateCap * h;
+}
+
+double
+Mosfet::parasiticCap(double h) const
+{
+    return params_.unitParasiticCap * h;
+}
+
+double
+Mosfet::fo4Delay(double temp_k, const VoltagePoint &v) const
+{
+    // 0.69 RC with a fanout-of-4 gate load plus self parasitic.
+    const double r = driverResistance(temp_k, v, 1.0);
+    const double c = 4.0 * gateCap(1.0) + parasiticCap(1.0);
+    return 0.69 * r * c;
+}
+
+} // namespace cryo::tech

@@ -1,0 +1,99 @@
+#include "repeater.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/log.hh"
+
+namespace cryo::tech
+{
+
+RepeateredWire::RepeateredWire(const WireSpec &spec, const Mosfet &mosfet)
+    : spec_(spec), mosfet_(mosfet)
+{
+}
+
+double
+RepeateredWire::optimalSize(double seg_len, double temp_k,
+                            const VoltagePoint &v) const
+{
+    // d(t_seg)/dh = 0 => h = sqrt(R0 c l / (r l C0)) = sqrt(R0 c / (r C0)).
+    const double r0 = mosfet_.driverResistance(temp_k, v, 1.0);
+    const double c0 = mosfet_.gateCap(1.0);
+    const double r = spec_.resistancePerM(temp_k);
+    const double c = spec_.capPerM();
+    (void)seg_len; // h is independent of l in the Elmore form
+    return std::max(1.0, std::sqrt(r0 * c / (r * c0)));
+}
+
+double
+RepeateredWire::designDelay(double length, int k, double h, double temp_k,
+                            const VoltagePoint &v) const
+{
+    const double l = length / k;
+    const double rd = mosfet_.driverResistance(temp_k, v, h);
+    const double cw = spec_.capPerM() * l;
+    const double rw = spec_.resistancePerM(temp_k) * l;
+    const double cg = mosfet_.gateCap(h);
+    const double cp = mosfet_.parasiticCap(h);
+    const double t_seg = 0.69 * rd * (cw + cg + cp)
+        + 0.38 * rw * cw + 0.69 * rw * cg;
+    return k * t_seg;
+}
+
+RepeaterDesign
+RepeateredWire::optimize(double length, double temp_k,
+                         const VoltagePoint &v, int max_segments) const
+{
+    fatalIf(length <= 0.0, "wire length must be positive");
+    fatalIf(max_segments < 1, "need at least one segment");
+
+    RepeaterDesign best{1, 1.0, std::numeric_limits<double>::infinity(),
+                        length};
+    // The continuous-k optimum gives the neighbourhood to scan.
+    const double r0 = mosfet_.driverResistance(temp_k, v, 1.0);
+    const double c0 = mosfet_.gateCap(1.0) + mosfet_.parasiticCap(1.0);
+    const double r = spec_.resistancePerM(temp_k);
+    const double c = spec_.capPerM();
+    const double k_cont = length * std::sqrt(0.38 * r * c / (0.69 * r0 * c0));
+    const int k_hi = std::min<int>(
+        max_segments, std::max(2, static_cast<int>(std::ceil(k_cont)) + 2));
+
+    for (int k = 1; k <= k_hi; ++k) {
+        const double h = optimalSize(length / k, temp_k, v);
+        const double d = designDelay(length, k, h, temp_k, v);
+        if (d < best.delay)
+            best = {k, h, d, length / k};
+    }
+    return best;
+}
+
+RepeaterDesign
+RepeateredWire::optimize(double length, double temp_k) const
+{
+    return optimize(length, temp_k, mosfet_.params().nominal);
+}
+
+double
+RepeateredWire::delay(double length, double temp_k) const
+{
+    return optimize(length, temp_k).delay;
+}
+
+double
+RepeateredWire::speedup(double length, double temp_k) const
+{
+    return delay(length, 300.0) / delay(length, temp_k);
+}
+
+double
+RepeateredWire::delayWithFrozenLayout(double length, double design_temp_k,
+                                      double temp_k) const
+{
+    const RepeaterDesign d = optimize(length, design_temp_k);
+    return designDelay(length, d.segments, d.size, temp_k,
+                       mosfet_.params().nominal);
+}
+
+} // namespace cryo::tech

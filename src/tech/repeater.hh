@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Latency-optimal repeater insertion (Bakoglu methodology).
+ *
+ * A length-L wire is cut into k segments, each driven by a size-h
+ * inverter. Per-segment Elmore delay:
+ *
+ *   t_seg = 0.69 (R0/h) (c l + h (C0 + Cp)) + 0.38 r c l^2 + 0.69 r l h C0
+ *
+ * with l = L/k. For a given k the optimal h has a closed form; we scan
+ * integer k (including k = 1, i.e. no repeaters pays off for short
+ * wires) and keep the minimum. Re-optimizing at the target temperature
+ * models the paper's "latency-optimizing manner" insertion at both
+ * 300 K and 77 K; the resulting speed-up approaches
+ * sqrt(wire-R gain * device gain), which is why repeatered wires gain
+ * less than raw RC wires (Fig. 5(b) vs Fig. 5(a)).
+ */
+
+#ifndef CRYOWIRE_TECH_REPEATER_HH
+#define CRYOWIRE_TECH_REPEATER_HH
+
+#include "tech/mosfet.hh"
+#include "tech/wire_geometry.hh"
+
+namespace cryo::tech
+{
+
+/** Result of optimizing one repeatered wire. */
+struct RepeaterDesign
+{
+    int segments;       ///< number of wire segments (repeaters = k - 1)
+    double size;        ///< repeater size in unit-inverter multiples
+    double delay;       ///< end-to-end latency [s]
+    double segmentLen;  ///< length of one segment [m]
+};
+
+/**
+ * Repeatered-wire optimizer for one metal layer.
+ */
+class RepeateredWire
+{
+  public:
+    RepeateredWire(const WireSpec &spec, const Mosfet &mosfet);
+
+    /**
+     * Latency-optimal design for a @p length wire at (T, V).
+     * @param max_segments cap on k (arbitration of area; >= 1).
+     */
+    RepeaterDesign optimize(double length, double temp_k,
+                            const VoltagePoint &v,
+                            int max_segments = 256) const;
+
+    /** Optimal design at the nominal voltage. */
+    RepeaterDesign optimize(double length, double temp_k) const;
+
+    /** Optimal end-to-end delay [s]. */
+    double delay(double length, double temp_k) const;
+
+    /** delay(L, 300 K) / delay(L, T), both re-optimized. */
+    double speedup(double length, double temp_k) const;
+
+    /**
+     * Delay at temperature @p temp_k of a wire whose repeater layout
+     * (k, h) was fixed by optimizing at @p design_temp_k - models
+     * cooling existing silicon without redesign.
+     */
+    double delayWithFrozenLayout(double length, double design_temp_k,
+                                 double temp_k) const;
+
+  private:
+    /** Delay of a specific (k, h) design. */
+    double designDelay(double length, int k, double h, double temp_k,
+                       const VoltagePoint &v) const;
+
+    /** Closed-form optimal h for a given segment length. */
+    double optimalSize(double seg_len, double temp_k,
+                       const VoltagePoint &v) const;
+
+    const WireSpec &spec_;
+    const Mosfet &mosfet_;
+};
+
+} // namespace cryo::tech
+
+#endif // CRYOWIRE_TECH_REPEATER_HH

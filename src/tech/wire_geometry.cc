@@ -1,0 +1,44 @@
+#include "wire_geometry.hh"
+
+#include "util/log.hh"
+
+namespace cryo::tech
+{
+
+const char *
+wireLayerName(WireLayer layer)
+{
+    switch (layer) {
+      case WireLayer::Local:
+        return "local";
+      case WireLayer::SemiGlobal:
+        return "semi-global";
+      case WireLayer::Global:
+        return "global";
+    }
+    return "unknown";
+}
+
+WireSpec::WireSpec(WireLayer layer, double width, double thickness,
+                   double cap_per_m, Conductor conductor)
+    : layer_(layer), width_(width), thickness_(thickness),
+      capPerM_(cap_per_m), conductor_(conductor)
+{
+    fatalIf(width <= 0.0, "wire width must be positive");
+    fatalIf(thickness <= 0.0, "wire thickness must be positive");
+    fatalIf(cap_per_m <= 0.0, "wire capacitance must be positive");
+}
+
+double
+WireSpec::resistancePerM(double temp_k) const
+{
+    return conductor_.resistivity(temp_k) / (width_ * thickness_);
+}
+
+double
+WireSpec::resistanceRatio(double temp_k) const
+{
+    return conductor_.resistivityRatio(temp_k);
+}
+
+} // namespace cryo::tech

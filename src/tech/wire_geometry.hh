@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Metal-layer geometry and per-unit-length electrical parameters.
+ *
+ * Section 2.1 of the paper classifies wires into local (M1-M4-class,
+ * thinnest), semi-global (mid-stack, connects microarchitectural units),
+ * and global (top-stack, used by the NoC). Each layer gets a Conductor
+ * whose 300 K / 77 K resistivities are the measured Intel-45nm anchors
+ * the paper uses; capacitance per length is temperature-independent.
+ */
+
+#ifndef CRYOWIRE_TECH_WIRE_GEOMETRY_HH
+#define CRYOWIRE_TECH_WIRE_GEOMETRY_HH
+
+#include <string>
+
+#include "tech/material.hh"
+
+namespace cryo::tech
+{
+
+/** Wire classes from Fig. 1 of the paper. */
+enum class WireLayer
+{
+    Local,      ///< thinnest, adjacent-gate connections
+    SemiGlobal, ///< intra-core, inter-unit (e.g. forwarding wires)
+    Global      ///< inter-core, NoC links
+};
+
+/** Human-readable layer name. */
+const char *wireLayerName(WireLayer layer);
+
+/**
+ * Geometry and material of one metal layer.
+ *
+ * Resistance per length falls with temperature via the Conductor;
+ * capacitance per length (parallel-plate + fringe + coupling, lumped)
+ * is constant.
+ */
+class WireSpec
+{
+  public:
+    /**
+     * @param layer      wire class
+     * @param width      drawn width [m]
+     * @param thickness  metal thickness [m]
+     * @param cap_per_m  total capacitance per length [F/m]
+     * @param conductor  temperature-dependent resistivity
+     */
+    WireSpec(WireLayer layer, double width, double thickness,
+             double cap_per_m, Conductor conductor);
+
+    WireLayer layer() const { return layer_; }
+    double width() const { return width_; }
+    double thickness() const { return thickness_; }
+
+    /** Resistance per metre at @p temp_k [ohm/m]. */
+    double resistancePerM(double temp_k) const;
+
+    /** Capacitance per metre [F/m] (temperature-independent). */
+    double capPerM() const { return capPerM_; }
+
+    /** R(T)/R(300 K). */
+    double resistanceRatio(double temp_k) const;
+
+    const Conductor &conductor() const { return conductor_; }
+
+  private:
+    WireLayer layer_;
+    double width_;
+    double thickness_;
+    double capPerM_;
+    Conductor conductor_;
+};
+
+} // namespace cryo::tech
+
+#endif // CRYOWIRE_TECH_WIRE_GEOMETRY_HH

@@ -1,0 +1,47 @@
+#include "wire_rc.hh"
+
+#include "util/log.hh"
+
+namespace cryo::tech
+{
+
+WireRC::WireRC(const WireSpec &spec, const Mosfet &mosfet,
+               double driver_size, double load_size)
+    : spec_(spec), mosfet_(mosfet), driverSize_(driver_size),
+      loadSize_(load_size)
+{
+    fatalIf(driver_size <= 0.0, "driver size must be positive");
+    fatalIf(load_size <= 0.0, "load size must be positive");
+}
+
+double
+WireRC::delay(double length, double temp_k, const VoltagePoint &v) const
+{
+    fatalIf(length < 0.0, "wire length must be non-negative");
+    const double rd = mosfet_.driverResistance(temp_k, v, driverSize_);
+    const double cw = spec_.capPerM() * length;
+    const double rw = spec_.resistancePerM(temp_k) * length;
+    const double cl = mosfet_.gateCap(loadSize_);
+    const double cp = mosfet_.parasiticCap(driverSize_);
+    return 0.69 * rd * (cw + cl + cp) + 0.38 * rw * cw + 0.69 * rw * cl;
+}
+
+double
+WireRC::delay(double length, double temp_k) const
+{
+    return delay(length, temp_k, mosfet_.params().nominal);
+}
+
+double
+WireRC::speedup(double length, double temp_k) const
+{
+    return delay(length, 300.0) / delay(length, temp_k);
+}
+
+double
+WireRC::asymptoticSpeedup(double temp_k) const
+{
+    return 1.0 / spec_.resistanceRatio(temp_k);
+}
+
+} // namespace cryo::tech

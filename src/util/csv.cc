@@ -1,0 +1,52 @@
+#include "csv.hh"
+
+#include <sstream>
+
+#include "log.hh"
+
+namespace cryo
+{
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    fatalIf(!out_.is_open(), "cannot open CSV output file: " + path);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << cells[i];
+    }
+    out_ << '\n';
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            quoted += '"';
+        quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace cryo

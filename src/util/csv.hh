@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal CSV writer so every bench can dump plottable series.
+ */
+
+#ifndef CRYOWIRE_UTIL_CSV_HH
+#define CRYOWIRE_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cryo
+{
+
+/**
+ * Writes rows of strings/doubles to a .csv file, quoting as needed.
+ */
+class CsvWriter
+{
+  public:
+    /** Opens @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    void writeRow(const std::vector<std::string> &cells);
+    void writeRow(const std::vector<double> &cells);
+
+    /** Escape a cell per RFC 4180. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ofstream out_;
+};
+
+} // namespace cryo
+
+#endif // CRYOWIRE_UTIL_CSV_HH

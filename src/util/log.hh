@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit.
+ *
+ * fatal()  - the condition is the caller's fault (bad configuration,
+ *            out-of-range argument); throws cryo::FatalError so library
+ *            users can recover.
+ * panic()  - the condition indicates a bug inside CryoWire itself;
+ *            aborts after printing.
+ * warn()   - prints a diagnostic and continues.
+ */
+
+#ifndef CRYOWIRE_UTIL_LOG_HH
+#define CRYOWIRE_UTIL_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace cryo
+{
+
+/** Exception thrown by fatal(): a user-recoverable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Report a user error and throw FatalError. */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError("cryowire fatal: " + msg);
+}
+
+/** Report an internal bug and abort. */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "cryowire panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Print a non-fatal diagnostic to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "cryowire warn: %s\n", msg.c_str());
+}
+
+/** fatal() unless @p cond holds. */
+inline void
+fatalIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        fatal(msg);
+}
+
+} // namespace cryo
+
+#endif // CRYOWIRE_UTIL_LOG_HH

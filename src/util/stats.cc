@@ -1,0 +1,130 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "log.hh"
+
+namespace cryo
+{
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    if (count_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::size_t bins, double bin_width)
+    : bins_(bins, 0), binWidth_(bin_width)
+{
+    fatalIf(bins == 0, "histogram needs at least one bin");
+    fatalIf(bin_width <= 0.0, "histogram bin width must be positive");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < 0.0) {
+        ++bins_.front();
+        return;
+    }
+    const auto idx = static_cast<std::size_t>(x / binWidth_);
+    if (idx >= bins_.size()) {
+        ++overflow_;
+    } else {
+        ++bins_[idx];
+    }
+}
+
+double
+Histogram::percentile(double fraction) const
+{
+    if (total_ == 0)
+        return 0.0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        fraction * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        seen += bins_[i];
+        if (seen >= target)
+            return (static_cast<double>(i) + 0.5) * binWidth_;
+    }
+    // Everything at or beyond the last bin edge (overflow samples).
+    return static_cast<double>(bins_.size()) * binWidth_;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    fatalIf(values.empty(), "geometric mean of empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        fatalIf(v <= 0.0, "geometric mean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace cryo

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Streaming statistics used by the cycle-accurate simulators.
+ */
+
+#ifndef CRYOWIRE_UTIL_STATS_HH
+#define CRYOWIRE_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cryo
+{
+
+/**
+ * Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+    void merge(const RunningStats &other);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return count_ ? mean_ * count_ : 0.0; }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bin histogram for latency distributions.
+ */
+class Histogram
+{
+  public:
+    /** @param bins number of bins; @param bin_width value span per bin. */
+    Histogram(std::size_t bins, double bin_width);
+
+    void add(double x);
+    std::uint64_t total() const { return total_; }
+    const std::vector<std::uint64_t> &bins() const { return bins_; }
+    double binWidth() const { return binWidth_; }
+
+    /** Value below which @p fraction of samples fall (0 <= f <= 1). */
+    double percentile(double fraction) const;
+
+  private:
+    std::vector<std::uint64_t> bins_;
+    double binWidth_;
+    std::uint64_t total_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/** Geometric mean of a non-empty vector of positive values. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double arithmeticMean(const std::vector<double> &values);
+
+} // namespace cryo
+
+#endif // CRYOWIRE_UTIL_STATS_HH

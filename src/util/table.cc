@@ -1,0 +1,100 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "log.hh"
+
+namespace cryo
+{
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    fatalIf(header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fatalIf(cells.size() != header_.size(),
+            "row width does not match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.push_back({kRuleMarker});
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kRuleMarker)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            out << '+' << std::string(widths[c] + 2, '-');
+        }
+        out << "+\n";
+    };
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            out << "| " << cell
+                << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+
+    emit_rule();
+    emit_row(header_);
+    emit_rule();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kRuleMarker) {
+            emit_rule();
+        } else {
+            emit_row(row);
+        }
+    }
+    emit_rule();
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::mult(double value, int precision)
+{
+    return num(value, precision) + "x";
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+} // namespace cryo

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness.
+ *
+ * Every bench binary prints "paper vs measured" rows through this class
+ * so EXPERIMENTS.md snippets and terminal output share one format.
+ */
+
+#ifndef CRYOWIRE_UTIL_TABLE_HH
+#define CRYOWIRE_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace cryo
+{
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"workload", "paper", "measured"});
+ *   t.addRow({"streamcluster", "5.74", "5.61"});
+ *   t.print();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Horizontal separator row. */
+    void addRule();
+
+    /** Render to a string (used by tests). */
+    std::string str() const;
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision fractional digits. */
+    static std::string num(double value, int precision = 3);
+
+    /** Format as a multiplier, e.g. "3.82x". */
+    static std::string mult(double value, int precision = 2);
+
+    /** Format as a percentage, e.g. "45.6%". */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    static constexpr const char *kRuleMarker = "\x01rule";
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cryo
+
+#endif // CRYOWIRE_UTIL_TABLE_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Physical units and constants used throughout CryoWire.
+ *
+ * All quantities in the library are carried in SI base units (metres,
+ * seconds, ohms, farads, kelvin, watts). The constants below make call
+ * sites read like the paper ("900 * units::um", "77 * units::kelvin").
+ */
+
+#ifndef CRYOWIRE_UTIL_UNITS_HH
+#define CRYOWIRE_UTIL_UNITS_HH
+
+namespace cryo::units
+{
+
+// Length
+constexpr double m = 1.0;
+constexpr double mm = 1e-3;
+constexpr double um = 1e-6;
+constexpr double nm = 1e-9;
+
+// Time
+constexpr double s = 1.0;
+constexpr double ms = 1e-3;
+constexpr double us = 1e-6;
+constexpr double ns = 1e-9;
+constexpr double ps = 1e-12;
+
+// Frequency
+constexpr double Hz = 1.0;
+constexpr double kHz = 1e3;
+constexpr double MHz = 1e6;
+constexpr double GHz = 1e9;
+
+// Electrical
+constexpr double ohm = 1.0;
+constexpr double kohm = 1e3;
+constexpr double farad = 1.0;
+constexpr double fF = 1e-15;
+constexpr double pF = 1e-12;
+constexpr double volt = 1.0;
+constexpr double mV = 1e-3;
+constexpr double ampere = 1.0;
+constexpr double mA = 1e-3;
+constexpr double uA = 1e-6;
+constexpr double nA = 1e-9;
+
+// Power / energy
+constexpr double watt = 1.0;
+constexpr double mW = 1e-3;
+constexpr double uW = 1e-6;
+constexpr double joule = 1.0;
+constexpr double pJ = 1e-12;
+
+// Temperature
+constexpr double kelvin = 1.0;
+
+} // namespace cryo::units
+
+namespace cryo::constants
+{
+
+/** Boltzmann constant [J/K]. */
+constexpr double kBoltzmann = 1.380649e-23;
+
+/** Elementary charge [C]. */
+constexpr double qElectron = 1.602176634e-19;
+
+/** Thermal voltage kT/q at temperature @p temp_k [V]. */
+constexpr double
+thermalVoltage(double temp_k)
+{
+    return kBoltzmann * temp_k / qElectron;
+}
+
+/** Room temperature reference used throughout the paper [K]. */
+constexpr double roomTempK = 300.0;
+
+/** Liquid-nitrogen temperature, the paper's operating point [K]. */
+constexpr double ln2TempK = 77.0;
+
+/** Temperature of the paper's validation experiments [K]. */
+constexpr double validationTempK = 135.0;
+
+} // namespace cryo::constants
+
+#endif // CRYOWIRE_UTIL_UNITS_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for the Table-1 floorplan model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pipeline/floorplan.hh"
+#include "util/log.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace cryo::pipeline;
+using namespace cryo::units;
+using cryo::FatalError;
+
+TEST(Floorplan, Table1Geometry)
+{
+    const Floorplan fp = Floorplan::skylakeLike();
+    // Table 1: ALU 25757 um^2 at 345 um width -> 74.callout um tall;
+    // register file 376820 um^2 -> 1092 um tall.
+    EXPECT_NEAR(fp.alu().area, 25757 * um * um, 1e-15);
+    EXPECT_NEAR(fp.alu().height(), 74.66 * um, 0.5 * um);
+    EXPECT_NEAR(fp.regfile().height(), 1092.2 * um, 1.0 * um);
+    EXPECT_EQ(fp.aluCount(), 8);
+}
+
+TEST(Floorplan, ForwardingWireMatchesTable1)
+{
+    // Table 1: the forwarding wire over 8 ALUs + regfile is 1686 um.
+    const Floorplan fp = Floorplan::skylakeLike();
+    EXPECT_NEAR(fp.forwardingWireLength(), 1686 * um, 6 * um);
+}
+
+TEST(Floorplan, WritebackShorterThanForwarding)
+{
+    const Floorplan fp = Floorplan::skylakeLike();
+    EXPECT_LT(fp.writebackWireLength(), fp.forwardingWireLength());
+    EXPECT_GT(fp.writebackWireLength(),
+              fp.aluCount() * fp.alu().height());
+}
+
+TEST(Floorplan, ScalingShrinksWires)
+{
+    const Floorplan fp = Floorplan::skylakeLike();
+    const Floorplan half = fp.scaled(0.5);
+    // Area halves, so linear dimensions shrink by sqrt(2).
+    EXPECT_NEAR(half.forwardingWireLength(),
+                fp.forwardingWireLength() / std::sqrt(2.0),
+                1e-9);
+    EXPECT_NEAR(half.alu().area, fp.alu().area * 0.5, 1e-18);
+}
+
+TEST(Floorplan, ScaleIdentity)
+{
+    const Floorplan fp = Floorplan::skylakeLike();
+    const Floorplan same = fp.scaled(1.0);
+    EXPECT_DOUBLE_EQ(same.forwardingWireLength(),
+                     fp.forwardingWireLength());
+}
+
+TEST(Floorplan, RejectsBadInputs)
+{
+    UnitGeometry alu{"ALU", 1e-9, 1e-4};
+    UnitGeometry rf{"RF", 1e-8, 1e-4};
+    EXPECT_THROW((Floorplan{alu, rf, 0}), FatalError);
+    UnitGeometry bad{"bad", -1.0, 1e-4};
+    EXPECT_THROW((Floorplan{bad, rf, 4}), FatalError);
+    const Floorplan fp = Floorplan::skylakeLike();
+    EXPECT_THROW(fp.scaled(0.0), FatalError);
+}
+
+TEST(Floorplan, MoreAlusLongerWire)
+{
+    UnitGeometry alu{"ALU", 25757e-12, 345e-6};
+    UnitGeometry rf{"RF", 376820e-12, 345e-6};
+    const Floorplan four{alu, rf, 4};
+    const Floorplan eight{alu, rf, 8};
+    EXPECT_LT(four.forwardingWireLength(),
+              eight.forwardingWireLength());
+}
+
+} // namespace

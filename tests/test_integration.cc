@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Cross-module integration tests: the cycle-accurate simulators
+ * against the analytic models, and the end-to-end paper claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cryowire.hh"
+#include "pipeline/stage_library.hh"
+
+namespace
+{
+
+using namespace cryo;
+using namespace cryo::netsim;
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    tech::Technology techno = tech::Technology::freePdk45();
+    noc::NocDesigner designer{techno};
+};
+
+/**
+ * The netsim's measured bus saturation matches the interval
+ * simulator's analytic rate for every bus design - the two layers must
+ * agree or Fig. 18/24 would contradict each other.
+ */
+class BusSaturationCrossCheck
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BusSaturationCrossCheck, NetsimMatchesAnalytic)
+{
+    tech::Technology techno = tech::Technology::freePdk45();
+    noc::NocDesigner designer{techno};
+    const std::string which = GetParam();
+    const noc::NocConfig cfg = which == "cryobus" ? designer.cryoBus()
+        : which == "bus77" ? designer.sharedBus77()
+        : which == "htree300" ? designer.hTreeBus300()
+        : designer.sharedBus300();
+
+    const double analytic =
+        sys::IntervalSimulator::saturationTxRate(cfg, 1);
+
+    const BusTiming timing = BusTiming::fromConfig(cfg, 1);
+    MeasureOpts fast;
+    fast.warmupCycles = 1500;
+    fast.measureCycles = 5000;
+    TrafficSpec tr;
+    const double measured = saturationRate(
+        [timing, &cfg]() -> std::unique_ptr<Network> {
+            return std::make_unique<BusNetwork>(cfg.topology().cores(),
+                                                timing);
+        },
+        tr, 4.0 * analytic, analytic * 0.1, fast);
+    EXPECT_NEAR(measured, analytic, 0.25 * analytic) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(Buses, BusSaturationCrossCheck,
+                         ::testing::Values("cryobus", "bus77",
+                                           "htree300", "bus300"));
+
+/**
+ * Zero-load netsim latency equals the analytic Fig.-20 breakdown for
+ * every bus design.
+ */
+class BusZeroLoadCrossCheck
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BusZeroLoadCrossCheck, NetsimMatchesBreakdown)
+{
+    tech::Technology techno = tech::Technology::freePdk45();
+    noc::NocDesigner designer{techno};
+    const std::string which = GetParam();
+    const noc::NocConfig cfg = which == "cryobus" ? designer.cryoBus()
+        : which == "bus77" ? designer.sharedBus77()
+        : which == "htree300" ? designer.hTreeBus300()
+        : designer.sharedBus300();
+
+    const BusTiming timing = BusTiming::fromConfig(cfg, 1);
+    MeasureOpts fast;
+    fast.warmupCycles = 500;
+    fast.measureCycles = 8000;
+    TrafficSpec tr;
+    const double zl = zeroLoadLatency(
+        [timing, &cfg]() -> std::unique_ptr<Network> {
+            return std::make_unique<BusNetwork>(cfg.topology().cores(),
+                                                timing);
+        },
+        tr, fast);
+    EXPECT_NEAR(zl, cfg.busBreakdown().total(), 0.6) << which;
+}
+
+INSTANTIATE_TEST_SUITE_P(Buses, BusZeroLoadCrossCheck,
+                         ::testing::Values("cryobus", "bus77",
+                                           "htree300", "bus300"));
+
+TEST_F(IntegrationTest, Fig21CryoBusLowestLatencyAmongNocs)
+{
+    // Fig. 21/25's zero-load story: CryoBus has the lowest latency of
+    // every 77 K design in physical time.
+    const double cb =
+        designer.cryoBus().busBreakdown().total()
+        / designer.cryoBus().clockFreq();
+    for (const auto &cfg :
+         {designer.mesh(77.0, 1), designer.mesh(77.0, 3),
+          designer.cmesh(77.0, 3), designer.flattenedButterfly(77.0, 3)}) {
+        EXPECT_LT(cb, cfg.unicastLatency(1) +
+                      cfg.unicastLatency(5))
+            << cfg.name();
+    }
+}
+
+TEST_F(IntegrationTest, Fig26HybridScalesTo256)
+{
+    // The hybrid's zero-load latency sits well under four bus
+    // serializations, and it sustains more than one cluster's
+    // bandwidth.
+    HybridConfig hc;
+    hc.busTiming = BusTiming::fromConfig(designer.cryoBus(), 1);
+    MeasureOpts fast;
+    fast.warmupCycles = 1000;
+    fast.measureCycles = 4000;
+    TrafficSpec tr;
+    auto factory = [hc]() -> std::unique_ptr<Network> {
+        return std::make_unique<HybridNetwork>(hc);
+    };
+    const double zl = zeroLoadLatency(factory, tr, fast);
+    EXPECT_LT(zl, 20.0);
+    const double sat = saturationRate(factory, tr, 0.05, 0.001, fast);
+    // Better than one global bus for 256 nodes (1/256 = 0.0039).
+    EXPECT_GT(sat, 1.1 / 256.0);
+}
+
+TEST_F(IntegrationTest, Fig9ValidationBand)
+{
+    // Pipeline model at the 135 K validation point: the paper's model
+    // predicts +15.0% vs +12.1% measured; ours must sit in that band.
+    pipeline::CriticalPathModel model{techno,
+                                      pipeline::Floorplan::skylakeLike()};
+    const auto stages = pipeline::boomSkylakeStages();
+    const double pipeline_speedup = model.frequency(stages, 135.0)
+        / model.frequency(stages, 300.0);
+    EXPECT_GT(pipeline_speedup, 1.09);
+    EXPECT_LT(pipeline_speedup, 1.18);
+
+    // Router model at 135 K: a few percent, within the paper's 2.8%
+    // error of the uncore measurements.
+    noc::RouterModel rm{techno, noc::RouterSpec{}, 4.0e9,
+                        noc::NocDesigner::kV300};
+    EXPECT_GT(rm.speedup(135.0), 1.04);
+    EXPECT_LT(rm.speedup(135.0), 1.10);
+}
+
+TEST_F(IntegrationTest, EndToEndHeadlineClaim)
+{
+    // Abstract: "3.82x higher system-level performance ... thanks to
+    // the 96% higher clock frequency of CryoSP and five times lower
+    // NoC latency of CryoBus."
+    core::SystemBuilder builder{techno};
+    sys::IntervalSimulator sim;
+
+    // ~96% clock gain (model: within 8 points).
+    const double clock_gain = builder.cores().cryoSP().frequency
+        / builder.cores().baseline300().frequency;
+    EXPECT_NEAR(clock_gain, 1.96, 0.08);
+
+    // ~5x lower NoC latency than the 300 K mesh.
+    mem::MemorySystem mesh300{mem::MemTiming::at300(),
+                              builder.nocs().mesh300()};
+    const auto cryobus_cfg = builder.nocs().cryoBus();
+    mem::MemorySystem cryob{mem::MemTiming::at77(), cryobus_cfg};
+    const double noc_gain = mesh300.nocTransactionLatency()
+        / cryob.nocTransactionLatency();
+    EXPECT_GT(noc_gain, 3.5);
+    EXPECT_LT(noc_gain, 7.0);
+
+    // 3.82x end-to-end.
+    const double speedup = sim.meanSpeedup(builder.cryoSpCryoBus77(),
+                                           builder.baseline300Mesh(),
+                                           sys::parsec21());
+    EXPECT_NEAR(speedup, 3.82, 0.45);
+}
+
+TEST_F(IntegrationTest, PowerStoryHoldsEndToEnd)
+{
+    // The full cryogenic system must not exceed the 300 K baseline's
+    // total power budget: core at ~baseline (Table 3) and NoC well
+    // below the 300 K mesh (Fig. 22).
+    core::SystemBuilder builder{techno};
+    power::McpatLite mcpat{techno, /*iso_activity=*/true};
+    const auto core_power = mcpat.corePower(
+        builder.cores().cryoSP(), builder.cores().baseline300());
+    EXPECT_LT(core_power.total(), 1.1);
+
+    power::OrionLite orion{techno};
+    EXPECT_LT(orion.power(designer.cryoBus()).total(),
+              orion.power(designer.mesh300()).total());
+}
+
+TEST_F(IntegrationTest, GuidelineOneEndToEnd)
+{
+    // Guideline #1 as measured by the cycle simulator: cooling the
+    // mesh barely improves its latency, cooling the bus transforms it.
+    MeasureOpts fast;
+    fast.warmupCycles = 800;
+    fast.measureCycles = 4000;
+    TrafficSpec tr;
+
+    auto zl_router = [&](const noc::NocConfig &cfg) {
+        return zeroLoadLatency(
+                   [cfg]() -> std::unique_ptr<Network> {
+                       return std::make_unique<RouterNetwork>(
+                           RouterNetConfig::fromConfig(cfg));
+                   },
+                   tr, fast)
+            / cfg.clockFreq();
+    };
+    auto zl_bus = [&](const noc::NocConfig &cfg) {
+        const BusTiming t = BusTiming::fromConfig(cfg, 1);
+        return zeroLoadLatency(
+                   [t]() -> std::unique_ptr<Network> {
+                       return std::make_unique<BusNetwork>(64, t);
+                   },
+                   tr, fast)
+            / cfg.clockFreq();
+    };
+
+    const double mesh_gain =
+        zl_router(designer.mesh300()) / zl_router(designer.mesh77());
+    const double bus_gain =
+        zl_bus(designer.sharedBus300()) / zl_bus(designer.sharedBus77());
+    EXPECT_LT(mesh_gain, 2.0);
+    EXPECT_GT(bus_gain, 1.9);
+    EXPECT_GT(bus_gain, mesh_gain);
+}
+
+} // namespace

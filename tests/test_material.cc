@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the Bloch-Grüneisen conductor model (cryo-wire physics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/material.hh"
+#include "util/log.hh"
+
+namespace
+{
+
+using namespace cryo;
+using namespace cryo::tech;
+
+TEST(BlochGruneisen, IntegralBasics)
+{
+    EXPECT_DOUBLE_EQ(BlochGruneisen::integralJ5(0.0), 0.0);
+    // Small-x limit: J5(x) -> x^4 / 4.
+    const double x = 0.01;
+    EXPECT_NEAR(BlochGruneisen::integralJ5(x), x * x * x * x / 4.0,
+                1e-11);
+    // Large-x limit: J5(inf) = 124.43.
+    EXPECT_NEAR(BlochGruneisen::integralJ5(50.0), 124.43, 0.1);
+}
+
+TEST(BlochGruneisen, IntegralMonotone)
+{
+    double prev = 0.0;
+    for (double x = 0.5; x < 20.0; x += 0.5) {
+        const double v = BlochGruneisen::integralJ5(x);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(BlochGruneisen, NormalizedAt300)
+{
+    BlochGruneisen bg(343.0);
+    EXPECT_NEAR(bg.phononFactor(300.0), 1.0, 1e-12);
+}
+
+TEST(BlochGruneisen, KnownCopperRatio)
+{
+    // Bulk copper: rho_ph(77)/rho_ph(300) is ~0.11-0.13.
+    BlochGruneisen bg(343.0);
+    const double f77 = bg.phononFactor(77.0);
+    EXPECT_GT(f77, 0.09);
+    EXPECT_LT(f77, 0.13);
+}
+
+TEST(BlochGruneisen, MonotoneInTemperature)
+{
+    BlochGruneisen bg(343.0);
+    double prev = 0.0;
+    for (double t = 20.0; t <= 400.0; t += 20.0) {
+        const double f = bg.phononFactor(t);
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(BlochGruneisen, LowTemperatureCollapse)
+{
+    // Phonon resistivity dies as ~T^5 at low temperature.
+    BlochGruneisen bg(343.0);
+    EXPECT_LT(bg.phononFactor(10.0), 1e-4);
+}
+
+TEST(Conductor, ReproducesAnchors)
+{
+    Conductor c(2.8e-8, 0.759e-8, 343.0);
+    EXPECT_NEAR(c.resistivity(300.0), 2.8e-8, 1e-12);
+    EXPECT_NEAR(c.resistivity(77.0), 0.759e-8, 1e-12);
+}
+
+TEST(Conductor, ResidualIsPositiveAndConstant)
+{
+    Conductor c(2.8e-8, 0.759e-8, 343.0);
+    EXPECT_GT(c.residualResistivity(), 0.0);
+    // At very low T only the residual remains.
+    EXPECT_NEAR(c.resistivity(4.0), c.residualResistivity(),
+                0.01 * c.residualResistivity());
+}
+
+TEST(Conductor, RatioMonotone)
+{
+    Conductor c(4.0e-8, 1.356e-8, 343.0);
+    double prev = 0.0;
+    for (double t = 20.0; t <= 300.0; t += 10.0) {
+        const double r = c.resistivityRatio(t);
+        EXPECT_GT(r, prev);
+        EXPECT_LE(r, 1.0 + 1e-12);
+        prev = r;
+    }
+}
+
+TEST(Conductor, RejectsNonMetallicAnchors)
+{
+    EXPECT_THROW(Conductor(1e-8, 2e-8), FatalError);  // rises on cooling
+    EXPECT_THROW(Conductor(-1e-8, 1e-9), FatalError); // negative
+    // 77 K value below the pure-phonon limit implies negative residual.
+    EXPECT_THROW(Conductor(2.0e-8, 0.05e-8, 343.0), FatalError);
+}
+
+/** Parameterized: Matthiessen decomposition holds at every T. */
+class ConductorSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ConductorSweep, MatthiessenAdditivity)
+{
+    const double t = GetParam();
+    Conductor c(2.8e-8, 0.759e-8, 343.0);
+    BlochGruneisen bg(343.0);
+    const double expected = c.residualResistivity()
+        + c.phononResistivity300() * bg.phononFactor(t);
+    EXPECT_NEAR(c.resistivity(t), expected, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Temperatures, ConductorSweep,
+                         ::testing::Values(20.0, 50.0, 77.0, 100.0, 135.0,
+                                           200.0, 250.0, 300.0));
+
+} // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the Table-4 memory model and the Fig.-16 L3 latency
+ * composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace cryo::mem;
+using namespace cryo::units;
+using cryo::tech::Technology;
+
+TEST(MemTiming, Table4Values300K)
+{
+    const auto t = MemTiming::at300();
+    EXPECT_NEAR(t.l1, 1.0 * ns, 1e-15);   // 4 cyc @ 4 GHz
+    EXPECT_NEAR(t.l2, 3.0 * ns, 1e-15);   // 12 cyc
+    EXPECT_NEAR(t.l3, 5.0 * ns, 1e-15);   // 20 cyc
+    EXPECT_NEAR(t.dram, 60.32 * ns, 1e-12);
+}
+
+TEST(MemTiming, CryoMemoryRatios)
+{
+    // 77 K memory: twice-faster caches, 3.8x faster DRAM (Sec 6.1.1).
+    const auto hot = MemTiming::at300();
+    const auto cold = MemTiming::at77();
+    EXPECT_NEAR(hot.l1 / cold.l1, 2.0, 1e-9);
+    EXPECT_NEAR(hot.l2 / cold.l2, 2.0, 1e-9);
+    EXPECT_NEAR(hot.l3 / cold.l3, 2.0, 1e-9);
+    EXPECT_NEAR(hot.dram / cold.dram, 3.8, 0.02);
+}
+
+TEST(MemTiming, InterpolationEndpointsAndMidpoint)
+{
+    EXPECT_DOUBLE_EQ(MemTiming::atTemperature(300.0).l3,
+                     MemTiming::at300().l3);
+    EXPECT_DOUBLE_EQ(MemTiming::atTemperature(77.0).dram,
+                     MemTiming::at77().dram);
+    const auto mid = MemTiming::atTemperature(188.5);
+    EXPECT_GT(mid.dram, MemTiming::at77().dram);
+    EXPECT_LT(mid.dram, MemTiming::at300().dram);
+}
+
+class MemorySystemTest : public ::testing::Test
+{
+  protected:
+    Technology tech = Technology::freePdk45();
+    cryo::noc::NocDesigner designer{tech};
+};
+
+TEST_F(MemorySystemTest, MissAddsDramAndControllerLeg)
+{
+    const auto noc = designer.mesh300();
+    MemorySystem ms{MemTiming::at300(), noc};
+    const auto hit = ms.l3Hit();
+    const auto miss = ms.l3Miss();
+    // The miss pays a second interconnect traversal to the memory
+    // controller plus the DRAM access.
+    EXPECT_DOUBLE_EQ(miss.noc, 2.0 * hit.noc);
+    EXPECT_DOUBLE_EQ(miss.cache, hit.cache);
+    EXPECT_DOUBLE_EQ(miss.dram, MemTiming::at300().dram);
+    EXPECT_DOUBLE_EQ(hit.dram, 0.0);
+}
+
+TEST_F(MemorySystemTest, Fig16MeshDominatedByNocAt77K)
+{
+    // Fig. 16: with 77 K memory, the mesh interconnect dominates the
+    // L3 hit latency (the paper reports 71.7%; ours lands >55%).
+    const auto noc77 = designer.mesh77();
+    MemorySystem ms{MemTiming::at77(), noc77};
+    EXPECT_GT(ms.l3Hit().nocShare(), 0.55);
+    // And takes a large share of the miss too (paper: 40.4%).
+    EXPECT_GT(ms.l3Miss().nocShare(), 0.25);
+}
+
+TEST_F(MemorySystemTest, Fig16BusNearZeroNocLine)
+{
+    // The 77 K buses approach the zero-NoC-latency ideal.
+    MemorySystem bus{MemTiming::at77(), designer.sharedBus77()};
+    MemorySystem cryob{MemTiming::at77(), designer.cryoBus()};
+    MemorySystem mesh{MemTiming::at77(), designer.mesh77()};
+    EXPECT_LT(bus.l3Hit().total(), mesh.l3Hit().total());
+    EXPECT_LT(cryob.l3Hit().total(), bus.l3Hit().total());
+    // CryoBus hit within 65% of the pure-array latency.
+    EXPECT_LT(cryob.l3Hit().total(), 1.65 * MemTiming::at77().l3);
+}
+
+TEST_F(MemorySystemTest, Fig16CoolingShrinksEverything)
+{
+    MemorySystem hot{MemTiming::at300(), designer.mesh300()};
+    MemorySystem cold{MemTiming::at77(), designer.mesh77()};
+    EXPECT_LT(cold.l3Hit().total(), hot.l3Hit().total());
+    EXPECT_LT(cold.l3Miss().total(), hot.l3Miss().total());
+    // But the mesh's NoC *share* grows - the Guideline-#1 observation.
+    EXPECT_GT(cold.l3Hit().nocShare(), hot.l3Hit().nocShare());
+}
+
+TEST_F(MemorySystemTest, BusesComparableAt300K)
+{
+    // "At 300K, the L3 latencies of Shared bus are comparable to the
+    // router-based NoCs" (Sec 5.1).
+    MemorySystem mesh{MemTiming::at300(), designer.mesh300()};
+    MemorySystem bus{MemTiming::at300(), designer.sharedBus300()};
+    const double ratio = bus.l3Hit().total() / mesh.l3Hit().total();
+    EXPECT_GT(ratio, 0.7);
+    EXPECT_LT(ratio, 1.4);
+}
+
+TEST_F(MemorySystemTest, TransactionLatencyPositive)
+{
+    for (const auto &cfg :
+         {designer.mesh300(), designer.mesh77(), designer.cryoBus(),
+          designer.sharedBus300(), designer.hTreeBus300()}) {
+        MemorySystem ms{MemTiming::at300(), cfg};
+        EXPECT_GT(ms.nocTransactionLatency(), 0.0) << cfg.name();
+    }
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the router model, wire-link model, and the bound NoC
+ * design points - the Fig. 16/20 and Table-4 numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/noc_config.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace cryo::noc;
+using namespace cryo::units;
+using cryo::tech::Technology;
+
+class NocTest : public ::testing::Test
+{
+  protected:
+    Technology tech = Technology::freePdk45();
+    NocDesigner designer{tech};
+};
+
+TEST_F(NocTest, RouterSpeedupIsMarginal)
+{
+    // Guideline #1's root cause: +9.3% router frequency at 77 K.
+    RouterModel rm{tech, RouterSpec{}, 4 * GHz, NocDesigner::kV300};
+    EXPECT_NEAR(rm.speedup(77.0), 1.093, 0.012);
+    EXPECT_NEAR(rm.speedup(300.0), 1.0, 1e-9);
+}
+
+TEST_F(NocTest, Mesh77FrequencyNearTable4)
+{
+    // Table 4: 5.44 GHz for the voltage-optimized 77 K mesh router.
+    const auto cfg = designer.mesh77();
+    EXPECT_NEAR(cfg.clockFreq(), 5.44 * GHz, 0.06 * 5.44 * GHz);
+    EXPECT_DOUBLE_EQ(cfg.voltage().vdd, 0.55);
+    EXPECT_DOUBLE_EQ(cfg.voltage().vth, 0.225);
+}
+
+TEST_F(NocTest, WireLinkHopsPerCycleAnchors)
+{
+    // CACTI-NUCA anchors: 4 hops per 4 GHz cycle at 300 K, 12 at 77 K
+    // (nominal NoC voltage).
+    const auto &link = designer.wireLink();
+    EXPECT_EQ(link.hopsPerCycle(4 * GHz, 300.0, NocDesigner::kV300), 4);
+    EXPECT_EQ(link.hopsPerCycle(4 * GHz, 77.0, NocDesigner::kV300), 12);
+    EXPECT_NEAR(link.hopDelay(300.0), 0.064 * ns, 0.002 * ns);
+}
+
+TEST_F(NocTest, WireLinkTraversal)
+{
+    const auto &link = designer.wireLink();
+    EXPECT_EQ(link.traversalCycles(0, 4 * GHz, 300.0,
+                                   NocDesigner::kV300), 0);
+    EXPECT_EQ(link.traversalCycles(30, 4 * GHz, 300.0,
+                                   NocDesigner::kV300), 8);
+    EXPECT_EQ(link.traversalCycles(12, 4 * GHz, 300.0,
+                                   NocDesigner::kV300), 3);
+}
+
+TEST_F(NocTest, WireLinkSpeedupNearFig10)
+{
+    EXPECT_NEAR(designer.wireLink().speedup(77.0), 3.0, 0.45);
+}
+
+TEST_F(NocTest, Fig20BusBreakdowns)
+{
+    // 300 K shared bus: 8-cycle broadcast (30 hops at 4 hops/cycle).
+    const auto b300 = designer.sharedBus300().busBreakdown();
+    EXPECT_EQ(b300.broadcast, 8);
+    EXPECT_EQ(b300.control, 0);
+
+    // 77 K cooling alone leaves a multi-cycle broadcast...
+    const auto b77 = designer.sharedBus77().busBreakdown();
+    EXPECT_GT(b77.broadcast, 1);
+    EXPECT_LE(b77.broadcast, 3);
+
+    // ...and topology alone (300 K H-tree) does too...
+    const auto ht300 = designer.hTreeBus300().busBreakdown();
+    EXPECT_EQ(ht300.broadcast, 3);
+    EXPECT_EQ(ht300.control, 1);
+
+    // ...only CryoBus reaches the 1-cycle broadcast (Section 5.2.3).
+    const auto cb = designer.cryoBus().busBreakdown();
+    EXPECT_EQ(cb.broadcast, 1);
+    EXPECT_EQ(cb.control, 1);
+    EXPECT_EQ(cb.request, 1);
+    EXPECT_EQ(cb.grant, 1);
+    EXPECT_EQ(cb.arbitration, 1);
+}
+
+TEST_F(NocTest, BusOccupancyOrdering)
+{
+    // Occupancy (the bandwidth limiter) improves monotonically along
+    // the paper's design path.
+    const int occ300 = designer.sharedBus300().busOccupancyCycles(1);
+    const int occ77 = designer.sharedBus77().busOccupancyCycles(1);
+    const int occ_ht = designer.hTreeBus300().busOccupancyCycles(1);
+    const int occ_cb = designer.cryoBus().busOccupancyCycles(1);
+    EXPECT_EQ(occ300, 8);
+    EXPECT_LT(occ77, occ300);
+    EXPECT_LT(occ_ht, occ300);
+    EXPECT_EQ(occ_cb, 1);
+    EXPECT_LT(occ_cb, occ77);
+    EXPECT_LT(occ_cb, occ_ht);
+}
+
+TEST_F(NocTest, SerializationAddsOccupancy)
+{
+    const auto cb = designer.cryoBus();
+    EXPECT_EQ(cb.busOccupancyCycles(5), cb.busOccupancyCycles(1) + 4);
+}
+
+TEST_F(NocTest, ProtocolAssignments)
+{
+    EXPECT_EQ(designer.mesh300().protocol(), Protocol::DirectoryBased);
+    EXPECT_EQ(designer.mesh77().protocol(), Protocol::DirectoryBased);
+    EXPECT_EQ(designer.cryoBus().protocol(), Protocol::SnoopBased);
+    EXPECT_EQ(designer.sharedBus77().protocol(), Protocol::SnoopBased);
+}
+
+TEST_F(NocTest, UnicastLatencyOrdering77K)
+{
+    // At 77 K: FB < CMesh < Mesh for router NoCs (fewer hops), and
+    // CryoBus beats them all at zero load.
+    const double mesh = designer.mesh77().unicastLatency(1);
+    const double cmesh = designer.cmesh(77.0, 1).unicastLatency(1);
+    const double fb =
+        designer.flattenedButterfly(77.0, 1).unicastLatency(1);
+    const double cb = designer.cryoBus().unicastLatency(1);
+    EXPECT_LT(fb, cmesh);
+    EXPECT_LT(cmesh, mesh);
+    EXPECT_LT(cb, mesh);
+}
+
+TEST_F(NocTest, ThreeCycleRoutersSlower)
+{
+    EXPECT_GT(designer.cmesh(77.0, 3).unicastLatency(1),
+              designer.cmesh(77.0, 1).unicastLatency(1));
+}
+
+TEST_F(NocTest, MaxLatencyBoundsAverage)
+{
+    for (const auto &cfg :
+         {designer.mesh300(), designer.mesh77(), designer.cryoBus(),
+          designer.flattenedButterfly(77.0, 3)}) {
+        EXPECT_GE(cfg.maxUnicastLatency(5), cfg.unicastLatency(5))
+            << cfg.name();
+        EXPECT_GT(cfg.unicastLatency(5), cfg.unicastLatency(1))
+            << cfg.name();
+    }
+}
+
+TEST_F(NocTest, RouterNocsBarelyImproveAt77K)
+{
+    // Guideline #1: mesh latency shrinks far less than the bus's.
+    const double mesh_gain = designer.mesh300().unicastLatency(1)
+        / designer.mesh77().unicastLatency(1);
+    const double bus_gain = designer.sharedBus300().unicastLatency(1)
+        / designer.sharedBus77().unicastLatency(1);
+    EXPECT_GT(bus_gain, mesh_gain);
+    EXPECT_GT(bus_gain, 2.0);
+    EXPECT_LT(mesh_gain, 1.8);
+}
+
+TEST_F(NocTest, VoltageInterpolationEndpoints)
+{
+    const auto cold = designer.cryoBusAt(77.0);
+    const auto hot = designer.cryoBusAt(300.0);
+    EXPECT_DOUBLE_EQ(cold.voltage().vdd, NocDesigner::kV77.vdd);
+    EXPECT_DOUBLE_EQ(hot.voltage().vdd, NocDesigner::kV300.vdd);
+    // Mid-range temperature sits between.
+    const auto mid = designer.cryoBusAt(180.0);
+    EXPECT_GT(mid.voltage().vdd, cold.voltage().vdd);
+    EXPECT_LT(mid.voltage().vdd, hot.voltage().vdd);
+}
+
+TEST_F(NocTest, CryoBusBroadcastDegradesGracefullyWithT)
+{
+    int prev = 1;
+    for (double t : {77.0, 125.0, 200.0, 300.0}) {
+        const int bc = designer.cryoBusAt(t).busBreakdown().broadcast;
+        EXPECT_GE(bc, prev);
+        prev = bc;
+    }
+    EXPECT_EQ(designer.cryoBusAt(77.0).busBreakdown().broadcast, 1);
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the stage library and the critical-path model: the Fig. 2
+ * and Fig. 12/13 properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pipeline/critical_path.hh"
+#include "pipeline/stage_library.hh"
+#include "tech/technology.hh"
+
+namespace
+{
+
+using namespace cryo::pipeline;
+using cryo::tech::Technology;
+
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    Technology tech = Technology::freePdk45();
+    Floorplan fp = Floorplan::skylakeLike();
+    CriticalPathModel model{tech, fp};
+    StageList stages = boomSkylakeStages();
+};
+
+TEST_F(PipelineTest, ThirteenRepresentativeStages)
+{
+    EXPECT_EQ(stages.size(), 13u);
+    EXPECT_EQ(frontendStageCount(stages), 5);
+}
+
+TEST_F(PipelineTest, NormalizedToExecuteBypass)
+{
+    // Fig. 12's normalization: the 300 K max is execute bypass at 1.0.
+    double max_delay = 0.0;
+    for (const auto &s : stages)
+        max_delay = std::max(max_delay, s.delay300);
+    EXPECT_DOUBLE_EQ(max_delay, 1.0);
+    EXPECT_EQ(model.criticalStage(stages, 300.0,
+                                  tech.mosfet().params().nominal),
+              "execute bypass");
+}
+
+TEST_F(PipelineTest, Fig12WireFractions)
+{
+    // Frontend ~19% wire, backend ~45% on average (300K Obs. #1).
+    EXPECT_NEAR(averageWireFraction(stages, StageKind::Frontend), 0.19,
+                0.02);
+    EXPECT_NEAR(averageWireFraction(stages, StageKind::Backend), 0.45,
+                0.04);
+}
+
+TEST_F(PipelineTest, Fig2ForwardingStagesWirePortion)
+{
+    // The three forwarding stages average 57.6% wire at 300 K.
+    double sum = 0.0;
+    int n = 0;
+    for (const auto &s : stages) {
+        for (const char *name : kFig2Stages) {
+            if (s.name == name) {
+                sum += s.wireFraction;
+                ++n;
+            }
+        }
+    }
+    ASSERT_EQ(n, 3);
+    EXPECT_NEAR(sum / 3.0, 0.576, 0.01);
+}
+
+TEST_F(PipelineTest, UnpipelinableStagesAreTheBypassLoops)
+{
+    for (const auto &s : stages) {
+        const bool loop_stage = s.name == "execute bypass" ||
+            s.name == "data read from bypass" ||
+            s.name == "wakeup & select" || s.name == "FP issue select";
+        EXPECT_EQ(!s.pipelinable, loop_stage) << s.name;
+    }
+}
+
+TEST_F(PipelineTest, StageDelayDecomposition)
+{
+    for (const auto &s : stages) {
+        const auto d = model.stageDelay(s, 300.0);
+        EXPECT_NEAR(d.total(), s.delay300, 1e-12) << s.name;
+        EXPECT_NEAR(d.wireFraction(), s.wireFraction, 1e-12) << s.name;
+    }
+}
+
+TEST_F(PipelineTest, Obs77K1FrontendBecomesCritical)
+{
+    // 77K Observation #1: the critical stage moves to the frontend and
+    // the max delay shrinks only modestly (paper: 19%, model: ~16%).
+    const auto nominal = tech.mosfet().params().nominal;
+    EXPECT_EQ(model.criticalStage(stages, 77.0, nominal), "fetch1");
+    const double reduction = 1.0 - model.maxDelay(stages, 77.0)
+        / model.maxDelay(stages, 300.0);
+    EXPECT_GT(reduction, 0.12);
+    EXPECT_LT(reduction, 0.22);
+}
+
+TEST_F(PipelineTest, Obs77K2BackendCollapses)
+{
+    // The forwarding stages fall to ~0.6 at 77 K while the frontend
+    // stays near 0.8 - the opportunity for superpipelining.
+    for (const auto &d : model.stageDelays(stages, 77.0)) {
+        if (d.name == "execute bypass") {
+            EXPECT_NEAR(d.total(), 0.61, 0.03);
+        }
+        if (d.name == "fetch1") {
+            EXPECT_NEAR(d.total(), 0.84, 0.03);
+        }
+    }
+}
+
+TEST_F(PipelineTest, BackendShrinksMoreThanFrontend)
+{
+    const auto d300 = model.stageDelays(stages, 300.0);
+    const auto d77 = model.stageDelays(stages, 77.0);
+    double fe300 = 0, fe77 = 0, be300 = 0, be77 = 0;
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        if (stages[i].kind == StageKind::Frontend) {
+            fe300 += d300[i].total();
+            fe77 += d77[i].total();
+        } else {
+            be300 += d300[i].total();
+            be77 += d77[i].total();
+        }
+    }
+    EXPECT_LT(be77 / be300, fe77 / fe300);
+}
+
+TEST_F(PipelineTest, FrequencyAnchors)
+{
+    // 4 GHz at 300 K by construction; cooling alone buys ~15-22%.
+    EXPECT_NEAR(model.frequency(stages, 300.0), 4.0e9, 1e3);
+    const double f77 = model.frequency(stages, 77.0);
+    EXPECT_GT(f77, 4.55e9);
+    EXPECT_LT(f77, 4.95e9);
+}
+
+TEST_F(PipelineTest, Fig9ValidationWindow)
+{
+    // At the 135 K validation point the model predicts a speed-up in
+    // the band the paper reports (model 15.0%, measured 12.1%).
+    const double s = model.frequency(stages, 135.0)
+        / model.frequency(stages, 300.0);
+    EXPECT_GT(s, 1.10);
+    EXPECT_LT(s, 1.20);
+}
+
+TEST_F(PipelineTest, VoltageScalingSpeedsEveryStage)
+{
+    const cryo::tech::VoltagePoint sp{0.64, 0.25};
+    const auto nominal = tech.mosfet().params().nominal;
+    for (const auto &s : stages) {
+        EXPECT_LT(model.stageDelay(s, 77.0, sp).total(),
+                  model.stageDelay(s, 77.0, nominal).total())
+            << s.name;
+    }
+}
+
+TEST_F(PipelineTest, WireScaleAnchors)
+{
+    const auto nominal = tech.mosfet().params().nominal;
+    // Forwarding wires speed up ~2.8x at 77 K...
+    EXPECT_NEAR(1.0 / model.wireScale(WireClass::ForwardingWire, 77.0,
+                                      nominal),
+                2.81, 0.1);
+    // ...while short local wires barely improve.
+    EXPECT_LT(1.0 / model.wireScale(WireClass::ShortLocal, 77.0,
+                                    nominal),
+              1.6);
+    EXPECT_DOUBLE_EQ(model.wireScale(WireClass::None, 77.0, nominal),
+                     1.0);
+}
+
+/** Parameterized over stages: cooling never slows any stage. */
+class StageSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StageSweep, MonotoneInTemperature)
+{
+    Technology tech = Technology::freePdk45();
+    CriticalPathModel model{tech, Floorplan::skylakeLike()};
+    const auto stages = boomSkylakeStages();
+    const auto &stage = stages[static_cast<std::size_t>(GetParam())];
+    double prev = 0.0;
+    for (double t = 50.0; t <= 300.0; t += 25.0) {
+        const double d = model.stageDelay(stage, t).total();
+        EXPECT_GE(d, prev) << stage.name << " at " << t;
+        prev = d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStages, StageSweep, ::testing::Range(0, 13));
+
+} // namespace

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the cooling, McPAT-lite, and Orion-lite power models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/noc_config.hh"
+#include "pipeline/core_config.hh"
+#include "power/cooling.hh"
+#include "power/mcpat_lite.hh"
+#include "power/orion_lite.hh"
+#include "util/log.hh"
+
+namespace
+{
+
+using namespace cryo::power;
+using cryo::FatalError;
+using cryo::tech::Technology;
+
+TEST(Cooling, PaperAnchorAt77K)
+{
+    // CO = 9.65 at 77 K, i.e. total power = 10.65x device power.
+    CoolingModel c;
+    EXPECT_NEAR(c.overhead(77.0), 9.65, 0.05);
+    EXPECT_NEAR(c.totalPowerFactor(77.0), 10.65, 0.05);
+}
+
+TEST(Cooling, NoCostAtRoomTemperature)
+{
+    CoolingModel c;
+    EXPECT_DOUBLE_EQ(c.overhead(300.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.overhead(350.0), 0.0);
+}
+
+TEST(Cooling, ExponentialGrowthOnCooling)
+{
+    // Fig. 27(c): the overhead grows steeply as T falls.
+    CoolingModel c;
+    EXPECT_NEAR(c.overhead(100.0), 6.67, 0.05);
+    EXPECT_NEAR(c.overhead(150.0), 3.33, 0.05);
+    double prev = 1e9;
+    for (double t = 50.0; t < 300.0; t += 10.0) {
+        const double co = c.overhead(t);
+        EXPECT_LT(co, prev);
+        prev = co;
+    }
+}
+
+TEST(Cooling, EfficiencyScalesInversely)
+{
+    CoolingModel ideal(1.0);
+    CoolingModel real(0.3);
+    EXPECT_NEAR(real.overhead(77.0) / ideal.overhead(77.0), 1.0 / 0.3,
+                1e-9);
+    EXPECT_THROW(CoolingModel(0.0), FatalError);
+}
+
+class McpatTest : public ::testing::Test
+{
+  protected:
+    Technology tech = Technology::freePdk45();
+    cryo::pipeline::CoreDesigner designer{tech};
+    cryo::pipeline::CoreConfig base = designer.baseline300();
+};
+
+TEST_F(McpatTest, BaselineIsUnity)
+{
+    McpatLite m{tech};
+    const auto p = m.corePower(base, base);
+    EXPECT_NEAR(p.device(), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(p.cooling, 0.0);
+}
+
+TEST_F(McpatTest, CryoCoreDownsizingSavesMostPower)
+{
+    // Table 3: CryoCore down-sizing cuts core power by 77.8%.
+    McpatLite m{tech};
+    const double ratio = m.capacitanceRatio(
+        cryo::pipeline::CoreDesigner::cryoCoreStructures(),
+        base.structures, 17, 17);
+    EXPECT_NEAR(ratio, 0.222, 0.025);
+}
+
+TEST_F(McpatTest, SuperpipelinePowerNearTable3)
+{
+    McpatLite m{tech, /*iso_activity=*/false};
+    const auto p = m.corePower(designer.superpipeline77(), base);
+    EXPECT_NEAR(p.device(), 1.61, 0.08);
+}
+
+TEST_F(McpatTest, LeakageVanishesAt77K)
+{
+    McpatLite m{tech};
+    const auto p = m.corePower(designer.cryoSP(), base);
+    EXPECT_LT(p.leakage, 1e-6);
+}
+
+TEST_F(McpatTest, CryoSpTotalPowerNearBaseline)
+{
+    // The CryoSP design point: total (device + cooling) power is close
+    // to the 300 K baseline despite the 10.65x cooling multiplier.
+    McpatLite m{tech, /*iso_activity=*/true};
+    const auto p = m.corePower(designer.cryoSP(), base);
+    EXPECT_GT(p.total(), 0.5);
+    EXPECT_LT(p.total(), 1.1);
+}
+
+TEST_F(McpatTest, VoltageScalingCutsDynamicQuadratically)
+{
+    McpatLite m{tech, /*iso_activity=*/true};
+    auto cc = designer.superpipelineCryoCore77();
+    auto sp = designer.cryoSP();
+    sp.frequency = cc.frequency; // isolate the voltage effect
+    const double ratio = m.corePower(sp, base).dynamic
+        / m.corePower(cc, base).dynamic;
+    EXPECT_NEAR(ratio, (0.64 * 0.64) / (1.25 * 1.25), 0.01);
+}
+
+TEST_F(McpatTest, DeeperPipelineCostsLatchPower)
+{
+    McpatLite m{tech};
+    auto deep = base.structures;
+    const double shallow = m.capacitanceRatio(deep, base.structures,
+                                              14, 14);
+    const double deeper = m.capacitanceRatio(deep, base.structures,
+                                             17, 14);
+    EXPECT_GT(deeper, shallow);
+    EXPECT_LT(deeper / shallow, 1.05);
+}
+
+class OrionTest : public ::testing::Test
+{
+  protected:
+    Technology tech = Technology::freePdk45();
+    cryo::noc::NocDesigner designer{tech};
+    OrionLite orion{tech};
+};
+
+TEST_F(OrionTest, Fig22Ratios)
+{
+    // Fig. 22: 77K Mesh 0.72, 77K Shared bus 0.62, CryoBus 0.43 - all
+    // normalized to the 300 K mesh and including cooling.
+    const double ref = orion.power(designer.mesh300()).total();
+    EXPECT_NEAR(orion.power(designer.mesh77()).total() / ref, 0.719,
+                0.05);
+    EXPECT_NEAR(orion.power(designer.sharedBus77()).total() / ref,
+                0.618, 0.05);
+    EXPECT_NEAR(orion.power(designer.cryoBus()).total() / ref, 0.428,
+                0.05);
+}
+
+TEST_F(OrionTest, StaticDominates300KMesh)
+{
+    // "300K-dominant static power is almost eliminated at 77K".
+    const auto p300 = orion.power(designer.mesh300());
+    EXPECT_GT(p300.leakage / p300.device(), 0.6);
+    const auto p77 = orion.power(designer.mesh77());
+    EXPECT_LT(p77.leakage / p77.device(), 0.01);
+}
+
+TEST_F(OrionTest, DynamicLinksSaveEnergy)
+{
+    // CryoBus's directed data responses beat the conventional bus's
+    // all-medium broadcast (the -30.7% of Sec 5.2.3).
+    const double conventional =
+        orion.transactionEnergy(designer.sharedBus77());
+    const double cryo = orion.transactionEnergy(designer.cryoBus());
+    EXPECT_LT(cryo, conventional);
+    EXPECT_NEAR(cryo / conventional, 0.7, 0.08);
+}
+
+TEST_F(OrionTest, PowerScalesWithTraffic)
+{
+    const auto lo = orion.power(designer.cryoBus(), 0.001);
+    const auto hi = orion.power(designer.cryoBus(), 0.01);
+    EXPECT_NEAR(hi.dynamic / lo.dynamic, 10.0, 1e-6);
+    EXPECT_DOUBLE_EQ(hi.leakage, lo.leakage);
+}
+
+TEST_F(OrionTest, CoolingChargedOnlyBelow300K)
+{
+    EXPECT_DOUBLE_EQ(orion.power(designer.mesh300()).cooling, 0.0);
+    EXPECT_GT(orion.power(designer.mesh77()).cooling, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the Section-4.4 superpipelining methodology and the IPC
+ * model backing its cost analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pipeline/ipc_model.hh"
+#include "pipeline/stage_library.hh"
+#include "pipeline/superpipeline.hh"
+#include "tech/technology.hh"
+
+namespace
+{
+
+using namespace cryo::pipeline;
+using cryo::tech::Technology;
+
+class SuperpipelineTest : public ::testing::Test
+{
+  protected:
+    Technology tech = Technology::freePdk45();
+    CriticalPathModel model{tech, Floorplan::skylakeLike()};
+    Superpipeliner sp{model};
+    StageList stages = boomSkylakeStages();
+};
+
+TEST_F(SuperpipelineTest, NoSplitsAt300K)
+{
+    // "Further frontend pipelining is meaningless at 300 K": the
+    // target is execute bypass itself and nothing exceeds it.
+    const auto plan = sp.plan(stages, 300.0);
+    EXPECT_FALSE(plan.effective());
+    EXPECT_EQ(plan.addedStages, 0);
+    EXPECT_EQ(plan.targetStage, "execute bypass");
+    EXPECT_EQ(plan.result.size(), stages.size());
+}
+
+TEST_F(SuperpipelineTest, SplitsExactlyThePaperStagesAt77K)
+{
+    const auto plan = sp.plan(stages, 77.0);
+    ASSERT_EQ(plan.splits.size(), 3u);
+    std::vector<std::string> split_names;
+    for (const auto &s : plan.splits) {
+        split_names.push_back(s.stage);
+        EXPECT_EQ(s.pieces, 2);
+    }
+    std::sort(split_names.begin(), split_names.end());
+    EXPECT_EQ(split_names[0], "decode & rename");
+    EXPECT_EQ(split_names[1], "fetch1");
+    EXPECT_EQ(split_names[2], "fetch3");
+    // 5-stage frontend becomes 8 stages; depth 14 -> 17.
+    EXPECT_EQ(plan.addedStages, 3);
+    EXPECT_EQ(frontendStageCount(plan.result), 8);
+}
+
+TEST_F(SuperpipelineTest, TargetIsExecuteBypass)
+{
+    const auto plan = sp.plan(stages, 77.0);
+    EXPECT_EQ(plan.targetStage, "execute bypass");
+    EXPECT_NEAR(plan.targetLatency, 0.61, 0.03);
+}
+
+TEST_F(SuperpipelineTest, ResultMeetsTarget)
+{
+    const auto plan = sp.plan(stages, 77.0);
+    const double max77 = model.maxDelay(plan.result, 77.0);
+    EXPECT_NEAR(max77, plan.targetLatency, 1e-9);
+    for (const auto &d : model.stageDelays(plan.result, 77.0))
+        EXPECT_LE(d.total(), plan.targetLatency + 1e-9) << d.name;
+}
+
+TEST_F(SuperpipelineTest, Fig14CycleTimeReduction)
+{
+    // Fig. 14: the superpipelined 77 K max delay is ~38% below the
+    // 300 K baseline, i.e. ~+61% frequency.
+    const auto plan = sp.plan(stages, 77.0);
+    const double reduction = 1.0 - model.maxDelay(plan.result, 77.0)
+        / model.maxDelay(stages, 300.0);
+    EXPECT_NEAR(reduction, 0.38, 0.025);
+    const double freq_gain = model.frequency(plan.result, 77.0)
+        / model.frequency(stages, 300.0);
+    EXPECT_NEAR(freq_gain, 1.61, 0.06);
+}
+
+TEST_F(SuperpipelineTest, PaperSubstageNames)
+{
+    const auto names = Superpipeliner::substageNames("fetch1", 2);
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "BTB + fast prediction");
+    EXPECT_EQ(names[1], "I-cache decode");
+    const auto generic = Superpipeliner::substageNames("foo", 3);
+    EXPECT_EQ(generic[2], "foo (3/3)");
+}
+
+TEST_F(SuperpipelineTest, PlanIsIdempotent)
+{
+    const auto plan = sp.plan(stages, 77.0);
+    const auto again = sp.plan(plan.result, 77.0);
+    EXPECT_FALSE(again.effective());
+}
+
+TEST_F(SuperpipelineTest, SubstagesPreserveWireBudget)
+{
+    const auto plan = sp.plan(stages, 77.0);
+    // Total wire delay across substages equals the parent's (the cut
+    // adds latch logic, never wire).
+    double wire_before = 0.0, wire_after = 0.0;
+    for (const auto &s : stages)
+        wire_before += s.wire300();
+    for (const auto &s : plan.result)
+        wire_after += s.wire300();
+    EXPECT_NEAR(wire_before, wire_after, 1e-9);
+}
+
+TEST_F(SuperpipelineTest, HigherOverheadNeverHelps)
+{
+    Superpipeliner cheap{model, 0.02};
+    Superpipeliner costly{model, 0.15};
+    const double f_cheap =
+        model.frequency(cheap.plan(stages, 77.0).result, 77.0);
+    const double f_costly =
+        model.frequency(costly.plan(stages, 77.0).result, 77.0);
+    EXPECT_GE(f_cheap, f_costly);
+}
+
+TEST_F(SuperpipelineTest, VoltageScaledPlanStillSplitsFrontend)
+{
+    // CryoSP plans at the scaled voltage point too.
+    const auto plan = sp.plan(stages, 77.0,
+                              cryo::tech::VoltagePoint{0.64, 0.25});
+    EXPECT_EQ(plan.addedStages, 3);
+}
+
+TEST(IpcModel, PaperAnchor)
+{
+    // Three added frontend stages cost 4.2% IPC on PARSEC (Sec 4.4).
+    IpcModel m;
+    EXPECT_NEAR(1.0 - m.frontendDeepeningFactor(3), 0.042, 0.002);
+}
+
+TEST(IpcModel, ZeroStagesZeroCost)
+{
+    IpcModel m;
+    EXPECT_DOUBLE_EQ(m.frontendDeepeningFactor(0), 1.0);
+}
+
+TEST(IpcModel, MonotoneInDepth)
+{
+    IpcModel m;
+    double prev = 1.1;
+    for (int extra = 0; extra < 8; ++extra) {
+        const double f = m.frontendDeepeningFactor(extra);
+        EXPECT_LT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(IpcModel, BypassPipeliningIsExpensive)
+{
+    // Why the backend stages are un-pipelinable: a 2-cycle bypass
+    // costs ~20% IPC - far more than the frontend's 4.2%.
+    IpcModel m;
+    EXPECT_DOUBLE_EQ(m.bypassPipeliningFactor(1), 1.0);
+    EXPECT_LT(m.bypassPipeliningFactor(2), 0.85);
+    EXPECT_LT(m.bypassPipeliningFactor(2),
+              m.frontendDeepeningFactor(3));
+}
+
+TEST(IpcModel, ScalesWithBranchDensity)
+{
+    IpcWorkloadStats heavy;
+    heavy.mispredictsPerKiloInstr = 28.0;
+    IpcModel branchy{heavy};
+    IpcModel normal;
+    EXPECT_LT(branchy.frontendDeepeningFactor(3),
+              normal.frontendDeepeningFactor(3));
+}
+
+} // namespace

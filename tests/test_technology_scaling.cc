@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the Section-7.5 scaled-node technology factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/stage_library.hh"
+#include "pipeline/superpipeline.hh"
+#include "tech/technology.hh"
+#include "util/log.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace cryo;
+using namespace cryo::tech;
+using namespace cryo::units;
+
+TEST(ScaledNode, FortyFiveReproducesDefault)
+{
+    auto scaled = Technology::scaledNode(45.0);
+    auto def = Technology::freePdk45();
+    for (auto layer : {WireLayer::Local, WireLayer::SemiGlobal,
+                       WireLayer::Global}) {
+        EXPECT_NEAR(scaled.wire(layer).resistanceRatio(77.0),
+                    def.wire(layer).resistanceRatio(77.0), 1e-9);
+        EXPECT_NEAR(scaled.wire(layer).resistancePerM(300.0),
+                    def.wire(layer).resistancePerM(300.0),
+                    1e-3 * def.wire(layer).resistancePerM(300.0));
+    }
+}
+
+TEST(ScaledNode, LocalGainErodesWithNode)
+{
+    // Thinner wires -> bigger temperature-independent residual ->
+    // smaller 77 K gain (Plombon [52], Section 7.5).
+    double prev = 1e9;
+    for (double node : {45.0, 22.0, 10.0}) {
+        auto technology = Technology::scaledNode(node);
+        const double gain = 1.0 /
+            technology.wire(WireLayer::Local).resistanceRatio(77.0);
+        EXPECT_LT(gain, prev) << node;
+        prev = gain;
+    }
+    EXPECT_LT(prev, 2.0); // badly eroded at 10 nm
+}
+
+TEST(ScaledNode, GlobalLayerIsNodeIndependent)
+{
+    auto n45 = Technology::scaledNode(45.0);
+    auto n10 = Technology::scaledNode(10.0);
+    EXPECT_NEAR(n10.wire(WireLayer::Global).resistanceRatio(77.0),
+                n45.wire(WireLayer::Global).resistanceRatio(77.0),
+                1e-9);
+    EXPECT_NEAR(n10.repeateredWireSpeedup(WireLayer::Global, 6 * mm,
+                                          77.0),
+                n45.repeateredWireSpeedup(WireLayer::Global, 6 * mm,
+                                          77.0),
+                0.02);
+}
+
+TEST(ScaledNode, SemiGlobalDegradesGently)
+{
+    auto n45 = Technology::scaledNode(45.0);
+    auto n10 = Technology::scaledNode(10.0);
+    const double g45 = 1.0 /
+        n45.wire(WireLayer::SemiGlobal).resistanceRatio(77.0);
+    const double g10 = 1.0 /
+        n10.wire(WireLayer::SemiGlobal).resistanceRatio(77.0);
+    EXPECT_LT(g10, g45);
+    EXPECT_GT(g10, 2.0); // still a meaningful cryogenic gain
+}
+
+TEST(ScaledNode, ThickWireMitigationRecoversGain)
+{
+    auto plain = Technology::scaledNode(10.0);
+    auto thick = Technology::scaledNode(10.0, true);
+    const double g_plain = plain.wireSpeedup(WireLayer::SemiGlobal,
+                                             1686 * um, 77.0, 140.0);
+    const double g_thick = thick.wireSpeedup(WireLayer::SemiGlobal,
+                                             1686 * um, 77.0, 140.0);
+    EXPECT_GT(g_thick, g_plain);
+}
+
+TEST(ScaledNode, CryoSpStillPaysOffAtTenNm)
+{
+    // The paper's Section-7.5 claim: the designs remain useful at the
+    // latest nodes.
+    auto technology = Technology::scaledNode(10.0);
+    pipeline::CriticalPathModel model{technology,
+                                      pipeline::Floorplan::skylakeLike()};
+    pipeline::Superpipeliner sp{model};
+    const auto baseline = pipeline::boomSkylakeStages();
+    const auto plan = sp.plan(baseline, 77.0);
+    EXPECT_TRUE(plan.effective());
+    const double gain = model.frequency(plan.result, 77.0)
+        / model.frequency(baseline, 300.0);
+    EXPECT_GT(gain, 1.25);
+}
+
+TEST(ScaledNode, RejectsAbsurdNodes)
+{
+    EXPECT_THROW(Technology::scaledNode(2.0), cryo::FatalError);
+    EXPECT_THROW(Technology::scaledNode(120.0), cryo::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the Fig. 15/19 topology geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/topology.hh"
+#include "util/log.hh"
+
+namespace
+{
+
+using namespace cryo::noc;
+using cryo::FatalError;
+
+TEST(Topology, Mesh64Geometry)
+{
+    const auto t = Topology::mesh(64);
+    EXPECT_EQ(t.routerCount(), 64);
+    EXPECT_EQ(t.gridSide(), 8);
+    // Average Manhattan distance on 8x8: 2 * (64-1)/(3*8) = 5.25.
+    EXPECT_NEAR(t.avgUnicastHops(), 5.25, 1e-9);
+    EXPECT_EQ(t.maxUnicastHops(), 14);
+    EXPECT_FALSE(t.isBus());
+}
+
+TEST(Topology, CMesh64Geometry)
+{
+    const auto t = Topology::cmesh(64, 4);
+    EXPECT_EQ(t.routerCount(), 16);
+    // 4x4 router grid, 2-tile spacing: avg 2*1.25 router hops * 2.
+    EXPECT_NEAR(t.avgUnicastHops(), 5.0, 1e-9);
+    EXPECT_EQ(t.maxPathRouters(), 7);
+}
+
+TEST(Topology, FlattenedButterfly64)
+{
+    const auto t = Topology::flattenedButterfly(64, 4);
+    EXPECT_EQ(t.routerCount(), 16);
+    // Any pair reachable in at most 3 routers (2 express hops).
+    EXPECT_EQ(t.maxPathRouters(), 3);
+    // The paper: FB links span at most six tile hops.
+    EXPECT_EQ(t.maxUnicastHops(), 12); // row 6 + column 6
+    EXPECT_LT(t.avgPathRouters(), 3.0);
+}
+
+TEST(Topology, SharedBus64MatchesPaper)
+{
+    // Section 5.2.1: max core-to-core distance 30 hops on the
+    // conventional bus.
+    const auto t = Topology::sharedBus(64);
+    EXPECT_TRUE(t.isBus());
+    EXPECT_EQ(t.maxBroadcastHops(), 30);
+    EXPECT_EQ(t.routerCount(), 0);
+}
+
+TEST(Topology, HTree64MatchesPaper)
+{
+    // Section 5.2.1: 12 hops maximum in CryoBus.
+    const auto t = Topology::hTreeBus(64);
+    EXPECT_TRUE(t.isBus());
+    EXPECT_EQ(t.maxBroadcastHops(), 12);
+    EXPECT_EQ(t.arbiterHops(), 6);
+}
+
+TEST(Topology, HTreeBeatsSerpentineAtEveryScale)
+{
+    for (int cores : {36, 64, 256}) {
+        EXPECT_LT(Topology::hTreeBus(cores).maxBroadcastHops(),
+                  Topology::sharedBus(cores).maxBroadcastHops())
+            << cores;
+    }
+}
+
+TEST(Topology, SerpentineGrowsLinearly)
+{
+    // The conventional bus distance scales with core count - the
+    // reason it cannot scale; the H-tree grows with sqrt(cores).
+    const int bus64 = Topology::sharedBus(64).maxBroadcastHops();
+    const int bus256 = Topology::sharedBus(256).maxBroadcastHops();
+    EXPECT_NEAR(static_cast<double>(bus256) / bus64, 4.0, 0.35);
+    const int ht64 = Topology::hTreeBus(64).maxBroadcastHops();
+    const int ht256 = Topology::hTreeBus(256).maxBroadcastHops();
+    EXPECT_NEAR(static_cast<double>(ht256) / ht64, 2.0, 0.35);
+}
+
+TEST(Topology, RejectsBadCoreCounts)
+{
+    EXPECT_THROW(Topology::mesh(60), FatalError);  // not square
+    EXPECT_THROW(Topology::mesh(2), FatalError);   // too small
+    EXPECT_THROW(Topology::cmesh(64, 3), FatalError); // 64 % 3 != 0
+}
+
+TEST(Topology, Names)
+{
+    EXPECT_EQ(Topology::mesh(64).name(), "Mesh");
+    EXPECT_EQ(Topology::hTreeBus(64).name(), "CryoBus H-tree");
+    EXPECT_EQ(Topology::flattenedButterfly(64).name(),
+              "Flattened Butterfly");
+}
+
+/** Parameterized over scales: geometric invariants. */
+class TopologyScale : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TopologyScale, MeshInvariants)
+{
+    const int cores = GetParam();
+    const auto t = Topology::mesh(cores);
+    EXPECT_LE(t.avgUnicastHops(), t.maxUnicastHops());
+    EXPECT_NEAR(t.avgPathRouters(), t.avgUnicastHops() + 1.0, 1e-9);
+    EXPECT_EQ(t.cores(), cores);
+}
+
+TEST_P(TopologyScale, ButterflyDiameterConstant)
+{
+    const auto t = Topology::flattenedButterfly(GetParam(), 4);
+    EXPECT_EQ(t.maxPathRouters(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TopologyScale,
+                         ::testing::Values(16, 64, 256));
+
+} // namespace

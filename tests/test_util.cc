@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the util layer: statistics, histogram, table, CSV,
+ * and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/csv.hh"
+#include "util/log.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace cryo;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic example: 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeIntoEmpty)
+{
+    RunningStats a, b;
+    b.add(1.0);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, RejectsBadConfig)
+{
+    EXPECT_THROW(Histogram(0, 1.0), FatalError);
+    EXPECT_THROW(Histogram(4, 0.0), FatalError);
+}
+
+TEST(Histogram, BinsAndPercentiles)
+{
+    Histogram h(10, 1.0);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 10.0); // uniform over [0, 10)
+    EXPECT_EQ(h.total(), 100u);
+    const double median = h.percentile(0.5);
+    EXPECT_NEAR(median, 5.0, 1.0);
+    EXPECT_LE(h.percentile(0.1), h.percentile(0.9));
+}
+
+TEST(Histogram, OverflowCounted)
+{
+    Histogram h(4, 1.0);
+    h.add(100.0);
+    EXPECT_EQ(h.total(), 1u);
+    // The percentile of an all-overflow histogram is the top edge.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
+}
+
+TEST(Means, Geometric)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+    EXPECT_THROW(geometricMean({}), FatalError);
+    EXPECT_THROW(geometricMean({1.0, -1.0}), FatalError);
+}
+
+TEST(Means, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(Table, RendersAlignedCells)
+{
+    Table t({"a", "bb"});
+    t.addRow({"x", "y"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("| a "), std::string::npos);
+    EXPECT_NE(s.find("| x "), std::string::npos);
+    // Every line has equal width.
+    std::size_t width = s.find('\n');
+    for (std::size_t pos = 0; pos < s.size();) {
+        const std::size_t next = s.find('\n', pos);
+        EXPECT_EQ(next - pos, width);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, RowWidthChecked)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), FatalError);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::mult(3.824, 2), "3.82x");
+    EXPECT_EQ(Table::pct(0.456, 1), "45.6%");
+}
+
+TEST(Table, RuleRows)
+{
+    Table t({"h"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    const std::string s = t.str();
+    // header rule + top + mid + bottom = 4 separator lines.
+    int rules = 0;
+    for (std::size_t pos = 0; (pos = s.find("+-", pos)) !=
+         std::string::npos; ++pos)
+        ++rules;
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(Csv, EscapesSpecials)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("he said \"hi\""),
+              "\"he said \"\"hi\"\"\"");
+}
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(7), b(7), c(8);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(11);
+    std::vector<int> counts(7, 0);
+    for (int i = 0; i < 14000; ++i) {
+        const auto v = r.below(7);
+        ASSERT_LT(v, 7u);
+        ++counts[static_cast<std::size_t>(v)];
+    }
+    for (int c : counts)
+        EXPECT_NEAR(c, 2000, 300);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 50000; ++i)
+        hits += r.chance(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 50000.0, 0.25, 0.01);
+}
+
+TEST(Units, ThermalVoltage)
+{
+    // kT/q at 300 K is the textbook 25.85 mV.
+    EXPECT_NEAR(constants::thermalVoltage(300.0), 25.85e-3, 0.1e-3);
+    EXPECT_NEAR(constants::thermalVoltage(77.0), 6.63e-3, 0.05e-3);
+}
+
+TEST(Log, FatalThrows)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+    EXPECT_THROW(fatalIf(true, "boom"), FatalError);
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+}
+
+} // namespace
