@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cloudsuite.dir/bench_ablation_cloudsuite.cc.o"
+  "CMakeFiles/bench_ablation_cloudsuite.dir/bench_ablation_cloudsuite.cc.o.d"
+  "bench_ablation_cloudsuite"
+  "bench_ablation_cloudsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cloudsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

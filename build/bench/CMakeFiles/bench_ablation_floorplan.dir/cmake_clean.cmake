@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_floorplan.dir/bench_ablation_floorplan.cc.o"
+  "CMakeFiles/bench_ablation_floorplan.dir/bench_ablation_floorplan.cc.o.d"
+  "bench_ablation_floorplan"
+  "bench_ablation_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_repeater.dir/bench_ablation_repeater.cc.o"
+  "CMakeFiles/bench_ablation_repeater.dir/bench_ablation_repeater.cc.o.d"
+  "bench_ablation_repeater"
+  "bench_ablation_repeater.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_repeater.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_superpipeline.dir/bench_ablation_superpipeline.cc.o"
+  "CMakeFiles/bench_ablation_superpipeline.dir/bench_ablation_superpipeline.cc.o.d"
+  "bench_ablation_superpipeline"
+  "bench_ablation_superpipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_superpipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

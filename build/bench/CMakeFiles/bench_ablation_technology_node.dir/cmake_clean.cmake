@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_technology_node.dir/bench_ablation_technology_node.cc.o"
+  "CMakeFiles/bench_ablation_technology_node.dir/bench_ablation_technology_node.cc.o.d"
+  "bench_ablation_technology_node"
+  "bench_ablation_technology_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_technology_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_critical_path_300k.dir/bench_fig12_critical_path_300k.cc.o"
+  "CMakeFiles/bench_fig12_critical_path_300k.dir/bench_fig12_critical_path_300k.cc.o.d"
+  "bench_fig12_critical_path_300k"
+  "bench_fig12_critical_path_300k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_critical_path_300k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_critical_path_300k.
+# This may be replaced when dependencies are built.

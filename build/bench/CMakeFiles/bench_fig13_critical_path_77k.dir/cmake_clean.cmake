@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_critical_path_77k.dir/bench_fig13_critical_path_77k.cc.o"
+  "CMakeFiles/bench_fig13_critical_path_77k.dir/bench_fig13_critical_path_77k.cc.o.d"
+  "bench_fig13_critical_path_77k"
+  "bench_fig13_critical_path_77k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_critical_path_77k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

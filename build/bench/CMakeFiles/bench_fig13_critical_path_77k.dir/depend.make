@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_critical_path_77k.
+# This may be replaced when dependencies are built.

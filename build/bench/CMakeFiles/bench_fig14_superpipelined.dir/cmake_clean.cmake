@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_superpipelined.dir/bench_fig14_superpipelined.cc.o"
+  "CMakeFiles/bench_fig14_superpipelined.dir/bench_fig14_superpipelined.cc.o.d"
+  "bench_fig14_superpipelined"
+  "bench_fig14_superpipelined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_superpipelined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_bus_vs_mesh.dir/bench_fig17_bus_vs_mesh.cc.o"
+  "CMakeFiles/bench_fig17_bus_vs_mesh.dir/bench_fig17_bus_vs_mesh.cc.o.d"
+  "bench_fig17_bus_vs_mesh"
+  "bench_fig17_bus_vs_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_bus_vs_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_noc_power.dir/bench_fig22_noc_power.cc.o"
+  "CMakeFiles/bench_fig22_noc_power.dir/bench_fig22_noc_power.cc.o.d"
+  "bench_fig22_noc_power"
+  "bench_fig22_noc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_noc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

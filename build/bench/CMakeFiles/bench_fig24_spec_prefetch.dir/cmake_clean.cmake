@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_spec_prefetch.dir/bench_fig24_spec_prefetch.cc.o"
+  "CMakeFiles/bench_fig24_spec_prefetch.dir/bench_fig24_spec_prefetch.cc.o.d"
+  "bench_fig24_spec_prefetch"
+  "bench_fig24_spec_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_spec_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_hybrid_256core.dir/bench_fig26_hybrid_256core.cc.o"
+  "CMakeFiles/bench_fig26_hybrid_256core.dir/bench_fig26_hybrid_256core.cc.o.d"
+  "bench_fig26_hybrid_256core"
+  "bench_fig26_hybrid_256core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_hybrid_256core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig26_hybrid_256core.
+# This may be replaced when dependencies are built.

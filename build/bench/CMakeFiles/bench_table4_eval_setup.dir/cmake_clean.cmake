@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_eval_setup.dir/bench_table4_eval_setup.cc.o"
+  "CMakeFiles/bench_table4_eval_setup.dir/bench_table4_eval_setup.cc.o.d"
+  "bench_table4_eval_setup"
+  "bench_table4_eval_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_eval_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

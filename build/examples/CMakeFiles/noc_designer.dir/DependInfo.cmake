@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/noc_designer.cpp" "examples/CMakeFiles/noc_designer.dir/noc_designer.cpp.o" "gcc" "examples/CMakeFiles/noc_designer.dir/noc_designer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cryo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sys/CMakeFiles/cryo_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cryo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cryo_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cryo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/cryo_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/cryo_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/cryo_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_designer.dir/noc_designer.cpp.o"
+  "CMakeFiles/noc_designer.dir/noc_designer.cpp.o.d"
+  "noc_designer"
+  "noc_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

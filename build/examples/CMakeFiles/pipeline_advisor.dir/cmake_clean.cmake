@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_advisor.dir/pipeline_advisor.cpp.o"
+  "CMakeFiles/pipeline_advisor.dir/pipeline_advisor.cpp.o.d"
+  "pipeline_advisor"
+  "pipeline_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_explorer.dir/temperature_explorer.cpp.o"
+  "CMakeFiles/temperature_explorer.dir/temperature_explorer.cpp.o.d"
+  "temperature_explorer"
+  "temperature_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

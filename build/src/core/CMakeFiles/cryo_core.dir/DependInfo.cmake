@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/cryo_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/cryo_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/system_builder.cc" "src/core/CMakeFiles/cryo_core.dir/system_builder.cc.o" "gcc" "src/core/CMakeFiles/cryo_core.dir/system_builder.cc.o.d"
+  "/root/repo/src/core/voltage_optimizer.cc" "src/core/CMakeFiles/cryo_core.dir/voltage_optimizer.cc.o" "gcc" "src/core/CMakeFiles/cryo_core.dir/voltage_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sys/CMakeFiles/cryo_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/cryo_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/cryo_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cryo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/cryo_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/cryo_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/cryo_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

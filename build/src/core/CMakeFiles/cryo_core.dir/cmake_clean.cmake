@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_core.dir/evaluation.cc.o"
+  "CMakeFiles/cryo_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/cryo_core.dir/system_builder.cc.o"
+  "CMakeFiles/cryo_core.dir/system_builder.cc.o.d"
+  "CMakeFiles/cryo_core.dir/voltage_optimizer.cc.o"
+  "CMakeFiles/cryo_core.dir/voltage_optimizer.cc.o.d"
+  "libcryo_core.a"
+  "libcryo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

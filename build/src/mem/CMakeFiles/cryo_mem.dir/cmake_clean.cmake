@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_mem.dir/memory_system.cc.o"
+  "CMakeFiles/cryo_mem.dir/memory_system.cc.o.d"
+  "libcryo_mem.a"
+  "libcryo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

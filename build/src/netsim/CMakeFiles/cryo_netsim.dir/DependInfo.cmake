@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/arbiter.cc" "src/netsim/CMakeFiles/cryo_netsim.dir/arbiter.cc.o" "gcc" "src/netsim/CMakeFiles/cryo_netsim.dir/arbiter.cc.o.d"
+  "/root/repo/src/netsim/bus_net.cc" "src/netsim/CMakeFiles/cryo_netsim.dir/bus_net.cc.o" "gcc" "src/netsim/CMakeFiles/cryo_netsim.dir/bus_net.cc.o.d"
+  "/root/repo/src/netsim/hybrid_net.cc" "src/netsim/CMakeFiles/cryo_netsim.dir/hybrid_net.cc.o" "gcc" "src/netsim/CMakeFiles/cryo_netsim.dir/hybrid_net.cc.o.d"
+  "/root/repo/src/netsim/load_latency.cc" "src/netsim/CMakeFiles/cryo_netsim.dir/load_latency.cc.o" "gcc" "src/netsim/CMakeFiles/cryo_netsim.dir/load_latency.cc.o.d"
+  "/root/repo/src/netsim/router_net.cc" "src/netsim/CMakeFiles/cryo_netsim.dir/router_net.cc.o" "gcc" "src/netsim/CMakeFiles/cryo_netsim.dir/router_net.cc.o.d"
+  "/root/repo/src/netsim/traffic.cc" "src/netsim/CMakeFiles/cryo_netsim.dir/traffic.cc.o" "gcc" "src/netsim/CMakeFiles/cryo_netsim.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/cryo_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/cryo_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

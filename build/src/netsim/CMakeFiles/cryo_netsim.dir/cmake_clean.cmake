@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_netsim.dir/arbiter.cc.o"
+  "CMakeFiles/cryo_netsim.dir/arbiter.cc.o.d"
+  "CMakeFiles/cryo_netsim.dir/bus_net.cc.o"
+  "CMakeFiles/cryo_netsim.dir/bus_net.cc.o.d"
+  "CMakeFiles/cryo_netsim.dir/hybrid_net.cc.o"
+  "CMakeFiles/cryo_netsim.dir/hybrid_net.cc.o.d"
+  "CMakeFiles/cryo_netsim.dir/load_latency.cc.o"
+  "CMakeFiles/cryo_netsim.dir/load_latency.cc.o.d"
+  "CMakeFiles/cryo_netsim.dir/router_net.cc.o"
+  "CMakeFiles/cryo_netsim.dir/router_net.cc.o.d"
+  "CMakeFiles/cryo_netsim.dir/traffic.cc.o"
+  "CMakeFiles/cryo_netsim.dir/traffic.cc.o.d"
+  "libcryo_netsim.a"
+  "libcryo_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

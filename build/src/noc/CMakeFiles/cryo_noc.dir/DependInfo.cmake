@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/noc_config.cc" "src/noc/CMakeFiles/cryo_noc.dir/noc_config.cc.o" "gcc" "src/noc/CMakeFiles/cryo_noc.dir/noc_config.cc.o.d"
+  "/root/repo/src/noc/router_model.cc" "src/noc/CMakeFiles/cryo_noc.dir/router_model.cc.o" "gcc" "src/noc/CMakeFiles/cryo_noc.dir/router_model.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/noc/CMakeFiles/cryo_noc.dir/topology.cc.o" "gcc" "src/noc/CMakeFiles/cryo_noc.dir/topology.cc.o.d"
+  "/root/repo/src/noc/wire_link.cc" "src/noc/CMakeFiles/cryo_noc.dir/wire_link.cc.o" "gcc" "src/noc/CMakeFiles/cryo_noc.dir/wire_link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/cryo_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_noc.dir/noc_config.cc.o"
+  "CMakeFiles/cryo_noc.dir/noc_config.cc.o.d"
+  "CMakeFiles/cryo_noc.dir/router_model.cc.o"
+  "CMakeFiles/cryo_noc.dir/router_model.cc.o.d"
+  "CMakeFiles/cryo_noc.dir/topology.cc.o"
+  "CMakeFiles/cryo_noc.dir/topology.cc.o.d"
+  "CMakeFiles/cryo_noc.dir/wire_link.cc.o"
+  "CMakeFiles/cryo_noc.dir/wire_link.cc.o.d"
+  "libcryo_noc.a"
+  "libcryo_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/core_config.cc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/core_config.cc.o" "gcc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/core_config.cc.o.d"
+  "/root/repo/src/pipeline/critical_path.cc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/critical_path.cc.o" "gcc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/critical_path.cc.o.d"
+  "/root/repo/src/pipeline/floorplan.cc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/floorplan.cc.o" "gcc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/floorplan.cc.o.d"
+  "/root/repo/src/pipeline/ipc_model.cc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/ipc_model.cc.o" "gcc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/ipc_model.cc.o.d"
+  "/root/repo/src/pipeline/stage.cc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/stage.cc.o" "gcc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/stage.cc.o.d"
+  "/root/repo/src/pipeline/stage_library.cc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/stage_library.cc.o" "gcc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/stage_library.cc.o.d"
+  "/root/repo/src/pipeline/superpipeline.cc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/superpipeline.cc.o" "gcc" "src/pipeline/CMakeFiles/cryo_pipeline.dir/superpipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/cryo_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

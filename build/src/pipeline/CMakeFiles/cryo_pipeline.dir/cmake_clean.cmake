@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_pipeline.dir/core_config.cc.o"
+  "CMakeFiles/cryo_pipeline.dir/core_config.cc.o.d"
+  "CMakeFiles/cryo_pipeline.dir/critical_path.cc.o"
+  "CMakeFiles/cryo_pipeline.dir/critical_path.cc.o.d"
+  "CMakeFiles/cryo_pipeline.dir/floorplan.cc.o"
+  "CMakeFiles/cryo_pipeline.dir/floorplan.cc.o.d"
+  "CMakeFiles/cryo_pipeline.dir/ipc_model.cc.o"
+  "CMakeFiles/cryo_pipeline.dir/ipc_model.cc.o.d"
+  "CMakeFiles/cryo_pipeline.dir/stage.cc.o"
+  "CMakeFiles/cryo_pipeline.dir/stage.cc.o.d"
+  "CMakeFiles/cryo_pipeline.dir/stage_library.cc.o"
+  "CMakeFiles/cryo_pipeline.dir/stage_library.cc.o.d"
+  "CMakeFiles/cryo_pipeline.dir/superpipeline.cc.o"
+  "CMakeFiles/cryo_pipeline.dir/superpipeline.cc.o.d"
+  "libcryo_pipeline.a"
+  "libcryo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_power.dir/cooling.cc.o"
+  "CMakeFiles/cryo_power.dir/cooling.cc.o.d"
+  "CMakeFiles/cryo_power.dir/mcpat_lite.cc.o"
+  "CMakeFiles/cryo_power.dir/mcpat_lite.cc.o.d"
+  "CMakeFiles/cryo_power.dir/orion_lite.cc.o"
+  "CMakeFiles/cryo_power.dir/orion_lite.cc.o.d"
+  "libcryo_power.a"
+  "libcryo_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

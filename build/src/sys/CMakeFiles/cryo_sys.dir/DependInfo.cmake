@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sys/interval_sim.cc" "src/sys/CMakeFiles/cryo_sys.dir/interval_sim.cc.o" "gcc" "src/sys/CMakeFiles/cryo_sys.dir/interval_sim.cc.o.d"
+  "/root/repo/src/sys/workload.cc" "src/sys/CMakeFiles/cryo_sys.dir/workload.cc.o" "gcc" "src/sys/CMakeFiles/cryo_sys.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/cryo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/cryo_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/cryo_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/cryo_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_sys.dir/interval_sim.cc.o"
+  "CMakeFiles/cryo_sys.dir/interval_sim.cc.o.d"
+  "CMakeFiles/cryo_sys.dir/workload.cc.o"
+  "CMakeFiles/cryo_sys.dir/workload.cc.o.d"
+  "libcryo_sys.a"
+  "libcryo_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/material.cc" "src/tech/CMakeFiles/cryo_tech.dir/material.cc.o" "gcc" "src/tech/CMakeFiles/cryo_tech.dir/material.cc.o.d"
+  "/root/repo/src/tech/mosfet.cc" "src/tech/CMakeFiles/cryo_tech.dir/mosfet.cc.o" "gcc" "src/tech/CMakeFiles/cryo_tech.dir/mosfet.cc.o.d"
+  "/root/repo/src/tech/repeater.cc" "src/tech/CMakeFiles/cryo_tech.dir/repeater.cc.o" "gcc" "src/tech/CMakeFiles/cryo_tech.dir/repeater.cc.o.d"
+  "/root/repo/src/tech/technology.cc" "src/tech/CMakeFiles/cryo_tech.dir/technology.cc.o" "gcc" "src/tech/CMakeFiles/cryo_tech.dir/technology.cc.o.d"
+  "/root/repo/src/tech/wire_geometry.cc" "src/tech/CMakeFiles/cryo_tech.dir/wire_geometry.cc.o" "gcc" "src/tech/CMakeFiles/cryo_tech.dir/wire_geometry.cc.o.d"
+  "/root/repo/src/tech/wire_rc.cc" "src/tech/CMakeFiles/cryo_tech.dir/wire_rc.cc.o" "gcc" "src/tech/CMakeFiles/cryo_tech.dir/wire_rc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cryo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

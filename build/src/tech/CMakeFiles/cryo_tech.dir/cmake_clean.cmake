@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_tech.dir/material.cc.o"
+  "CMakeFiles/cryo_tech.dir/material.cc.o.d"
+  "CMakeFiles/cryo_tech.dir/mosfet.cc.o"
+  "CMakeFiles/cryo_tech.dir/mosfet.cc.o.d"
+  "CMakeFiles/cryo_tech.dir/repeater.cc.o"
+  "CMakeFiles/cryo_tech.dir/repeater.cc.o.d"
+  "CMakeFiles/cryo_tech.dir/technology.cc.o"
+  "CMakeFiles/cryo_tech.dir/technology.cc.o.d"
+  "CMakeFiles/cryo_tech.dir/wire_geometry.cc.o"
+  "CMakeFiles/cryo_tech.dir/wire_geometry.cc.o.d"
+  "CMakeFiles/cryo_tech.dir/wire_rc.cc.o"
+  "CMakeFiles/cryo_tech.dir/wire_rc.cc.o.d"
+  "libcryo_tech.a"
+  "libcryo_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cryo_util.dir/csv.cc.o"
+  "CMakeFiles/cryo_util.dir/csv.cc.o.d"
+  "CMakeFiles/cryo_util.dir/stats.cc.o"
+  "CMakeFiles/cryo_util.dir/stats.cc.o.d"
+  "CMakeFiles/cryo_util.dir/table.cc.o"
+  "CMakeFiles/cryo_util.dir/table.cc.o.d"
+  "libcryo_util.a"
+  "libcryo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cryo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

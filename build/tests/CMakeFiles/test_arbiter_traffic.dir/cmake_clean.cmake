@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arbiter_traffic.dir/test_arbiter_traffic.cc.o"
+  "CMakeFiles/test_arbiter_traffic.dir/test_arbiter_traffic.cc.o.d"
+  "test_arbiter_traffic"
+  "test_arbiter_traffic.pdb"
+  "test_arbiter_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arbiter_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_net.dir/test_bus_net.cc.o"
+  "CMakeFiles/test_bus_net.dir/test_bus_net.cc.o.d"
+  "test_bus_net"
+  "test_bus_net.pdb"
+  "test_bus_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

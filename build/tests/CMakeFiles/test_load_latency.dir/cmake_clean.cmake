@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_latency.dir/test_load_latency.cc.o"
+  "CMakeFiles/test_load_latency.dir/test_load_latency.cc.o.d"
+  "test_load_latency"
+  "test_load_latency.pdb"
+  "test_load_latency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

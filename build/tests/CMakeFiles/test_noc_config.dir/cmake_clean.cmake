@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_config.dir/test_noc_config.cc.o"
+  "CMakeFiles/test_noc_config.dir/test_noc_config.cc.o.d"
+  "test_noc_config"
+  "test_noc_config.pdb"
+  "test_noc_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

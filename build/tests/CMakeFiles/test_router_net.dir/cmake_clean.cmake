@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_net.dir/test_router_net.cc.o"
+  "CMakeFiles/test_router_net.dir/test_router_net.cc.o.d"
+  "test_router_net"
+  "test_router_net.pdb"
+  "test_router_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

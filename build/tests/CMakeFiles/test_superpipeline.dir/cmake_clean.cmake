@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_superpipeline.dir/test_superpipeline.cc.o"
+  "CMakeFiles/test_superpipeline.dir/test_superpipeline.cc.o.d"
+  "test_superpipeline"
+  "test_superpipeline.pdb"
+  "test_superpipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_superpipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voltage_optimizer.dir/test_voltage_optimizer.cc.o"
+  "CMakeFiles/test_voltage_optimizer.dir/test_voltage_optimizer.cc.o.d"
+  "test_voltage_optimizer"
+  "test_voltage_optimizer.pdb"
+  "test_voltage_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voltage_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

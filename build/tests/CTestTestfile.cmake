@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_material[1]_include.cmake")
+include("/root/repo/build/tests/test_mosfet[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_floorplan[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_superpipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_core_config[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_noc_config[1]_include.cmake")
+include("/root/repo/build/tests/test_arbiter_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_bus_net[1]_include.cmake")
+include("/root/repo/build/tests/test_router_net[1]_include.cmake")
+include("/root/repo/build/tests/test_load_latency[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_voltage_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_technology_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
