@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Parallel sweep-engine scaling: the same netsim load-latency sweep
+ * run serially and at increasing job counts, with a bitwise identity
+ * check between every parallel curve and the serial reference.
+ *
+ * Emits one JSON object on stdout so the perf trajectory can be
+ * tracked across commits:
+ *
+ *   {"bench": "parallel_scaling", "points": 32, ...,
+ *    "runs": [{"jobs": 1, "seconds": ..., "points_per_sec": ...,
+ *              "speedup": ..., "identical": true}, ...]}
+ *
+ * Usage: bench_parallel_scaling [max_jobs]   (default 8)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_netsim_common.hh"
+
+#include "noc/noc_config.hh"
+#include "tech/technology.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace cryo;
+using namespace cryo::netsim;
+
+/** All fields equal, bit for bit (no tolerance: determinism check). */
+bool
+identicalCurves(const std::vector<LoadPoint> &a,
+                const std::vector<LoadPoint> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].injectionRate != b[i].injectionRate ||
+            a[i].avgLatency != b[i].avgLatency ||
+            a[i].p99Latency != b[i].p99Latency ||
+            a[i].throughput != b[i].throughput ||
+            a[i].saturated != b[i].saturated)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int max_jobs = argc > 1 ? std::atoi(argv[1]) : 8;
+
+    auto technology = tech::Technology::freePdk45();
+    noc::NocDesigner designer{technology};
+    const auto factory = bench::busFactory(designer.cryoBus(), 2);
+
+    // 32 independent cycle-accurate points below and into saturation.
+    const auto rates = bench::denseRates(0.001, 0.028, 32);
+    TrafficSpec tr;
+    auto opts = bench::benchOpts();
+    opts.measureCycles = 8000;
+
+    auto timedSweep = [&](int jobs, std::vector<LoadPoint> &out) {
+        ParallelOptions par;
+        par.jobs = jobs;
+        const auto t0 = std::chrono::steady_clock::now();
+        out = sweepLoadLatency(factory, tr, rates, opts, par);
+        const auto t1 = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(t1 - t0).count();
+    };
+
+    std::vector<LoadPoint> serial;
+    // Warm the pool and caches once so timings compare steady state.
+    timedSweep(1, serial);
+    const double serial_sec = timedSweep(1, serial);
+
+    std::string runs;
+    for (int jobs = 1; jobs <= max_jobs; jobs *= 2) {
+        std::vector<LoadPoint> curve;
+        const double sec = timedSweep(jobs, curve);
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"jobs\": %d, \"seconds\": %.4f, "
+            "\"points_per_sec\": %.2f, \"speedup\": %.2f, "
+            "\"identical\": %s}",
+            runs.empty() ? "" : ", ", jobs, sec,
+            static_cast<double>(rates.size()) / sec, serial_sec / sec,
+            identicalCurves(serial, curve) ? "true" : "false");
+        runs += buf;
+    }
+
+    std::printf("{\"bench\": \"parallel_scaling\", \"points\": %zu, "
+                "\"measure_cycles\": %llu, \"hardware_threads\": %d, "
+                "\"serial_seconds\": %.4f, \"runs\": [%s]}\n",
+                rates.size(),
+                static_cast<unsigned long long>(opts.measureCycles),
+                ThreadPool::defaultThreads(), serial_sec, runs.c_str());
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "evaluation.hh"
 
 #include "util/log.hh"
+#include "util/parallel.hh"
 
 namespace cryo::core
 {
@@ -25,16 +26,24 @@ Evaluator::evaluate(const std::vector<sys::SystemDesign> &designs,
     for (const auto &w : suite)
         out.workloads.push_back(w.name);
 
+    // Every (workload, design) cell is an independent interval
+    // simulation; run them all concurrently and normalize afterwards
+    // (the simulator is stateless, so cell i's result is a pure
+    // function of its inputs and the matrix is deterministic at any
+    // job count).
+    const std::size_t cols = designs.size();
+    const auto time = parallelMap(
+        suite.size() * cols, [&](std::size_t k) {
+            return sim_.run(designs[k % cols], suite[k / cols])
+                .timePerInstr;
+        });
+
     out.perf.assign(suite.size(),
                     std::vector<double>(designs.size(), 0.0));
     for (std::size_t wi = 0; wi < suite.size(); ++wi) {
-        const double base_time =
-            sim_.run(designs[baseline_idx], suite[wi]).timePerInstr;
-        for (std::size_t di = 0; di < designs.size(); ++di) {
-            const double time =
-                sim_.run(designs[di], suite[wi]).timePerInstr;
-            out.perf[wi][di] = base_time / time;
-        }
+        const double base_time = time[wi * cols + baseline_idx];
+        for (std::size_t di = 0; di < cols; ++di)
+            out.perf[wi][di] = base_time / time[wi * cols + di];
     }
 
     out.mean.assign(designs.size(), 0.0);

@@ -1,9 +1,38 @@
 #include "voltage_optimizer.hh"
 
+#include <cmath>
+
 #include "util/log.hh"
+#include "util/parallel.hh"
 
 namespace cryo::core
 {
+
+namespace
+{
+
+/**
+ * Number of grid points in [min, max] at the given step, inclusive of
+ * both ends when the step divides the range. Integer-indexed so the
+ * grid never loses its last point to accumulated floating-point error
+ * (min + k*step computed by repeated addition can overshoot max by an
+ * ulp and silently drop the vddMax/vthMax column).
+ */
+long
+gridPoints(double min, double max, double step)
+{
+    if (max < min)
+        return 0;
+    long n = std::lround((max - min) / step);
+    // lround can overshoot when step doesn't divide the range; back
+    // off until the last point is inside (tolerate exact-end ulps).
+    while (n > 0 && min + static_cast<double>(n) * step >
+               max + 1e-9 * step)
+        --n;
+    return n + 1;
+}
+
+} // namespace
 
 VoltageOptimizer::VoltageOptimizer(
     const tech::Technology &tech,
@@ -52,24 +81,40 @@ VoltageOptimizer::optimize(const pipeline::CoreConfig &core,
             "voltage grid steps must be positive");
     fatalIf(core.stages.empty(), "core has no pipeline stages");
 
+    const long n_vdd = gridPoints(constraints.minVdd,
+                                  constraints.vddMax,
+                                  constraints.vddStep);
+    const long n_vth = gridPoints(constraints.vthMin,
+                                  constraints.vthMax,
+                                  constraints.vthStep);
+    const auto total =
+        static_cast<std::size_t>(n_vdd) * static_cast<std::size_t>(n_vth);
+
+    // Evaluate the grid in parallel; results land in row-major index
+    // order, so the serial argmax below resolves score ties exactly
+    // like the original nested serial scan (first point wins).
+    const auto points = parallelMap(total, [&](std::size_t k) {
+        const auto i = static_cast<long>(k) / n_vth;
+        const auto j = static_cast<long>(k) % n_vth;
+        const double vdd = constraints.minVdd +
+            static_cast<double>(i) * constraints.vddStep;
+        const double vth = constraints.vthMin +
+            static_cast<double>(j) * constraints.vthStep;
+        return evaluate(core, baseline, temp_k, {vdd, vth},
+                        constraints);
+    });
+
     VoltagePlanPoint best;
     double best_score = -1.0;
-    for (double vdd = constraints.minVdd; vdd <= constraints.vddMax;
-         vdd += constraints.vddStep) {
-        for (double vth = constraints.vthMin;
-             vth <= constraints.vthMax; vth += constraints.vthStep) {
-            const auto p = evaluate(core, baseline, temp_k,
-                                    {vdd, vth}, constraints);
-            if (!p.feasible)
-                continue;
-            const double score =
-                objective == VoltageObjective::Frequency
-                    ? p.frequency
-                    : p.frequency / p.totalPower;
-            if (score > best_score) {
-                best_score = score;
-                best = p;
-            }
+    for (const auto &p : points) {
+        if (!p.feasible)
+            continue;
+        const double score = objective == VoltageObjective::Frequency
+            ? p.frequency
+            : p.frequency / p.totalPower;
+        if (score > best_score) {
+            best_score = score;
+            best = p;
         }
     }
     return best;

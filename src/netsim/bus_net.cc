@@ -74,7 +74,12 @@ BusNetwork::step()
     }
 
     for (Way &way : ways_) {
-        way.busyCycles += (way.nextFree > now_) ? 1 : 0;
+        while (!way.busyWindows.empty() &&
+               way.busyWindows.front().second <= now_)
+            way.busyWindows.pop_front();
+        if (!way.busyWindows.empty() &&
+            way.busyWindows.front().first <= now_)
+            ++way.busyCycles;
 
         // The arbiter decides one grant per cycle, early enough that
         // the next broadcast starts the moment the medium frees.
@@ -113,6 +118,11 @@ BusNetwork::step()
         const Cycle occupancy =
             timing_.broadcastCycles + (tx.packet.flits - 1);
         way.nextFree = start + occupancy;
+        if (!way.busyWindows.empty() &&
+            way.busyWindows.back().second == start)
+            way.busyWindows.back().second = start + occupancy;
+        else
+            way.busyWindows.emplace_back(start, start + occupancy);
         completing_.emplace_back(start + occupancy, tx.packet);
     }
 

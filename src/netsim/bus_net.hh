@@ -65,6 +65,13 @@ class BusNetwork : public Network
         std::vector<std::deque<PendingTx>> queues; ///< per node
         Cycle nextFree = 0;
         std::uint64_t busyCycles = 0;
+        /**
+         * Scheduled broadcast windows [start, end), ordered and
+         * non-overlapping. Utilization counts only cycles inside a
+         * window; the grant-to-broadcast-start gap leaves the medium
+         * idle (nextFree alone would overcount it as busy).
+         */
+        std::deque<std::pair<Cycle, Cycle>> busyWindows;
 
         explicit Way(int nodes)
             : arbiter(nodes),

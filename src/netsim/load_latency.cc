@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "util/log.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
 
 namespace cryo::netsim
 {
@@ -97,18 +99,23 @@ measureLoadPoint(const NetworkFactory &factory, TrafficSpec traffic,
 
 std::vector<LoadPoint>
 sweepLoadLatency(const NetworkFactory &factory, TrafficSpec traffic,
-                 const std::vector<double> &rates, MeasureOpts opts)
+                 const std::vector<double> &rates, MeasureOpts opts,
+                 ParallelOptions par)
 {
-    std::vector<LoadPoint> curve;
-    curve.reserve(rates.size());
-    std::uint64_t seed = traffic.seed;
-    for (double r : rates) {
-        TrafficSpec spec = traffic;
-        spec.injectionRate = r;
-        spec.seed = seed++;
-        curve.push_back(measureLoadPoint(factory, spec, opts));
-    }
-    return curve;
+    // Each offered-load point is an independent cycle-accurate
+    // simulation on its own network instance, with an RNG stream
+    // derived from (base seed, point index) — never from a shared
+    // serial counter — so the curve is bitwise-identical at any job
+    // count.
+    return parallelMap(
+        rates.size(),
+        [&](std::size_t i) {
+            TrafficSpec spec = traffic;
+            spec.injectionRate = rates[i];
+            spec.seed = Rng::deriveSeed(traffic.seed, i);
+            return measureLoadPoint(factory, spec, opts);
+        },
+        par);
 }
 
 double

@@ -13,6 +13,7 @@
 
 #include "netsim/network.hh"
 #include "netsim/traffic.hh"
+#include "util/parallel.hh"
 
 namespace cryo::netsim
 {
@@ -49,11 +50,18 @@ LoadPoint measureLoadPoint(const NetworkFactory &factory,
 /**
  * Sweep injection rates and return the curve; points after the first
  * saturated one are still measured (the curve keeps its shape).
+ *
+ * Points are simulated concurrently (@p par controls the width; the
+ * default follows CRYOWIRE_JOBS). Each point runs on a fresh network
+ * from @p factory with an RNG stream seeded from (traffic.seed, point
+ * index), so the curve is bitwise-identical at any job count. The
+ * factory must be callable from multiple threads at once.
  */
 std::vector<LoadPoint> sweepLoadLatency(const NetworkFactory &factory,
                                         TrafficSpec traffic,
                                         const std::vector<double> &rates,
-                                        MeasureOpts opts = {});
+                                        MeasureOpts opts = {},
+                                        ParallelOptions par = {});
 
 /**
  * Binary-search the saturation throughput (packets/node/cycle) of a

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/log.hh"
+#include "util/parallel.hh"
 
 namespace cryo::sys
 {
@@ -197,9 +198,16 @@ IntervalSimulator::meanSpeedup(const SystemDesign &design,
                                const std::vector<Workload> &suite) const
 {
     fatalIf(suite.empty(), "suite has no workloads");
+    // Per-workload speedups are independent simulations; summing the
+    // index-ordered results keeps the mean bitwise-stable across job
+    // counts.
+    const auto speedups =
+        parallelMap(suite.size(), [&](std::size_t i) {
+            return speedup(design, baseline, suite[i]);
+        });
     double sum = 0.0;
-    for (const auto &w : suite)
-        sum += speedup(design, baseline, w);
+    for (double s : speedups)
+        sum += s;
     return sum / static_cast<double>(suite.size());
 }
 

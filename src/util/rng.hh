@@ -37,6 +37,22 @@ class Rng
         }
     }
 
+    /**
+     * Decorrelated seed for stream @p stream of a family rooted at
+     * @p base (a SplitMix64 round over an odd-multiple offset). Used
+     * by the parallel sweeps to give every sweep point its own RNG
+     * stream as a pure function of (base seed, point index), so a
+     * sweep's output is bitwise-identical at any thread count.
+     */
+    static std::uint64_t
+    deriveSeed(std::uint64_t base, std::uint64_t stream)
+    {
+        std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (stream + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()

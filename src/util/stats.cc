@@ -75,7 +75,7 @@ Histogram::add(double x)
 {
     ++total_;
     if (x < 0.0) {
-        ++bins_.front();
+        ++underflow_;
         return;
     }
     const auto idx = static_cast<std::size_t>(x / binWidth_);
@@ -92,9 +92,18 @@ Histogram::percentile(double fraction) const
     if (total_ == 0)
         return 0.0;
     fraction = std::clamp(fraction, 0.0, 1.0);
-    const auto target = static_cast<std::uint64_t>(
-        fraction * static_cast<double>(total_));
-    std::uint64_t seen = 0;
+    // Rank of the sample bounding the requested fraction: p0 is the
+    // first sample, p100 the last (never rank 0, which would point
+    // below every sample and made percentile(0) report an empty
+    // bin 0's midpoint).
+    const auto target = std::clamp<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            std::ceil(fraction * static_cast<double>(total_))),
+        1, total_);
+    // Mass outside the binned range saturates to the range edges.
+    std::uint64_t seen = underflow_;
+    if (seen >= target)
+        return 0.0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
         seen += bins_[i];
         if (seen >= target)

@@ -52,6 +52,10 @@ class Histogram
     std::uint64_t total() const { return total_; }
     const std::vector<std::uint64_t> &bins() const { return bins_; }
     double binWidth() const { return binWidth_; }
+    /** Samples below 0 (kept out of bin 0; counted toward total). */
+    std::uint64_t underflow() const { return underflow_; }
+    /** Samples at or beyond the last bin edge. */
+    std::uint64_t overflow() const { return overflow_; }
 
     /** Value below which @p fraction of samples fall (0 <= f <= 1). */
     double percentile(double fraction) const;
@@ -60,6 +64,7 @@ class Histogram
     std::vector<std::uint64_t> bins_;
     double binWidth_;
     std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
 };
 

@@ -1,0 +1,109 @@
+#include "thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "log.hh"
+
+namespace cryo
+{
+
+namespace
+{
+
+thread_local bool tls_in_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    fatalIf(threads < 1, "thread pool needs at least one worker");
+    ensureWorkers(threads);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        fatalIf(stopping_, "submit on a stopping thread pool");
+        tasks_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::ensureWorkers(int threads)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    while (static_cast<int>(workers_.size()) < threads)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+int
+ThreadPool::threads() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(workers_.size());
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("CRYOWIRE_JOBS")) {
+        try {
+            const int jobs = std::stoi(env);
+            if (jobs > 0)
+                return jobs;
+        } catch (...) {
+            // Fall through to the hardware default on garbage input.
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultThreads());
+    return pool;
+}
+
+bool
+ThreadPool::inWorker()
+{
+    return tls_in_worker;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_in_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping and drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace cryo

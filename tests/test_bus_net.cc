@@ -188,6 +188,46 @@ TEST(BusNet, UtilizationTracksLoad)
     EXPECT_GT(busy.utilization(), 0.5);
 }
 
+TEST(BusNet, UtilizationCountsOnlyBroadcastWindow)
+{
+    // Hand-scheduled CryoBus trace (request 1, arb 1, grant+control 2,
+    // broadcast 1): a packet injected at cycle 0 is requested at
+    // cycle 1, granted at cycle 1, and occupies the medium only at
+    // cycle 4 — one busy cycle out of ten. The grant-to-broadcast gap
+    // (cycles 2-3) must not count as busy.
+    BusNetwork net(16, cryoBusTiming());
+    net.inject(makePacket(1, 2, 9));
+    for (int c = 0; c < 10; ++c)
+        net.step();
+    EXPECT_DOUBLE_EQ(net.utilization(), 0.1);
+
+    // A 3-flit packet holds the medium for broadcast + 2 tail cycles:
+    // window [4, 7), so exactly three busy cycles.
+    BusNetwork multi(16, cryoBusTiming());
+    multi.inject(makePacket(1, 2, 9, 3));
+    for (int c = 0; c < 10; ++c)
+        multi.step();
+    EXPECT_DOUBLE_EQ(multi.utilization(), 0.3);
+}
+
+TEST(BusNet, SaturatedWayReportsFullUtilization)
+{
+    // Back-to-back grants chain broadcast windows with no gaps, so a
+    // saturated single-way bus converges to ~100% busy.
+    BusNetwork net(16, cryoBusTiming());
+    std::uint64_t id = 1;
+    for (int c = 0; c < 600; ++c) {
+        for (int n = 0; n < 4; ++n) {
+            const std::uint64_t i = id++;
+            net.inject(makePacket(i, static_cast<int>(i % 16),
+                                  static_cast<int>((i + 3) % 16)));
+        }
+        net.step();
+    }
+    EXPECT_GT(net.utilization(), 0.95);
+    EXPECT_LE(net.utilization(), 1.0);
+}
+
 TEST(BusNet, RejectsBadConfigs)
 {
     BusTiming bad;

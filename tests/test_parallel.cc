@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: the thread pool, the chunked
+ * deterministic parallelFor/parallelMap, and the bitwise determinism
+ * of the netsim load-latency sweep across job counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "netsim/bus_net.hh"
+#include "netsim/load_latency.hh"
+#include "noc/noc_config.hh"
+#include "tech/technology.hh"
+#include "util/log.hh"
+#include "util/parallel.hh"
+#include "util/rng.hh"
+#include "util/thread_pool.hh"
+
+namespace
+{
+
+using namespace cryo;
+using namespace cryo::netsim;
+
+TEST(ThreadPool, DefaultThreadsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&done] { ++done; });
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (done.load() < 32 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, GrowsButNeverShrinks)
+{
+    ThreadPool pool(1);
+    pool.ensureWorkers(3);
+    EXPECT_EQ(pool.threads(), 3);
+    pool.ensureWorkers(2);
+    EXPECT_EQ(pool.threads(), 3);
+}
+
+TEST(Parallel, CoversEveryIndexExactlyOnce)
+{
+    constexpr std::size_t n = 1000;
+    std::vector<int> hits(n, 0);
+    ParallelOptions par;
+    par.jobs = 8;
+    par.chunk = 7; // deliberately not dividing n
+    parallelFor(n, [&hits](std::size_t i) { ++hits[i]; }, par);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(Parallel, MapIsIndexOrdered)
+{
+    ParallelOptions par;
+    par.jobs = 8;
+    const auto sq = parallelMap(
+        100,
+        [](std::size_t i) { return static_cast<double>(i * i); },
+        par);
+    ASSERT_EQ(sq.size(), 100u);
+    for (std::size_t i = 0; i < sq.size(); ++i)
+        EXPECT_DOUBLE_EQ(sq[i], static_cast<double>(i * i));
+}
+
+TEST(Parallel, EmptyAndSingleIndex)
+{
+    int calls = 0;
+    parallelFor(0, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, [&calls](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, PropagatesFirstException)
+{
+    ParallelOptions par;
+    par.jobs = 4;
+    EXPECT_THROW(parallelFor(
+                     64,
+                     [](std::size_t i) {
+                         fatalIf(i == 40, "injected failure");
+                     },
+                     par),
+                 FatalError);
+}
+
+TEST(Parallel, NestedCallsRunSerially)
+{
+    std::atomic<int> calls{0};
+    ParallelOptions par;
+    par.jobs = 4;
+    parallelFor(
+        4,
+        [&calls, par](std::size_t) {
+            parallelFor(
+                8, [&calls](std::size_t) { ++calls; }, par);
+        },
+        par);
+    EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(Rng, DerivedSeedsAreDeterministicAndDistinct)
+{
+    EXPECT_EQ(Rng::deriveSeed(7, 3), Rng::deriveSeed(7, 3));
+    EXPECT_NE(Rng::deriveSeed(7, 3), Rng::deriveSeed(7, 4));
+    EXPECT_NE(Rng::deriveSeed(7, 3), Rng::deriveSeed(8, 3));
+    // Consecutive streams must not produce consecutive raw seeds.
+    EXPECT_NE(Rng::deriveSeed(7, 4) - Rng::deriveSeed(7, 3), 1u);
+}
+
+TEST(Parallel, SweepBitwiseIdenticalAcrossJobCounts)
+{
+    static tech::Technology technology = tech::Technology::freePdk45();
+    noc::NocDesigner designer{technology};
+    const BusTiming timing =
+        BusTiming::fromConfig(designer.cryoBus(), 1);
+    const NetworkFactory factory =
+        [timing]() -> std::unique_ptr<Network> {
+        return std::make_unique<BusNetwork>(64, timing);
+    };
+
+    const std::vector<double> rates = {0.002, 0.006, 0.010,
+                                       0.014, 0.018, 0.022};
+    TrafficSpec tr;
+    MeasureOpts opts;
+    opts.warmupCycles = 500;
+    opts.measureCycles = 2000;
+
+    ParallelOptions serial;
+    serial.jobs = 1;
+    const auto reference = sweepLoadLatency(factory, tr, rates, opts,
+                                            serial);
+    ASSERT_EQ(reference.size(), rates.size());
+
+    for (int jobs : {2, 8}) {
+        ParallelOptions par;
+        par.jobs = jobs;
+        const auto curve =
+            sweepLoadLatency(factory, tr, rates, opts, par);
+        ASSERT_EQ(curve.size(), reference.size());
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            // Bitwise identity, not a tolerance: the parallel engine
+            // must not perturb any measurement.
+            EXPECT_EQ(curve[i].injectionRate,
+                      reference[i].injectionRate)
+                << "jobs=" << jobs << " point " << i;
+            EXPECT_EQ(curve[i].avgLatency, reference[i].avgLatency)
+                << "jobs=" << jobs << " point " << i;
+            EXPECT_EQ(curve[i].p99Latency, reference[i].p99Latency)
+                << "jobs=" << jobs << " point " << i;
+            EXPECT_EQ(curve[i].throughput, reference[i].throughput)
+                << "jobs=" << jobs << " point " << i;
+            EXPECT_EQ(curve[i].saturated, reference[i].saturated)
+                << "jobs=" << jobs << " point " << i;
+        }
+    }
+}
+
+} // namespace

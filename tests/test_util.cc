@@ -114,6 +114,43 @@ TEST(Histogram, OverflowCounted)
     EXPECT_DOUBLE_EQ(h.percentile(1.0), 4.0);
 }
 
+TEST(Histogram, UnderflowKeptOutOfBinZero)
+{
+    Histogram h(4, 1.0);
+    h.add(-5.0);
+    h.add(-0.5);
+    h.add(0.5);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.underflow(), 2u);
+    // Bin 0 holds only the genuine [0, 1) sample, not the negatives.
+    EXPECT_EQ(h.bins()[0], 1u);
+}
+
+TEST(Histogram, PercentileEdgesLandOnRealSamples)
+{
+    Histogram h(10, 1.0);
+    h.add(3.5); // bin 3
+    h.add(6.5); // bin 6
+    // p0 is the first sample's bin, not empty bin 0's midpoint.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 3.5);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 6.5);
+}
+
+TEST(Histogram, OutOfRangeMassSaturatesToEdges)
+{
+    Histogram h(4, 2.0);
+    h.add(-1.0); // underflow
+    h.add(5.0);  // bin 2
+    h.add(99.0); // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    // Underflow mass reports the lower range edge, overflow the upper.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
+}
+
 TEST(Means, Geometric)
 {
     EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);

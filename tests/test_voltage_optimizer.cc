@@ -106,6 +106,44 @@ TEST_F(VoltageOptimizerTest, EvaluateFlagsMarginViolations)
                      .feasible);
 }
 
+TEST_F(VoltageOptimizerTest, GridIncludesTheMaxEndpoints)
+{
+    // vddMax = minVdd + 75 * 0.01, but a loop accumulating the step in
+    // floating point overshoots 1.30 by an ulp after 75 additions and
+    // silently drops the final column. Constrain the noise-margin
+    // ratio so only the vddMax column is feasible: finding a feasible
+    // point at all proves the endpoint is on the grid.
+    VoltageConstraints c;
+    c.totalPowerBudget = 100.0;
+    c.vthMin = 0.25;
+    c.vthMax = 0.25;
+    c.minVddVthRatio = 5.18; // only vdd >= 1.295 passes margins
+    const auto r = opt.optimize(core, base, 77.0,
+                                VoltageObjective::Frequency, c);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_NEAR(r.voltage.vdd, c.vddMax, 1e-9);
+    EXPECT_NEAR(r.voltage.vth, 0.25, 1e-9);
+}
+
+TEST_F(VoltageOptimizerTest, GridSurvivesNonDividingStep)
+{
+    // A step that doesn't divide the range: [0.60, 0.70] at 0.03 has
+    // points {0.60, 0.63, 0.66, 0.69}; the traversal must neither skip
+    // past 0.69 nor invent a point beyond vddMax.
+    VoltageConstraints c;
+    c.totalPowerBudget = 10.0;
+    c.minVdd = 0.60;
+    c.vddMax = 0.70;
+    c.vddStep = 0.03;
+    c.vthMin = 0.25;
+    c.vthMax = 0.25;
+    c.minVddVthRatio = 2.75; // only vdd >= 0.6875 passes margins
+    const auto r = opt.optimize(core, base, 77.0,
+                                VoltageObjective::Frequency, c);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_NEAR(r.voltage.vdd, 0.69, 1e-9);
+}
+
 TEST_F(VoltageOptimizerTest, RejectsDegenerateGrid)
 {
     VoltageConstraints c;
