@@ -39,12 +39,13 @@ main()
         const Floorplan fp = Floorplan::skylakeLike().scaled(area);
         CriticalPathModel model{technology, fp};
         Superpipeliner sp{model};
-        const auto plan = sp.plan(baseline, 77.0);
-        const double freq = model.frequency(plan.result, 77.0);
+        const auto plan = sp.plan(baseline, constants::ln2Temp);
+        const double freq =
+            model.frequency(plan.result, constants::ln2Temp).value();
         if (area == 1.0)
             full_freq = freq;
         t.addRow({Table::num(area, 2) + "x",
-                  Table::num(fp.forwardingWireLength() * 1e6, 0),
+                  Table::num(fp.forwardingWireLength().value() * 1e6, 0),
                   Table::num(plan.targetLatency, 3),
                   std::to_string(static_cast<int>(plan.splits.size())),
                   Table::num(freq / 1e9, 2) + " GHz",

@@ -32,13 +32,14 @@ main()
     Table t({"length", "segments 300K", "segments 77K",
              "speed-up (frozen)", "speed-up (redesigned)",
              "left on table"});
-    for (double len : {2 * mm, 6 * mm, 12 * mm, 20 * mm}) {
-        const auto d300 = wire.optimize(len, 300.0);
-        const auto d77 = wire.optimize(len, 77.0);
+    for (Metre len : {2 * mm, 6 * mm, 12 * mm, 20 * mm}) {
+        const auto d300 = wire.optimize(len, constants::roomTemp);
+        const auto d77 = wire.optimize(len, constants::ln2Temp);
         const double frozen =
-            d300.delay / wire.delayWithFrozenLayout(len, 300.0, 77.0);
+            d300.delay / wire.delayWithFrozenLayout(len, constants::roomTemp,
+                                                    constants::ln2Temp);
         const double redesigned = d300.delay / d77.delay;
-        t.addRow({Table::num(len * 1e3, 0) + " mm",
+        t.addRow({Table::num(len.value() * 1e3, 0) + " mm",
                   std::to_string(d300.segments),
                   std::to_string(d77.segments), Table::mult(frozen),
                   Table::mult(redesigned),

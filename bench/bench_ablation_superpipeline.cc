@@ -36,9 +36,10 @@ main()
     for (double temp : {300.0, 250.0, 200.0, 150.0, 125.0, 100.0,
                         77.0}) {
         Superpipeliner sp{model};
-        const auto plan = sp.plan(baseline, temp);
-        const double f_gain = model.frequency(plan.result, temp)
-            / model.frequency(baseline, temp);
+        const units::Kelvin t_k{temp};
+        const auto plan = sp.plan(baseline, t_k);
+        const double f_gain = model.frequency(plan.result, t_k)
+            / model.frequency(baseline, t_k);
         const double ipc_factor =
             ipc.frontendDeepeningFactor(plan.addedStages);
         const double net = f_gain * ipc_factor;
@@ -58,11 +59,11 @@ main()
              "net gain at 77K"});
     for (double overhead : {0.02, 0.05, 0.08, 0.12, 0.16, 0.22}) {
         Superpipeliner sp{model, overhead};
-        const auto plan = sp.plan(baseline, 77.0);
-        const double f_vs_300 = model.frequency(plan.result, 77.0)
-            / model.frequency(baseline, 300.0);
-        const double net = model.frequency(plan.result, 77.0)
-            / model.frequency(baseline, 77.0)
+        const auto plan = sp.plan(baseline, constants::ln2Temp);
+        const double f_vs_300 = model.frequency(plan.result, constants::ln2Temp)
+            / model.frequency(baseline, constants::roomTemp);
+        const double net = model.frequency(plan.result, constants::ln2Temp)
+            / model.frequency(baseline, constants::ln2Temp)
             * ipc.frontendDeepeningFactor(plan.addedStages);
         o.addRow({Table::num(overhead, 2),
                   std::to_string(

@@ -32,9 +32,9 @@ cryoSpGain(const tech::Technology &technology)
                                       pipeline::Floorplan::skylakeLike()};
     pipeline::Superpipeliner sp{model};
     const auto baseline = pipeline::boomSkylakeStages();
-    const auto plan = sp.plan(baseline, 77.0);
-    return model.frequency(plan.result, 77.0)
-        / model.frequency(baseline, 300.0);
+    const auto plan = sp.plan(baseline, constants::ln2Temp);
+    return model.frequency(plan.result, constants::ln2Temp)
+        / model.frequency(baseline, constants::roomTemp);
 }
 
 } // namespace
@@ -54,14 +54,15 @@ main()
         noc::WireLink link{technology};
         t.addRow({Table::num(node, 0) + " nm",
                   Table::mult(technology.wireSpeedup(
-                      tech::WireLayer::Local, 2 * mm, 77.0, 64.0)),
+                      tech::WireLayer::Local, 2 * mm, constants::ln2Temp, 64.0)),
                   Table::mult(technology.wireSpeedup(
-                      tech::WireLayer::SemiGlobal, 1686 * um, 77.0,
-                      140.0)),
+                      tech::WireLayer::SemiGlobal, 1686 * um,
+                      constants::ln2Temp, 140.0)),
                   Table::mult(technology.repeateredWireSpeedup(
-                      tech::WireLayer::Global, 6 * mm, 77.0)),
+                      tech::WireLayer::Global, 6 * mm, constants::ln2Temp)),
                   std::to_string(link.hopsPerCycle(
-                      4.0e9, 77.0, noc::NocDesigner::kV300)),
+                      4.0 * GHz, constants::ln2Temp,
+                      noc::NocDesigner::kV300)),
                   Table::mult(cryoSpGain(technology))});
     }
     t.addRule();
@@ -70,14 +71,15 @@ main()
         noc::WireLink link{mitigated};
         t.addRow({"10 nm + thick fwd wires",
                   Table::mult(mitigated.wireSpeedup(
-                      tech::WireLayer::Local, 2 * mm, 77.0, 64.0)),
+                      tech::WireLayer::Local, 2 * mm, constants::ln2Temp, 64.0)),
                   Table::mult(mitigated.wireSpeedup(
-                      tech::WireLayer::SemiGlobal, 1686 * um, 77.0,
-                      140.0)),
+                      tech::WireLayer::SemiGlobal, 1686 * um,
+                      constants::ln2Temp, 140.0)),
                   Table::mult(mitigated.repeateredWireSpeedup(
-                      tech::WireLayer::Global, 6 * mm, 77.0)),
+                      tech::WireLayer::Global, 6 * mm, constants::ln2Temp)),
                   std::to_string(link.hopsPerCycle(
-                      4.0e9, 77.0, noc::NocDesigner::kV300)),
+                      4.0 * GHz, constants::ln2Temp,
+                      noc::NocDesigner::kV300)),
                   Table::mult(cryoSpGain(mitigated))});
     }
     t.print();

@@ -33,7 +33,7 @@ main()
         for (const char *name : kFig2Stages) {
             if (stage.name != name)
                 continue;
-            const auto d = model.stageDelay(stage, 300.0);
+            const auto d = model.stageDelay(stage, constants::roomTemp);
             t.addRow({stage.name, Table::num(d.total()),
                       Table::num(d.logic), Table::num(d.wire),
                       Table::pct(d.wireFraction())});

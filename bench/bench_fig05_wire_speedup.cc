@@ -27,42 +27,44 @@ main()
     auto technology = tech::Technology::freePdk45();
 
     Table a({"wire (no repeaters)", "length", "77K speed-up"});
-    for (double len :
+    for (Metre len :
          {100 * um, 300 * um, 900 * um, 2 * mm, 5 * mm, 10 * mm}) {
         a.addRow({"local",
-                  Table::num(len * 1e6, 0) + " um",
-                  Table::mult(technology.wireSpeedup(WireLayer::Local,
-                                                     len, 77.0, 64.0))});
+                  Table::num(len.value() * 1e6, 0) + " um",
+                  Table::mult(technology.wireSpeedup(
+                      WireLayer::Local, len, constants::ln2Temp,
+                      64.0))});
     }
     a.addRule();
-    for (double len :
+    for (Metre len :
          {100 * um, 300 * um, 900 * um, 2 * mm, 5 * mm, 10 * mm}) {
         a.addRow({"semi-global",
-                  Table::num(len * 1e6, 0) + " um",
+                  Table::num(len.value() * 1e6, 0) + " um",
                   Table::mult(technology.wireSpeedup(
-                      WireLayer::SemiGlobal, len, 77.0, 140.0))});
+                      WireLayer::SemiGlobal, len, constants::ln2Temp,
+                      140.0))});
     }
     a.addRule();
     a.addRow({"local asymptote (paper max 2.95x)", "-",
               Table::mult(1.0 /
                           technology.wire(WireLayer::Local)
-                              .resistanceRatio(77.0))});
+                              .resistanceRatio(constants::ln2Temp))});
     a.addRow({"semi-global asymptote (paper max 3.69x)", "-",
               Table::mult(1.0 /
                           technology.wire(WireLayer::SemiGlobal)
-                              .resistanceRatio(77.0))});
+                              .resistanceRatio(constants::ln2Temp))});
     a.print();
 
     Table b({"wire (latency-optimal repeaters)", "paper", "measured"});
     b.addRow({"semi-global @ 900 um", "2.25x",
               Table::mult(technology.repeateredWireSpeedup(
-                  WireLayer::SemiGlobal, 900 * um, 77.0))});
+                  WireLayer::SemiGlobal, 900 * um, constants::ln2Temp))});
     b.addRow({"global @ 6.22 mm", "3.38x",
               Table::mult(technology.repeateredWireSpeedup(
-                  WireLayer::Global, 6.22 * mm, 77.0))});
+                  WireLayer::Global, 6.22 * mm, constants::ln2Temp))});
     b.addRow({"forwarding wire @ 1686 um (unrepeated)", "2.81x",
               Table::mult(technology.wireSpeedup(
-                  WireLayer::SemiGlobal, 1686 * um, 77.0, 140.0))});
+                  WireLayer::SemiGlobal, 1686 * um, constants::ln2Temp, 140.0))});
     b.print();
 
     bench::printVerdict(

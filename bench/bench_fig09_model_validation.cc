@@ -53,12 +53,13 @@ main()
     auto technology = tech::Technology::freePdk45();
     CriticalPathModel model{technology, Floorplan::skylakeLike()};
     const auto stages = boomSkylakeStages();
-    const double pipe_model = model.frequency(stages, 135.0)
-        / model.frequency(stages, 300.0);
+    const double pipe_model = model.frequency(stages, constants::validationTemp)
+        / model.frequency(stages, constants::roomTemp);
 
-    noc::RouterModel router{technology, noc::RouterSpec{}, 4.0e9,
-                            noc::NocDesigner::kV300};
-    const double router_model = router.speedup(135.0);
+    noc::RouterModel router{technology, noc::RouterSpec{},
+                            4.0 * units::GHz, noc::NocDesigner::kV300};
+    const double router_model =
+        router.speedup(constants::validationTemp);
 
     Table t({"model", "prediction", "measured", "error",
              "paper's model"});

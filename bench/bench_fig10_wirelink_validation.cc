@@ -26,13 +26,15 @@ main()
 
     // The "Hspice" reference: the full repeatered-RC computation.
     const double hspice = technology.repeateredWireSpeedup(
-        tech::WireLayer::Global, 6 * mm, 77.0);
+        tech::WireLayer::Global, 6 * mm, constants::ln2Temp);
 
     // The link model's prediction at the NoC operating points.
     noc::WireLink link{technology};
     const double model_77 =
-        link.linkDelay(6 * mm, 300.0, noc::NocDesigner::kV300)
-        / link.linkDelay(6 * mm, 77.0, noc::NocDesigner::kV300);
+        link.linkDelay(6 * mm, constants::roomTemp,
+                       noc::NocDesigner::kV300)
+        / link.linkDelay(6 * mm, constants::ln2Temp,
+                         noc::NocDesigner::kV300);
 
     Table t({"quantity", "paper", "measured"});
     t.addRow({"6 mm link speed-up (Hspice ref)", "3.05x",
@@ -43,13 +45,15 @@ main()
               Table::pct(std::abs(model_77 - hspice) / hspice)});
     t.addRule();
     t.addRow({"2 mm hop delay @300K (CACTI: 0.064 ns)", "0.064 ns",
-              Table::num(link.hopDelay(300.0) * 1e9, 4) + " ns"});
+              Table::num(link.hopDelay(constants::roomTemp).value() * 1e9, 4) + " ns"});
     t.addRow({"hops per 4 GHz cycle @300K", "4",
               std::to_string(link.hopsPerCycle(
-                  4.0e9, 300.0, noc::NocDesigner::kV300))});
+                  4.0 * GHz, constants::roomTemp,
+                  noc::NocDesigner::kV300))});
     t.addRow({"hops per 4 GHz cycle @77K", "12",
               std::to_string(link.hopsPerCycle(
-                  4.0e9, 77.0, noc::NocDesigner::kV300))});
+                  4.0 * GHz, constants::ln2Temp,
+                  noc::NocDesigner::kV300))});
     t.print();
 
     bench::printVerdict(

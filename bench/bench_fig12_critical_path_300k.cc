@@ -26,7 +26,7 @@ main()
     const auto stages = boomSkylakeStages();
 
     Table t({"stage", "kind", "delay", "wire share", "pipelinable"});
-    for (const auto &d : model.stageDelays(stages, 300.0)) {
+    for (const auto &d : model.stageDelays(stages, constants::roomTemp)) {
         t.addRow({d.name,
                   d.kind == StageKind::Frontend ? "frontend" : "backend",
                   Table::num(d.total()), Table::pct(d.wireFraction()),
@@ -34,9 +34,9 @@ main()
     }
     t.addRule();
     t.addRow({"critical stage",
-              model.criticalStage(stages, 300.0,
+              model.criticalStage(stages, constants::roomTemp,
                                   technology.mosfet().params().nominal),
-              Table::num(model.maxDelay(stages, 300.0)), "", ""});
+              Table::num(model.maxDelay(stages, constants::roomTemp)), "", ""});
     t.addRow({"frontend avg wire (paper ~19%)", "",
               "", Table::pct(averageWireFraction(stages,
                                                  StageKind::Frontend)),

@@ -29,18 +29,18 @@ main()
     const auto stages = boomSkylakeStages();
 
     Table t({"stage", "300K", "77K", "reduction"});
-    const auto d300 = model.stageDelays(stages, 300.0);
-    const auto d77 = model.stageDelays(stages, 77.0);
+    const auto d300 = model.stageDelays(stages, constants::roomTemp);
+    const auto d77 = model.stageDelays(stages, constants::ln2Temp);
     for (std::size_t i = 0; i < stages.size(); ++i) {
         t.addRow({d77[i].name, Table::num(d300[i].total()),
                   Table::num(d77[i].total()),
                   Table::pct(1.0 - d77[i].total() / d300[i].total())});
     }
     t.addRule();
-    const double max300 = model.maxDelay(stages, 300.0);
-    const double max77 = model.maxDelay(stages, 77.0);
+    const double max300 = model.maxDelay(stages, constants::roomTemp);
+    const double max77 = model.maxDelay(stages, constants::ln2Temp);
     t.addRow({"max (critical: " +
-                  model.criticalStage(stages, 77.0,
+                  model.criticalStage(stages, constants::ln2Temp,
                                       technology.mosfet()
                                           .params().nominal) +
                   ")",

@@ -28,7 +28,7 @@ main()
     CriticalPathModel model{technology, Floorplan::skylakeLike()};
     Superpipeliner sp{model};
     const auto baseline = boomSkylakeStages();
-    const auto plan = sp.plan(baseline, 77.0);
+    const auto plan = sp.plan(baseline, constants::ln2Temp);
 
     std::printf("target latency: %.3f (stage: %s)\nsplits:",
                 plan.targetLatency, plan.targetStage.c_str());
@@ -37,15 +37,15 @@ main()
     std::printf("\n\n");
 
     Table t({"stage", "77K delay", "under target"});
-    for (const auto &d : model.stageDelays(plan.result, 77.0)) {
+    for (const auto &d : model.stageDelays(plan.result, constants::ln2Temp)) {
         t.addRow({d.name, Table::num(d.total()),
                   d.total() <= plan.targetLatency + 1e-9 ? "yes" : "NO"});
     }
     t.print();
 
-    const double max300 = model.maxDelay(baseline, 300.0);
-    const double max77b = model.maxDelay(baseline, 77.0);
-    const double max77sp = model.maxDelay(plan.result, 77.0);
+    const double max300 = model.maxDelay(baseline, constants::roomTemp);
+    const double max77b = model.maxDelay(baseline, constants::ln2Temp);
+    const double max77sp = model.maxDelay(plan.result, constants::ln2Temp);
     Table s({"metric", "paper", "measured"});
     s.addRow({"cycle-time reduction vs 300K", "38.0%",
               Table::pct(1.0 - max77sp / max300)});

@@ -59,7 +59,7 @@ main()
         }
         t.addRow({Table::num(temp, 0),
                   Table::num(design.core.frequency / 1e9, 2) + " GHz",
-                  Table::num(cooling.overhead(temp), 2),
+                  Table::num(cooling.overhead(units::Kelvin{temp}), 2),
                   Table::mult(perf), Table::num(p.device(), 3),
                   Table::num(p.total(), 3), Table::num(ppw, 2)});
     }

@@ -31,12 +31,12 @@ void
 BM_RepeaterOptimize(benchmark::State &state)
 {
     using namespace units;
-    const double len = static_cast<double>(state.range(0)) * mm;
+    const Metre len = static_cast<double>(state.range(0)) * mm;
     tech::RepeateredWire rep{
         technology().wire(tech::WireLayer::Global),
         technology().mosfet()};
     for (auto _ : state)
-        benchmark::DoNotOptimize(rep.optimize(len, 77.0));
+        benchmark::DoNotOptimize(rep.optimize(len, constants::ln2Temp));
 }
 BENCHMARK(BM_RepeaterOptimize)->Arg(2)->Arg(6)->Arg(20);
 
@@ -47,7 +47,7 @@ BM_CriticalPath(benchmark::State &state)
                                       pipeline::Floorplan::skylakeLike()};
     const auto stages = pipeline::boomSkylakeStages();
     for (auto _ : state)
-        benchmark::DoNotOptimize(model.maxDelay(stages, 77.0));
+        benchmark::DoNotOptimize(model.maxDelay(stages, constants::ln2Temp));
 }
 BENCHMARK(BM_CriticalPath);
 
@@ -59,7 +59,7 @@ BM_SuperpipelinePlan(benchmark::State &state)
     pipeline::Superpipeliner sp{model};
     const auto stages = pipeline::boomSkylakeStages();
     for (auto _ : state)
-        benchmark::DoNotOptimize(sp.plan(stages, 77.0));
+        benchmark::DoNotOptimize(sp.plan(stages, constants::ln2Temp));
 }
 BENCHMARK(BM_SuperpipelinePlan);
 

@@ -23,17 +23,17 @@ main()
     const Floorplan fp = Floorplan::skylakeLike();
 
     Table t({"unit", "area (um^2)", "width (um)", "height (um)"});
-    t.addRow({"ALU", Table::num(fp.alu().area * 1e12, 0),
-              Table::num(fp.alu().width * 1e6, 0),
-              Table::num(fp.alu().height() * 1e6, 1)});
-    t.addRow({"Register file", Table::num(fp.regfile().area * 1e12, 0),
-              Table::num(fp.regfile().width * 1e6, 0),
-              Table::num(fp.regfile().height() * 1e6, 1)});
+    t.addRow({"ALU", Table::num(fp.alu().area.value() * 1e12, 0),
+              Table::num(fp.alu().width.value() * 1e6, 0),
+              Table::num(fp.alu().height().value() * 1e6, 1)});
+    t.addRow({"Register file", Table::num(fp.regfile().area.value() * 1e12, 0),
+              Table::num(fp.regfile().width.value() * 1e6, 0),
+              Table::num(fp.regfile().height().value() * 1e6, 1)});
     t.addRule();
     t.addRow({"Forwarding wire (8*ALU + RF)", "paper: 1686 um", "",
-              Table::num(fp.forwardingWireLength() * 1e6, 1) + " um"});
+              Table::num(fp.forwardingWireLength().value() * 1e6, 1) + " um"});
     t.addRow({"Writeback wire (8*ALU + RF/2)", "", "",
-              Table::num(fp.writebackWireLength() * 1e6, 1) + " um"});
+              Table::num(fp.writebackWireLength().value() * 1e6, 1) + " um"});
     t.print();
 
     bench::printVerdict("Table 1 reproduced from the unit geometry.");

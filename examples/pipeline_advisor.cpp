@@ -41,15 +41,16 @@ main(int argc, char **argv)
     const auto baseline = boomSkylakeStages();
 
     std::printf("Superpipelining advisor at %.0f K\n", temp_k);
+    const cryo::units::Kelvin temp{temp_k};
 
     Table t({"stage", "delay", "pipelinable"});
-    for (const auto &d : model.stageDelays(baseline, temp_k)) {
+    for (const auto &d : model.stageDelays(baseline, temp)) {
         t.addRow({d.name, Table::num(d.total()),
                   d.pipelinable ? "yes" : "no"});
     }
     t.print();
 
-    const auto plan = planner.plan(baseline, temp_k);
+    const auto plan = planner.plan(baseline, temp);
     if (!plan.effective()) {
         std::printf("\nNo stage exceeds the un-pipelinable target "
                     "(%.3f, %s): further pipelining is pointless at "
@@ -68,8 +69,8 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
-    const double f_before = model.frequency(baseline, temp_k);
-    const double f_after = model.frequency(plan.result, temp_k);
+    const double f_before = model.frequency(baseline, temp).value();
+    const double f_after = model.frequency(plan.result, temp).value();
     const double ipc_factor =
         ipc.frontendDeepeningFactor(plan.addedStages);
     std::printf("\nfrequency: %.2f -> %.2f GHz (+%.1f%%)\n",

@@ -23,9 +23,9 @@ main()
     auto technology = tech::Technology::freePdk45();
     std::printf("wire speed-up at 77 K (semi-global, long): %.2fx\n",
                 1.0 / technology.wire(tech::WireLayer::SemiGlobal)
-                          .resistanceRatio(77.0));
+                          .resistanceRatio(constants::ln2Temp));
     std::printf("transistor speed-up at 77 K: %.2fx\n",
-                technology.transistorSpeedup(77.0));
+                technology.transistorSpeedup(constants::ln2Temp));
 
     // 2. Derive the cores: the wire-aware superpipelined CryoSP vs the
     //    prior-art CHP-core and the 300 K baseline.

@@ -59,7 +59,7 @@ main(int argc, char **argv)
                   std::to_string(
                       design.noc.busBreakdown().broadcast) + " cyc",
                   Table::mult(perf),
-                  Table::num(cooling.overhead(temp), 2) + " W/W",
+                  Table::num(cooling.overhead(cryo::units::Kelvin{temp}), 2) + " W/W",
                   Table::num(p.total(), 3),
                   Table::num(perf / p.total(), 2)});
     }

@@ -100,7 +100,8 @@ SystemBuilder::atTemperature(double temp_k) const
     d.core.voltage = v;
     pipeline::CriticalPathModel model{tech_,
                                       pipeline::Floorplan::skylakeLike()};
-    d.core.frequency = model.frequency(d.core.stages, temp_k, v);
+    d.core.frequency =
+        model.frequency(d.core.stages, units::Kelvin{temp_k}, v).value();
     d.noc = nocDesigner_.cryoBusAt(temp_k);
     d.mem = mem::MemTiming::atTemperature(temp_k);
     return d;

@@ -56,14 +56,15 @@ VoltageOptimizer::evaluate(const pipeline::CoreConfig &core,
         v.vdd <= v.vth) {
         return p; // margin violation
     }
-    p.leakageFactor = mosfet.leakageFactor(temp_k, v);
-    if (!mosfet.voltageScalingFeasible(temp_k, v))
+    const units::Kelvin temp{temp_k};
+    p.leakageFactor = mosfet.leakageFactor(temp, v);
+    if (!mosfet.voltageScalingFeasible(temp, v))
         return p; // would leak more than the 300 K baseline
 
     pipeline::CoreConfig candidate = core;
     candidate.tempK = temp_k;
     candidate.voltage = v;
-    candidate.frequency = model_.frequency(core.stages, temp_k, v);
+    candidate.frequency = model_.frequency(core.stages, temp, v).value();
     const auto power = mcpat_.corePower(candidate, baseline);
     p.frequency = candidate.frequency;
     p.totalPower = power.total();

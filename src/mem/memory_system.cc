@@ -11,10 +11,10 @@ MemTiming::at300()
 {
     using namespace units;
     MemTiming t;
-    t.l1 = 4 / (4 * GHz);
-    t.l2 = 12 / (4 * GHz);
-    t.l3 = 20 / (4 * GHz);
-    t.dram = 60.32 * ns;
+    t.l1 = (4 / (4 * GHz)).value();
+    t.l2 = (12 / (4 * GHz)).value();
+    t.l3 = (20 / (4 * GHz)).value();
+    t.dram = (60.32 * ns).value();
     return t;
 }
 
@@ -23,10 +23,10 @@ MemTiming::at77()
 {
     using namespace units;
     MemTiming t;
-    t.l1 = 2 / (4 * GHz);
-    t.l2 = 6 / (4 * GHz);
-    t.l3 = 10 / (4 * GHz);
-    t.dram = 15.84 * ns;
+    t.l1 = (2 / (4 * GHz)).value();
+    t.l2 = (6 / (4 * GHz)).value();
+    t.l3 = (10 / (4 * GHz)).value();
+    t.dram = (15.84 * ns).value();
     return t;
 }
 

@@ -127,12 +127,13 @@ NocDesigner::routerNoc(std::string name, Topology topo, double temp_k,
     RouterSpec spec;
     spec.pipelineCycles = router_cycles;
     const tech::VoltagePoint v = voltageAt(temp_k);
+    const units::Kelvin temp{temp_k};
     RouterModel router{tech_, spec, 4.0 * units::GHz, kV300};
-    const double freq = router.frequency(temp_k, v);
-    const int hpc = link_.hopsPerCycle(freq, temp_k, v);
+    const units::Hertz freq = router.frequency(temp, v);
+    const int hpc = link_.hopsPerCycle(freq, temp, v);
     return NocConfig{std::move(name), std::move(topo),
-                     Protocol::DirectoryBased, temp_k, v, freq, spec, hpc,
-                     false};
+                     Protocol::DirectoryBased, temp_k, v, freq.value(),
+                     spec, hpc, false};
 }
 
 NocConfig
@@ -142,11 +143,11 @@ NocDesigner::busNoc(std::string name, Topology topo, double temp_k,
     // Buses have no router pipeline; the bus clock stays at the 4 GHz
     // system clock (Table 4: CryoBus runs at 4 GHz).
     const tech::VoltagePoint v = voltageAt(temp_k);
-    const double freq = 4.0 * units::GHz;
-    const int hpc = link_.hopsPerCycle(freq, temp_k, v);
+    const units::Hertz freq = 4.0 * units::GHz;
+    const int hpc = link_.hopsPerCycle(freq, units::Kelvin{temp_k}, v);
     return NocConfig{std::move(name), std::move(topo),
-                     Protocol::SnoopBased, temp_k, v, freq, RouterSpec{},
-                     hpc, dynamic_links};
+                     Protocol::SnoopBased, temp_k, v, freq.value(),
+                     RouterSpec{}, hpc, dynamic_links};
 }
 
 NocConfig

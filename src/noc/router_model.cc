@@ -6,50 +6,56 @@
 namespace cryo::noc
 {
 
+using units::Hertz;
+using units::Kelvin;
+
 RouterModel::RouterModel(const tech::Technology &tech, RouterSpec spec,
-                         double base_freq, tech::VoltagePoint nominal_v)
+                         Hertz base_freq, tech::VoltagePoint nominal_v)
     : tech_(tech), spec_(spec), baseFreq_(base_freq), nominalV_(nominal_v)
 {
-    fatalIf(base_freq <= 0.0, "router base frequency must be positive");
+    fatalIf(base_freq.value() <= 0.0,
+            "router base frequency must be positive");
     fatalIf(spec_.pipelineCycles < 1, "router needs at least one cycle");
     fatalIf(spec_.logicFraction < 0.0 || spec_.logicFraction > 1.0,
             "logic fraction must be in [0, 1]");
 }
 
 double
-RouterModel::delayScale(double temp_k, const tech::VoltagePoint &v) const
+RouterModel::delayScale(Kelvin temp, const tech::VoltagePoint &v) const
 {
     using namespace units;
     // Logic scales with the device; the short local wiring inside the
     // router scales with an unrepeated local wire of modest length.
-    const double logic_ref = tech_.mosfet().delayFactor(300.0, nominalV_);
-    const double logic = tech_.mosfet().delayFactor(temp_k, v) / logic_ref;
+    const double logic_ref =
+        tech_.mosfet().delayFactor(constants::roomTemp, nominalV_);
+    const double logic = tech_.mosfet().delayFactor(temp, v) / logic_ref;
 
     tech::WireRC rc{tech_.wire(tech::WireLayer::Local), tech_.mosfet(),
                     24.0, 8.0};
-    const double wire_ref = rc.delay(200 * um, 300.0, nominalV_);
-    const double wire = rc.delay(200 * um, temp_k, v) / wire_ref;
+    const Second wire_ref =
+        rc.delay(200 * um, constants::roomTemp, nominalV_);
+    const double wire = rc.delay(200 * um, temp, v) / wire_ref;
 
     return spec_.logicFraction * logic
         + (1.0 - spec_.logicFraction) * wire;
 }
 
-double
-RouterModel::frequency(double temp_k, const tech::VoltagePoint &v) const
+Hertz
+RouterModel::frequency(Kelvin temp, const tech::VoltagePoint &v) const
 {
-    return baseFreq_ / delayScale(temp_k, v);
+    return baseFreq_ / delayScale(temp, v);
+}
+
+Hertz
+RouterModel::frequency(Kelvin temp) const
+{
+    return frequency(temp, nominalV_);
 }
 
 double
-RouterModel::frequency(double temp_k) const
+RouterModel::speedup(Kelvin temp) const
 {
-    return frequency(temp_k, nominalV_);
-}
-
-double
-RouterModel::speedup(double temp_k) const
-{
-    return frequency(temp_k) / frequency(300.0);
+    return frequency(temp) / frequency(constants::roomTemp);
 }
 
 } // namespace cryo::noc

@@ -14,6 +14,7 @@
 #define CRYOWIRE_NOC_ROUTER_MODEL_HH
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace cryo::noc
 {
@@ -36,33 +37,35 @@ class RouterModel
     /**
      * @param tech       technology models
      * @param spec       router microarchitecture
-     * @param base_freq  300 K frequency at nominal NoC voltage [Hz]
+     * @param base_freq  300 K frequency at nominal NoC voltage
      * @param nominal_v  the NoC voltage domain's 300 K point
      */
     RouterModel(const tech::Technology &tech, RouterSpec spec,
-                double base_freq = 4.0e9,
+                units::Hertz base_freq = units::Hertz{4.0e9},
                 tech::VoltagePoint nominal_v = {1.0, 0.468});
 
-    /** Clock frequency at (T, V) [Hz]. */
-    double frequency(double temp_k, const tech::VoltagePoint &v) const;
+    /** Clock frequency at (T, V). */
+    units::Hertz frequency(units::Kelvin temp,
+                           const tech::VoltagePoint &v) const;
 
     /** Frequency at the NoC nominal voltage. */
-    double frequency(double temp_k) const;
+    units::Hertz frequency(units::Kelvin temp) const;
 
     /** frequency(T)/frequency(300 K) at nominal voltage. */
-    double speedup(double temp_k) const;
+    double speedup(units::Kelvin temp) const;
 
     const RouterSpec &spec() const { return spec_; }
-    double baseFrequency() const { return baseFreq_; }
+    units::Hertz baseFrequency() const { return baseFreq_; }
     const tech::VoltagePoint &nominalVoltage() const { return nominalV_; }
 
   private:
     /** Critical-path delay multiplier vs (300 K, nominal). */
-    double delayScale(double temp_k, const tech::VoltagePoint &v) const;
+    double delayScale(units::Kelvin temp,
+                      const tech::VoltagePoint &v) const;
 
     const tech::Technology &tech_;
     RouterSpec spec_;
-    double baseFreq_;
+    units::Hertz baseFreq_;
     tech::VoltagePoint nominalV_;
 };
 

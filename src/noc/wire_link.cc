@@ -1,5 +1,6 @@
 #include "wire_link.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/log.hh"
@@ -7,72 +8,78 @@
 namespace cryo::noc
 {
 
+using units::Hertz;
+using units::Kelvin;
+using units::Metre;
+using units::Second;
+
 WireLink::WireLink(const tech::Technology &tech, NucaLayout layout,
                    tech::VoltagePoint nominal_v)
     : tech_(tech), layout_(layout), nominalV_(nominal_v)
 {
     fatalIf(layout_.tilesX < 1 || layout_.tilesY < 1,
             "layout needs at least one tile");
-    fatalIf(layout_.dieWidth <= 0.0 || layout_.dieHeight <= 0.0,
+    fatalIf(layout_.dieWidth.value() <= 0.0 ||
+                layout_.dieHeight.value() <= 0.0,
             "die dimensions must be positive");
 }
 
-double
+Metre
 WireLink::hopLength() const
 {
     return layout_.dieWidth / layout_.tilesX;
 }
 
-double
-WireLink::hopDelay(double temp_k, const tech::VoltagePoint &v) const
+Second
+WireLink::hopDelay(Kelvin temp, const tech::VoltagePoint &v) const
 {
     return tech_.repeateredWireDelay(tech::WireLayer::Global, hopLength(),
-                                     temp_k, v);
+                                     temp, v);
 }
 
-double
-WireLink::hopDelay(double temp_k) const
+Second
+WireLink::hopDelay(Kelvin temp) const
 {
-    return hopDelay(temp_k, nominalV_);
+    return hopDelay(temp, nominalV_);
 }
 
 int
-WireLink::hopsPerCycle(double freq, double temp_k,
+WireLink::hopsPerCycle(Hertz freq, Kelvin temp,
                        const tech::VoltagePoint &v) const
 {
-    fatalIf(freq <= 0.0, "frequency must be positive");
-    const double cycle = 1.0 / freq;
+    fatalIf(freq.value() <= 0.0, "frequency must be positive");
+    const Second cycle = 1.0 / freq;
     // Rounded, not floored: a link within ~10% of the cycle budget is
     // closed with timing margin tuning, matching the paper's 4 and 12
     // hops/cycle for links of 0.064 ns and ~0.021 ns at 0.25 ns cycles.
     const int hops = static_cast<int>(std::llround(cycle
-                                                   / hopDelay(temp_k, v)));
+                                                   / hopDelay(temp, v)));
     return std::max(1, hops);
 }
 
 int
-WireLink::traversalCycles(int hops, double freq, double temp_k,
+WireLink::traversalCycles(int hops, Hertz freq, Kelvin temp,
                           const tech::VoltagePoint &v) const
 {
     fatalIf(hops < 0, "hop count cannot be negative");
     if (hops == 0)
         return 0;
-    const int per_cycle = hopsPerCycle(freq, temp_k, v);
+    const int per_cycle = hopsPerCycle(freq, temp, v);
     return (hops + per_cycle - 1) / per_cycle;
 }
 
-double
-WireLink::linkDelay(double length, double temp_k,
+Second
+WireLink::linkDelay(Metre length, Kelvin temp,
                     const tech::VoltagePoint &v) const
 {
     return tech_.repeateredWireDelay(tech::WireLayer::Global, length,
-                                     temp_k, v);
+                                     temp, v);
 }
 
 double
-WireLink::speedup(double temp_k) const
+WireLink::speedup(Kelvin temp) const
 {
-    return hopDelay(300.0) / hopDelay(temp_k);
+    return hopDelay(constants::roomTemp) / hopDelay(temp);
 }
 
 } // namespace cryo::noc

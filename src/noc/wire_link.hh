@@ -14,6 +14,7 @@
 #define CRYOWIRE_NOC_WIRE_LINK_HH
 
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace cryo::noc
 {
@@ -21,8 +22,8 @@ namespace cryo::noc
 /** NUCA-style layout the link model is derived from. */
 struct NucaLayout
 {
-    double dieWidth = 16e-3;  ///< [m]
-    double dieHeight = 16e-3; ///< [m]
+    units::Metre dieWidth{16e-3};
+    units::Metre dieHeight{16e-3};
     int tilesX = 8;
     int tilesY = 8;
 };
@@ -36,32 +37,33 @@ class WireLink
     WireLink(const tech::Technology &tech, NucaLayout layout = {},
              tech::VoltagePoint nominal_v = {1.0, 0.468});
 
-    /** Distance between adjacent tile centres [m]. */
-    double hopLength() const;
+    /** Distance between adjacent tile centres. */
+    units::Metre hopLength() const;
 
-    /** Latency of one hop at (T, V) [s]. */
-    double hopDelay(double temp_k, const tech::VoltagePoint &v) const;
+    /** Latency of one hop at (T, V). */
+    units::Second hopDelay(units::Kelvin temp,
+                           const tech::VoltagePoint &v) const;
 
     /** Hop latency at the NoC nominal voltage. */
-    double hopDelay(double temp_k) const;
+    units::Second hopDelay(units::Kelvin temp) const;
 
     /**
      * How many hops a signal covers in one cycle of @p freq at (T, V);
      * at least 1 (a sub-hop-per-cycle link is pipelined per hop).
      */
-    int hopsPerCycle(double freq, double temp_k,
+    int hopsPerCycle(units::Hertz freq, units::Kelvin temp,
                      const tech::VoltagePoint &v) const;
 
     /** Latency of a multi-hop traversal, in cycles of @p freq. */
-    int traversalCycles(int hops, double freq, double temp_k,
+    int traversalCycles(int hops, units::Hertz freq, units::Kelvin temp,
                         const tech::VoltagePoint &v) const;
 
-    /** End-to-end latency of an arbitrary-length link [s]. */
-    double linkDelay(double length, double temp_k,
-                     const tech::VoltagePoint &v) const;
+    /** End-to-end latency of an arbitrary-length link. */
+    units::Second linkDelay(units::Metre length, units::Kelvin temp,
+                            const tech::VoltagePoint &v) const;
 
     /** hopDelay(300 K) / hopDelay(T) at nominal voltage. */
-    double speedup(double temp_k) const;
+    double speedup(units::Kelvin temp) const;
 
     const NucaLayout &layout() const { return layout_; }
 

@@ -49,8 +49,9 @@ CoreDesigner::baseline300() const
     c.voltage = kNominalV;
     c.stages = boomSkylakeStages();
     c.pipelineDepth = kBaselineDepth;
-    c.frequency = model_.frequency(c.stages, 300.0, c.voltage);
-    c.paperFrequency = 4.0 * units::GHz;
+    c.frequency = model_.frequency(c.stages, constants::roomTemp,
+                                   c.voltage).value();
+    c.paperFrequency = (4.0 * units::GHz).value();
     c.ipcFactor = 1.0;
     c.paperCorePower = 1.0;
     c.paperTotalPower = 1.0;
@@ -63,7 +64,8 @@ CoreDesigner::baseline77() const
     CoreConfig c = baseline300();
     c.name = "77K Baseline (cooled only)";
     c.tempK = 77.0;
-    c.frequency = model_.frequency(c.stages, 77.0, c.voltage);
+    c.frequency = model_.frequency(c.stages, constants::ln2Temp,
+                                   c.voltage).value();
     // Not a Table-3 column; the paper quotes ~15-19% gain from cooling
     // alone [16], which is what this design point shows.
     c.paperFrequency = c.frequency;
@@ -78,11 +80,13 @@ CoreDesigner::superpipeline77() const
     c.tempK = 77.0;
     c.voltage = kNominalV;
     Superpipeliner sp{model_};
-    const auto plan = sp.plan(boomSkylakeStages(), 77.0, c.voltage);
+    const auto plan = sp.plan(boomSkylakeStages(), constants::ln2Temp,
+                              c.voltage);
     c.stages = plan.result;
     c.pipelineDepth = kBaselineDepth + plan.addedStages;
-    c.frequency = model_.frequency(c.stages, 77.0, c.voltage);
-    c.paperFrequency = 6.4 * units::GHz;
+    c.frequency = model_.frequency(c.stages, constants::ln2Temp,
+                                   c.voltage).value();
+    c.paperFrequency = (6.4 * units::GHz).value();
     c.ipcFactor = 0.96; // Table 3: -4.2% from deeper frontend
     c.paperCorePower = 1.61;
     c.paperTotalPower = 17.15;
@@ -109,10 +113,12 @@ CoreDesigner::cryoSP() const
     CoreConfig c = superpipelineCryoCore77();
     c.name = "77K CryoSP";
     c.voltage = kCryoSpV;
-    fatalIf(!tech_.mosfet().voltageScalingFeasible(77.0, kCryoSpV),
+    fatalIf(!tech_.mosfet().voltageScalingFeasible(constants::ln2Temp,
+                                                   kCryoSpV),
             "CryoSP voltage point leaks more than the 300 K baseline");
-    c.frequency = model_.frequency(c.stages, 77.0, c.voltage);
-    c.paperFrequency = 7.84 * units::GHz;
+    c.frequency = model_.frequency(c.stages, constants::ln2Temp,
+                                   c.voltage).value();
+    c.paperFrequency = (7.84 * units::GHz).value();
     c.ipcFactor = 0.90;
     c.paperCorePower = 0.093;
     c.paperTotalPower = 1.0;
@@ -126,13 +132,15 @@ CoreDesigner::chpCore() const
     c.name = "CHP-core";
     c.tempK = 77.0;
     c.voltage = kChpV;
-    fatalIf(!tech_.mosfet().voltageScalingFeasible(77.0, kChpV),
+    fatalIf(!tech_.mosfet().voltageScalingFeasible(constants::ln2Temp,
+                                                   kChpV),
             "CHP-core voltage point leaks more than the 300 K baseline");
     c.structures = cryoCoreStructures();
     c.stages = boomSkylakeStages(); // no superpipelining in CHP-core
     c.pipelineDepth = kBaselineDepth;
-    c.frequency = model_.frequency(c.stages, 77.0, c.voltage);
-    c.paperFrequency = 6.1 * units::GHz;
+    c.frequency = model_.frequency(c.stages, constants::ln2Temp,
+                                   c.voltage).value();
+    c.paperFrequency = (6.1 * units::GHz).value();
     c.ipcFactor = 0.93;
     c.paperCorePower = 0.093;
     c.paperTotalPower = 1.0;

@@ -8,11 +8,16 @@
 namespace cryo::pipeline
 {
 
+using units::Hertz;
+using units::Kelvin;
+using units::Second;
+
 CriticalPathModel::CriticalPathModel(const tech::Technology &tech,
-                                     Floorplan floorplan, double ref_freq)
+                                     Floorplan floorplan, Hertz ref_freq)
     : tech_(tech), floorplan_(std::move(floorplan)), refFreq_(ref_freq)
 {
-    fatalIf(ref_freq <= 0.0, "reference frequency must be positive");
+    fatalIf(ref_freq.value() <= 0.0,
+            "reference frequency must be positive");
 }
 
 CriticalPathModel::WireSetup
@@ -41,7 +46,7 @@ CriticalPathModel::wireSetup(WireClass wc) const
 }
 
 double
-CriticalPathModel::wireScale(WireClass wc, double temp_k,
+CriticalPathModel::wireScale(WireClass wc, Kelvin temp,
                              const tech::VoltagePoint &v) const
 {
     if (wc == WireClass::None)
@@ -49,75 +54,75 @@ CriticalPathModel::wireScale(WireClass wc, double temp_k,
     const WireSetup ws = wireSetup(wc);
     tech::WireRC rc{tech_.wire(ws.layer), tech_.mosfet(), ws.driver,
                     ws.load};
-    const double ref = rc.delay(ws.length, 300.0,
+    const Second ref = rc.delay(ws.length, constants::roomTemp,
                                 tech_.mosfet().params().nominal);
-    return rc.delay(ws.length, temp_k, v) / ref;
+    return rc.delay(ws.length, temp, v) / ref;
 }
 
 StageDelay
-CriticalPathModel::stageDelay(const PipelineStage &stage, double temp_k,
+CriticalPathModel::stageDelay(const PipelineStage &stage, Kelvin temp,
                               const tech::VoltagePoint &v) const
 {
     StageDelay d;
     d.name = stage.name;
     d.kind = stage.kind;
     d.pipelinable = stage.pipelinable;
-    d.logic = stage.logic300() * tech_.mosfet().delayFactor(temp_k, v);
-    d.wire = stage.wire300() * wireScale(stage.wireClass, temp_k, v);
+    d.logic = stage.logic300() * tech_.mosfet().delayFactor(temp, v);
+    d.wire = stage.wire300() * wireScale(stage.wireClass, temp, v);
     return d;
 }
 
 StageDelay
 CriticalPathModel::stageDelay(const PipelineStage &stage,
-                              double temp_k) const
+                              Kelvin temp) const
 {
-    return stageDelay(stage, temp_k, tech_.mosfet().params().nominal);
+    return stageDelay(stage, temp, tech_.mosfet().params().nominal);
 }
 
 std::vector<StageDelay>
-CriticalPathModel::stageDelays(const StageList &stages, double temp_k,
+CriticalPathModel::stageDelays(const StageList &stages, Kelvin temp,
                                const tech::VoltagePoint &v) const
 {
     std::vector<StageDelay> out;
     out.reserve(stages.size());
     for (const auto &s : stages)
-        out.push_back(stageDelay(s, temp_k, v));
+        out.push_back(stageDelay(s, temp, v));
     return out;
 }
 
 std::vector<StageDelay>
 CriticalPathModel::stageDelays(const StageList &stages,
-                               double temp_k) const
+                               Kelvin temp) const
 {
-    return stageDelays(stages, temp_k, tech_.mosfet().params().nominal);
+    return stageDelays(stages, temp, tech_.mosfet().params().nominal);
 }
 
 double
-CriticalPathModel::maxDelay(const StageList &stages, double temp_k,
+CriticalPathModel::maxDelay(const StageList &stages, Kelvin temp,
                             const tech::VoltagePoint &v) const
 {
     fatalIf(stages.empty(), "pipeline has no stages");
     double best = 0.0;
     for (const auto &s : stages)
-        best = std::max(best, stageDelay(s, temp_k, v).total());
+        best = std::max(best, stageDelay(s, temp, v).total());
     return best;
 }
 
 double
-CriticalPathModel::maxDelay(const StageList &stages, double temp_k) const
+CriticalPathModel::maxDelay(const StageList &stages, Kelvin temp) const
 {
-    return maxDelay(stages, temp_k, tech_.mosfet().params().nominal);
+    return maxDelay(stages, temp, tech_.mosfet().params().nominal);
 }
 
 std::string
-CriticalPathModel::criticalStage(const StageList &stages, double temp_k,
+CriticalPathModel::criticalStage(const StageList &stages, Kelvin temp,
                                  const tech::VoltagePoint &v) const
 {
     fatalIf(stages.empty(), "pipeline has no stages");
     const PipelineStage *best = &stages.front();
     double best_delay = 0.0;
     for (const auto &s : stages) {
-        const double d = stageDelay(s, temp_k, v).total();
+        const double d = stageDelay(s, temp, v).total();
         if (d > best_delay) {
             best_delay = d;
             best = &s;
@@ -126,17 +131,17 @@ CriticalPathModel::criticalStage(const StageList &stages, double temp_k,
     return best->name;
 }
 
-double
-CriticalPathModel::frequency(const StageList &stages, double temp_k,
+Hertz
+CriticalPathModel::frequency(const StageList &stages, Kelvin temp,
                              const tech::VoltagePoint &v) const
 {
-    return refFreq_ / maxDelay(stages, temp_k, v);
+    return refFreq_ / maxDelay(stages, temp, v);
 }
 
-double
-CriticalPathModel::frequency(const StageList &stages, double temp_k) const
+Hertz
+CriticalPathModel::frequency(const StageList &stages, Kelvin temp) const
 {
-    return frequency(stages, temp_k, tech_.mosfet().params().nominal);
+    return frequency(stages, temp, tech_.mosfet().params().nominal);
 }
 
 } // namespace cryo::pipeline

@@ -20,6 +20,7 @@
 #include "pipeline/floorplan.hh"
 #include "pipeline/stage.hh"
 #include "tech/technology.hh"
+#include "util/units.hh"
 
 namespace cryo::pipeline
 {
@@ -56,46 +57,48 @@ class CriticalPathModel
      *                  1.0 (4 GHz Skylake baseline)
      */
     CriticalPathModel(const tech::Technology &tech, Floorplan floorplan,
-                      double ref_freq = 4.0e9);
+                      units::Hertz ref_freq = units::Hertz{4.0e9});
 
     /** Delay of one stage at (T, V). */
-    StageDelay stageDelay(const PipelineStage &stage, double temp_k,
+    StageDelay stageDelay(const PipelineStage &stage, units::Kelvin temp,
                           const tech::VoltagePoint &v) const;
 
-    StageDelay stageDelay(const PipelineStage &stage, double temp_k) const;
+    StageDelay stageDelay(const PipelineStage &stage,
+                          units::Kelvin temp) const;
 
     /** Delays of all stages at (T, V). */
     std::vector<StageDelay> stageDelays(const StageList &stages,
-                                        double temp_k,
+                                        units::Kelvin temp,
                                         const tech::VoltagePoint &v) const;
 
     std::vector<StageDelay> stageDelays(const StageList &stages,
-                                        double temp_k) const;
+                                        units::Kelvin temp) const;
 
     /** Maximum stage delay (the cycle-time limiter). */
-    double maxDelay(const StageList &stages, double temp_k,
+    double maxDelay(const StageList &stages, units::Kelvin temp,
                     const tech::VoltagePoint &v) const;
 
-    double maxDelay(const StageList &stages, double temp_k) const;
+    double maxDelay(const StageList &stages, units::Kelvin temp) const;
 
     /** Name of the limiting stage. */
-    std::string criticalStage(const StageList &stages, double temp_k,
+    std::string criticalStage(const StageList &stages, units::Kelvin temp,
                               const tech::VoltagePoint &v) const;
 
-    /** Clock frequency implied by the critical path [Hz]. */
-    double frequency(const StageList &stages, double temp_k,
-                     const tech::VoltagePoint &v) const;
+    /** Clock frequency implied by the critical path. */
+    units::Hertz frequency(const StageList &stages, units::Kelvin temp,
+                           const tech::VoltagePoint &v) const;
 
-    double frequency(const StageList &stages, double temp_k) const;
+    units::Hertz frequency(const StageList &stages,
+                           units::Kelvin temp) const;
 
     /**
      * Wire-delay multiplier of @p wc at (T, V) versus 300 K nominal
      * (< 1 below room temperature).
      */
-    double wireScale(WireClass wc, double temp_k,
+    double wireScale(WireClass wc, units::Kelvin temp,
                      const tech::VoltagePoint &v) const;
 
-    double refFrequency() const { return refFreq_; }
+    units::Hertz refFrequency() const { return refFreq_; }
     const Floorplan &floorplan() const { return floorplan_; }
     const tech::Technology &technology() const { return tech_; }
 
@@ -104,7 +107,7 @@ class CriticalPathModel
     struct WireSetup
     {
         tech::WireLayer layer;
-        double length;
+        units::Metre length;
         double driver;
         double load;
     };
@@ -113,7 +116,7 @@ class CriticalPathModel
 
     const tech::Technology &tech_;
     Floorplan floorplan_;
-    double refFreq_;
+    units::Hertz refFreq_;
 };
 
 } // namespace cryo::pipeline

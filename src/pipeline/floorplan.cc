@@ -25,19 +25,19 @@ Floorplan::Floorplan(UnitGeometry alu, UnitGeometry regfile, int alu_count)
       aluCount_(alu_count)
 {
     fatalIf(aluCount_ < 1, "floorplan needs at least one ALU");
-    fatalIf(alu_.area <= 0.0 || alu_.width <= 0.0,
+    fatalIf(alu_.area.value() <= 0.0 || alu_.width.value() <= 0.0,
             "ALU geometry must be positive");
-    fatalIf(regfile_.area <= 0.0 || regfile_.width <= 0.0,
+    fatalIf(regfile_.area.value() <= 0.0 || regfile_.width.value() <= 0.0,
             "register-file geometry must be positive");
 }
 
-double
+units::Metre
 Floorplan::forwardingWireLength() const
 {
     return aluCount_ * alu_.height() + regfile_.height();
 }
 
-double
+units::Metre
 Floorplan::writebackWireLength() const
 {
     return aluCount_ * alu_.height() + 0.5 * regfile_.height();

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.hh"
+
 namespace cryo::pipeline
 {
 
@@ -23,11 +25,11 @@ namespace cryo::pipeline
 struct UnitGeometry
 {
     std::string name;
-    double area;  ///< [m^2]
-    double width; ///< [m]
+    units::SquareMetre area;
+    units::Metre width;
 
-    /** Height implied by area/width [m]. */
-    double height() const { return area / width; }
+    /** Height implied by area/width. */
+    units::Metre height() const { return area / width; }
 };
 
 /**
@@ -54,15 +56,15 @@ class Floorplan
 
     /**
      * Length of the data-forwarding wire: the vertical run across all
-     * ALUs plus the register file [m]. Table 1 reports 1686 um.
+     * ALUs plus the register file. Table 1 reports 1686 um.
      */
-    double forwardingWireLength() const;
+    units::Metre forwardingWireLength() const;
 
     /**
      * Length of the ALU -> register-file writeback wire: across the
-     * ALU column to the register-file midpoint [m].
+     * ALU column to the register-file midpoint.
      */
-    double writebackWireLength() const;
+    units::Metre writebackWireLength() const;
 
     /**
      * Scale every unit's area by @p factor (width scales by sqrt) -

@@ -37,7 +37,7 @@ Superpipeliner::substageNames(const std::string &stage, int pieces)
 }
 
 SuperpipelinePlan
-Superpipeliner::plan(const StageList &stages, double temp_k,
+Superpipeliner::plan(const StageList &stages, units::Kelvin temp,
                      const tech::VoltagePoint &v) const
 {
     fatalIf(stages.empty(), "pipeline has no stages");
@@ -48,7 +48,7 @@ Superpipeliner::plan(const StageList &stages, double temp_k,
     for (const auto &s : stages) {
         if (s.pipelinable)
             continue;
-        const double d = model_.stageDelay(s, temp_k, v).total();
+        const double d = model_.stageDelay(s, temp, v).total();
         if (d > out.targetLatency) {
             out.targetLatency = d;
             out.targetStage = s.name;
@@ -59,7 +59,7 @@ Superpipeliner::plan(const StageList &stages, double temp_k,
 
     // Step 2: cut every pipelinable stage exceeding the target.
     for (const auto &s : stages) {
-        const double d = model_.stageDelay(s, temp_k, v).total();
+        const double d = model_.stageDelay(s, temp, v).total();
         if (s.pipelinable && d > out.targetLatency && s.maxSplit > 1) {
             // Smallest piece count whose substage (balanced split plus
             // latch overhead) fits under the target; capped by maxSplit.
@@ -78,7 +78,7 @@ Superpipeliner::plan(const StageList &stages, double temp_k,
             // overhead is expressed in the 300 K budget such that it
             // evaluates to exactly latchOverhead_ at the design point.
             const double mf =
-                model_.technology().mosfet().delayFactor(temp_k, v);
+                model_.technology().mosfet().delayFactor(temp, v);
             for (int i = 0; i < pieces; ++i) {
                 PipelineStage sub = s;
                 sub.name = split.substages[i];
@@ -100,9 +100,9 @@ Superpipeliner::plan(const StageList &stages, double temp_k,
 }
 
 SuperpipelinePlan
-Superpipeliner::plan(const StageList &stages, double temp_k) const
+Superpipeliner::plan(const StageList &stages, units::Kelvin temp) const
 {
-    return plan(stages, temp_k,
+    return plan(stages, temp,
                 model_.technology().mosfet().params().nominal);
 }
 

@@ -62,11 +62,12 @@ class Superpipeliner
                             double latch_overhead = 0.08);
 
     /** Plan at (T, V). */
-    SuperpipelinePlan plan(const StageList &stages, double temp_k,
+    SuperpipelinePlan plan(const StageList &stages, units::Kelvin temp,
                            const tech::VoltagePoint &v) const;
 
     /** Plan at nominal voltage. */
-    SuperpipelinePlan plan(const StageList &stages, double temp_k) const;
+    SuperpipelinePlan plan(const StageList &stages,
+                           units::Kelvin temp) const;
 
     double latchOverhead() const { return latchOverhead_; }
 

@@ -5,30 +5,33 @@
 namespace cryo::power
 {
 
-CoolingModel::CoolingModel(double carnot_efficiency, double hot_side_k)
-    : efficiency_(carnot_efficiency), hotSideK_(hot_side_k)
+using units::Kelvin;
+
+CoolingModel::CoolingModel(double carnot_efficiency, Kelvin hot_side)
+    : efficiency_(carnot_efficiency), hotSide_(hot_side)
 {
     fatalIf(carnot_efficiency <= 0.0 || carnot_efficiency > 1.0,
             "Carnot efficiency must be in (0, 1]");
-    fatalIf(hot_side_k <= 0.0, "hot-side temperature must be positive");
+    fatalIf(hot_side.value() <= 0.0,
+            "hot-side temperature must be positive");
 }
 
 double
-CoolingModel::overhead(double temp_k) const
+CoolingModel::overhead(Kelvin temp) const
 {
-    fatalIf(temp_k <= 0.0, "temperature must be positive");
-    if (temp_k >= hotSideK_)
+    fatalIf(temp.value() <= 0.0, "temperature must be positive");
+    if (temp >= hotSide_)
         return 0.0; // no refrigeration needed at/above the hot side
     // Ideal COP = T_cold / (T_hot - T_cold); the real cooler achieves
     // a fixed fraction of it.
-    const double carnot_cop = temp_k / (hotSideK_ - temp_k);
+    const double carnot_cop = temp / (hotSide_ - temp);
     return 1.0 / (efficiency_ * carnot_cop);
 }
 
 double
-CoolingModel::totalPowerFactor(double temp_k) const
+CoolingModel::totalPowerFactor(Kelvin temp) const
 {
-    return 1.0 + overhead(temp_k);
+    return 1.0 + overhead(temp);
 }
 
 } // namespace cryo::power

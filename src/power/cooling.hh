@@ -12,6 +12,8 @@
 #ifndef CRYOWIRE_POWER_COOLING_HH
 #define CRYOWIRE_POWER_COOLING_HH
 
+#include "util/units.hh"
+
 namespace cryo::power
 {
 
@@ -24,22 +26,25 @@ class CoolingModel
     /**
      * @param carnot_efficiency fraction of the Carnot COP the real
      *        cooler achieves (0.3 in the paper)
-     * @param hot_side_k        heat-rejection temperature (300 K)
+     * @param hot_side         heat-rejection temperature (300 K)
      */
     explicit CoolingModel(double carnot_efficiency = 0.3,
-                          double hot_side_k = 300.0);
+                          units::Kelvin hot_side = units::Kelvin{300.0});
 
-    /** Watts of cooling power per watt of device heat at @p temp_k. */
-    double overhead(double temp_k) const;
+    /**
+     * Watts of cooling power per watt of device heat at @p temp - a
+     * W/W ratio, hence dimensionless.
+     */
+    double overhead(units::Kelvin temp) const;
 
     /** Total-power multiplier 1 + CO(T); 10.65 at 77 K. */
-    double totalPowerFactor(double temp_k) const;
+    double totalPowerFactor(units::Kelvin temp) const;
 
     double carnotEfficiency() const { return efficiency_; }
 
   private:
     double efficiency_;
-    double hotSideK_;
+    units::Kelvin hotSide_;
 };
 
 } // namespace cryo::power

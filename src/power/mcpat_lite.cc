@@ -69,14 +69,18 @@ McpatLite::corePower(const pipeline::CoreConfig &config,
     CorePower p;
     p.dynamic = base_dyn * cap * v2 * f;
 
+    // CoreConfig carries plain doubles (simulation layer); enter the
+    // typed tech model explicitly.
+    const units::Kelvin temp{config.tempK};
+    const units::Kelvin base_temp{baseline.tempK};
     const double leak_ratio =
-        tech_.mosfet().leakageFactor(config.tempK, config.voltage) /
-        tech_.mosfet().leakageFactor(baseline.tempK, baseline.voltage);
+        tech_.mosfet().leakageFactor(temp, config.voltage) /
+        tech_.mosfet().leakageFactor(base_temp, baseline.voltage);
     // Leakage scales with device count (~capacitance) and Vdd.
     p.leakage = kBaselineLeakShare * cap * leak_ratio *
         (config.voltage.vdd / baseline.voltage.vdd);
 
-    p.cooling = p.device() * cooling_.overhead(config.tempK);
+    p.cooling = p.device() * cooling_.overhead(temp);
     return p;
 }
 

@@ -99,13 +99,16 @@ OrionLite::power(const noc::NocConfig &cfg, double tx_per_node_cycle) const
         kMeshStaticShare / (1.0 - kMeshStaticShare);
     const double structure = cfg.topology().isBus()
         ? kBusStaticFraction : 1.0;
+    // NocConfig carries plain doubles (simulation layer); enter the
+    // typed tech model explicitly.
+    const units::Kelvin temp{cfg.tempK()};
     const double leak_ratio =
-        mosfet.leakageFactor(cfg.tempK(), cfg.voltage()) /
-        mosfet.leakageFactor(300.0, v300);
+        mosfet.leakageFactor(temp, cfg.voltage()) /
+        mosfet.leakageFactor(constants::roomTemp, v300);
     p.leakage = mesh_static_300 * structure * leak_ratio *
         (cfg.voltage().vdd / v300.vdd);
 
-    p.cooling = p.device() * cooling_.overhead(cfg.tempK());
+    p.cooling = p.device() * cooling_.overhead(temp);
     return p;
 }
 

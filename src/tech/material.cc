@@ -7,6 +7,9 @@
 namespace cryo::tech
 {
 
+using units::Kelvin;
+using units::OhmMetre;
+
 namespace
 {
 
@@ -42,50 +45,49 @@ BlochGruneisen::integralJ5(double x)
     return sum * h / 3.0;
 }
 
-BlochGruneisen::BlochGruneisen(double debye_temp_k)
-    : debyeTemp_(debye_temp_k)
+BlochGruneisen::BlochGruneisen(Kelvin debye_temp) : debyeTemp_(debye_temp)
 {
-    fatalIf(debye_temp_k <= 0.0, "Debye temperature must be positive");
-    const double ratio = 300.0 / debyeTemp_;
+    fatalIf(debye_temp.value() <= 0.0, "Debye temperature must be positive");
+    const double ratio = constants::roomTemp / debyeTemp_;
     norm300_ = std::pow(ratio, 5) * integralJ5(1.0 / ratio);
 }
 
 double
-BlochGruneisen::phononFactor(double temp_k) const
+BlochGruneisen::phononFactor(Kelvin temp) const
 {
-    fatalIf(temp_k <= 0.0, "temperature must be positive");
-    const double ratio = temp_k / debyeTemp_;
+    fatalIf(temp.value() <= 0.0, "temperature must be positive");
+    const double ratio = temp / debyeTemp_;
     const double value = std::pow(ratio, 5) * integralJ5(1.0 / ratio);
     return value / norm300_;
 }
 
-Conductor::Conductor(double rho_300k, double rho_77k, double debye_temp_k)
-    : bg_(debye_temp_k)
+Conductor::Conductor(OhmMetre rho_300k, OhmMetre rho_77k, Kelvin debye_temp)
+    : bg_(debye_temp)
 {
-    fatalIf(rho_300k <= 0.0, "rho(300K) must be positive");
-    fatalIf(rho_77k <= 0.0, "rho(77K) must be positive");
+    fatalIf(rho_300k.value() <= 0.0, "rho(300K) must be positive");
+    fatalIf(rho_77k.value() <= 0.0, "rho(77K) must be positive");
     fatalIf(rho_77k >= rho_300k,
             "rho(77K) must be below rho(300K) for a metal");
 
-    const double f77 = bg_.phononFactor(77.0);
+    const double f77 = bg_.phononFactor(constants::ln2Temp);
     // Solve [rho_res + f77 * rho_ph = rho77; rho_res + rho_ph = rho300].
     rhoPhonon300_ = (rho_300k - rho_77k) / (1.0 - f77);
     rhoResidual_ = rho_300k - rhoPhonon300_;
-    fatalIf(rhoResidual_ < 0.0,
+    fatalIf(rhoResidual_.value() < 0.0,
             "anchors imply negative residual resistivity; "
             "rho(77K) is below the pure-phonon limit");
 }
 
-double
-Conductor::resistivity(double temp_k) const
+OhmMetre
+Conductor::resistivity(Kelvin temp) const
 {
-    return rhoResidual_ + rhoPhonon300_ * bg_.phononFactor(temp_k);
+    return rhoResidual_ + rhoPhonon300_ * bg_.phononFactor(temp);
 }
 
 double
-Conductor::resistivityRatio(double temp_k) const
+Conductor::resistivityRatio(Kelvin temp) const
 {
-    return resistivity(temp_k) / resistivity(300.0);
+    return resistivity(temp) / resistivity(constants::roomTemp);
 }
 
 } // namespace cryo::tech

@@ -19,6 +19,8 @@
 #ifndef CRYOWIRE_TECH_MATERIAL_HH
 #define CRYOWIRE_TECH_MATERIAL_HH
 
+#include "util/units.hh"
+
 namespace cryo::tech
 {
 
@@ -29,13 +31,13 @@ namespace cryo::tech
 class BlochGruneisen
 {
   public:
-    /** @param debye_temp_k Debye temperature [K] (343 K for copper). */
-    explicit BlochGruneisen(double debye_temp_k = 343.0);
+    /** @param debye_temp Debye temperature (343 K for copper). */
+    explicit BlochGruneisen(units::Kelvin debye_temp = units::Kelvin{343.0});
 
     /** rho_phonon(T) / rho_phonon(300 K). */
-    double phononFactor(double temp_k) const;
+    double phononFactor(units::Kelvin temp) const;
 
-    double debyeTemp() const { return debyeTemp_; }
+    units::Kelvin debyeTemp() const { return debyeTemp_; }
 
     /**
      * The raw Bloch-Grüneisen integral J5(x) = int_0^x t^5 /
@@ -44,13 +46,13 @@ class BlochGruneisen
     static double integralJ5(double x);
 
   private:
-    double debyeTemp_;
+    units::Kelvin debyeTemp_;
     double norm300_; ///< (300/Theta)^5 * J5(Theta/300), cached.
 };
 
 /**
  * A conductor with Matthiessen decomposition into residual and phonon
- * resistivity. All resistivities in ohm-m.
+ * resistivity.
  */
 class Conductor
 {
@@ -58,27 +60,28 @@ class Conductor
     /**
      * @param rho_300k   total resistivity at 300 K
      * @param rho_77k    total resistivity at 77 K (measured anchor)
-     * @param debye_temp_k Debye temperature for the phonon curve
+     * @param debye_temp Debye temperature for the phonon curve
      *
      * The residual term is solved from the two anchors:
      *   rho_77k = rho_res + f(77) * rho_ph300
      *   rho_300k = rho_res + rho_ph300
      */
-    Conductor(double rho_300k, double rho_77k, double debye_temp_k = 343.0);
+    Conductor(units::OhmMetre rho_300k, units::OhmMetre rho_77k,
+              units::Kelvin debye_temp = units::Kelvin{343.0});
 
-    /** Total resistivity at @p temp_k [ohm-m]. */
-    double resistivity(double temp_k) const;
+    /** Total resistivity at @p temp. */
+    units::OhmMetre resistivity(units::Kelvin temp) const;
 
     /** rho(T) / rho(300 K): < 1 below room temperature. */
-    double resistivityRatio(double temp_k) const;
+    double resistivityRatio(units::Kelvin temp) const;
 
-    double residualResistivity() const { return rhoResidual_; }
-    double phononResistivity300() const { return rhoPhonon300_; }
+    units::OhmMetre residualResistivity() const { return rhoResidual_; }
+    units::OhmMetre phononResistivity300() const { return rhoPhonon300_; }
 
   private:
     BlochGruneisen bg_;
-    double rhoResidual_;
-    double rhoPhonon300_;
+    units::OhmMetre rhoResidual_;
+    units::OhmMetre rhoPhonon300_;
 };
 
 } // namespace cryo::tech

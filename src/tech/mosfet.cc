@@ -4,10 +4,15 @@
 #include <cmath>
 
 #include "util/log.hh"
-#include "util/units.hh"
 
 namespace cryo::tech
 {
+
+using units::Farad;
+using units::Kelvin;
+using units::Ohm;
+using units::Second;
+using units::Volt;
 
 Mosfet::Mosfet(MosfetParams params) : params_(std::move(params))
 {
@@ -24,8 +29,9 @@ Mosfet::Mosfet(MosfetParams params) : params_(std::move(params))
 }
 
 double
-Mosfet::driveGain(double temp_k) const
+Mosfet::driveGain(Kelvin temp) const
 {
+    const double temp_k = temp.value();
     const auto &a = params_.driveGainAnchors;
     if (temp_k <= a.front().first)
         return a.front().second;
@@ -44,94 +50,93 @@ Mosfet::driveGain(double temp_k) const
 }
 
 double
-Mosfet::alpha(double temp_k) const
+Mosfet::alpha(Kelvin temp) const
 {
     // Temperature-independent (see MosfetParams::alpha): cooling at a
     // fixed voltage point then speeds logic by exactly driveGain(T),
     // which is what the paper's router model (+9.3% at 77 K) and core
     // model (+8%) require.
-    (void)temp_k;
+    (void)temp;
     return params_.alpha;
 }
 
 double
-Mosfet::voltageSpeed(double temp_k, const VoltagePoint &v) const
+Mosfet::voltageSpeed(Kelvin temp, const VoltagePoint &v) const
 {
     // DIBL is folded into the alpha calibration for delay purposes (it
     // only appears explicitly in the leakage model); the exponent was
     // fitted against the paper's Vdd/Vth-scaled frequency anchors.
     const double overdrive = v.vdd - v.vth;
     fatalIf(overdrive <= 0.0, "Vdd must exceed Vth");
-    return std::pow(overdrive, alpha(temp_k)) / v.vdd;
+    return std::pow(overdrive, alpha(temp)) / v.vdd;
 }
 
 double
-Mosfet::delayFactor(double temp_k, const VoltagePoint &v) const
+Mosfet::delayFactor(Kelvin temp, const VoltagePoint &v) const
 {
-    const double nominal_speed = voltageSpeed(temp_k, params_.nominal);
-    const double speed = voltageSpeed(temp_k, v) * driveGain(temp_k);
+    const double nominal_speed = voltageSpeed(temp, params_.nominal);
+    const double speed = voltageSpeed(temp, v) * driveGain(temp);
     return nominal_speed / speed;
 }
 
 double
-Mosfet::delayFactor(double temp_k) const
+Mosfet::delayFactor(Kelvin temp) const
 {
-    return delayFactor(temp_k, params_.nominal);
+    return delayFactor(temp, params_.nominal);
 }
 
-double
-Mosfet::subthresholdSwing(double temp_k) const
+Volt
+Mosfet::subthresholdSwing(Kelvin temp) const
 {
-    return params_.subthresholdN * constants::thermalVoltage(temp_k)
+    return params_.subthresholdN * constants::thermalVoltage(temp)
         * std::log(10.0);
 }
 
 double
-Mosfet::leakageFactor(double temp_k, const VoltagePoint &v) const
+Mosfet::leakageFactor(Kelvin temp, const VoltagePoint &v) const
 {
-    auto subthreshold = [this](double t, const VoltagePoint &p) {
-        const double n_vt = params_.subthresholdN
+    auto subthreshold = [this](Kelvin t, const VoltagePoint &p) {
+        const Volt n_vt = params_.subthresholdN
             * constants::thermalVoltage(t);
         // Vth lowered by DIBL at higher Vdd.
-        const double vth_eff = p.vth - params_.dibl * p.vdd;
-        return std::exp(-vth_eff / n_vt);
+        const Volt vth_eff{p.vth - params_.dibl * p.vdd};
+        return std::exp(-(vth_eff / n_vt));
     };
-    const double ref = subthreshold(300.0, params_.nominal);
-    return subthreshold(temp_k, v) / ref;
+    const double ref = subthreshold(constants::roomTemp, params_.nominal);
+    return subthreshold(temp, v) / ref;
 }
 
 bool
-Mosfet::voltageScalingFeasible(double temp_k, const VoltagePoint &v) const
+Mosfet::voltageScalingFeasible(Kelvin temp, const VoltagePoint &v) const
 {
-    return leakageFactor(temp_k, v) <= 1.0 + 1e-9;
+    return leakageFactor(temp, v) <= 1.0 + 1e-9;
 }
 
-double
-Mosfet::driverResistance(double temp_k, const VoltagePoint &v,
-                         double h) const
+Ohm
+Mosfet::driverResistance(Kelvin temp, const VoltagePoint &v, double h) const
 {
     fatalIf(h <= 0.0, "driver size must be positive");
-    return params_.unitResistance300 * delayFactor(temp_k, v) / h;
+    return params_.unitResistance300 * delayFactor(temp, v) / h;
 }
 
-double
+Farad
 Mosfet::gateCap(double h) const
 {
     return params_.unitGateCap * h;
 }
 
-double
+Farad
 Mosfet::parasiticCap(double h) const
 {
     return params_.unitParasiticCap * h;
 }
 
-double
-Mosfet::fo4Delay(double temp_k, const VoltagePoint &v) const
+Second
+Mosfet::fo4Delay(Kelvin temp, const VoltagePoint &v) const
 {
     // 0.69 RC with a fanout-of-4 gate load plus self parasitic.
-    const double r = driverResistance(temp_k, v, 1.0);
-    const double c = 4.0 * gateCap(1.0) + parasiticCap(1.0);
+    const Ohm r = driverResistance(temp, v, 1.0);
+    const Farad c = 4.0 * gateCap(1.0) + parasiticCap(1.0);
     return 0.69 * r * c;
 }
 

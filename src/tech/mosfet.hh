@@ -24,10 +24,18 @@
 
 #include <vector>
 
+#include "util/units.hh"
+
 namespace cryo::tech
 {
 
-/** Operating voltages of a design point. */
+/**
+ * Operating voltages of a design point.
+ *
+ * Kept as plain doubles in volts: both members share one dimension, so
+ * the Quantity machinery could not catch a vdd/vth swap anyway, and the
+ * struct is brace-initialized all over the design ladders.
+ */
 struct VoltagePoint
 {
     double vdd; ///< supply [V]
@@ -59,13 +67,13 @@ struct MosfetParams
     double dibl = 0.10;
 
     /** Unit (minimum) inverter on-resistance at 300 K, nominal V. */
-    double unitResistance300 = 12e3; ///< [ohm]
+    units::Ohm unitResistance300{12e3};
 
     /** Unit inverter gate capacitance. */
-    double unitGateCap = 0.45e-15; ///< [F]
+    units::Farad unitGateCap{0.45e-15};
 
     /** Unit inverter parasitic (drain) capacitance. */
-    double unitParasiticCap = 0.45e-15; ///< [F]
+    units::Farad unitParasiticCap{0.45e-15};
 
     /**
      * Drive-gain anchors (temp [K], Ion multiplier vs 300 K) at nominal
@@ -92,53 +100,54 @@ class Mosfet
     const MosfetParams &params() const { return params_; }
 
     /** Ion(T)/Ion(300 K) at nominal voltage (>= 1 below 300 K). */
-    double driveGain(double temp_k) const;
+    double driveGain(units::Kelvin temp) const;
 
-    /** Alpha-power exponent at @p temp_k (linear between anchors). */
-    double alpha(double temp_k) const;
+    /** Alpha-power exponent at @p temp (linear between anchors). */
+    double alpha(units::Kelvin temp) const;
 
     /**
      * Gate-delay multiplier relative to (300 K, nominal voltage).
      * < 1 means faster. Combines the drive-gain curve with the
      * alpha-power voltage dependence.
      */
-    double delayFactor(double temp_k, const VoltagePoint &v) const;
+    double delayFactor(units::Kelvin temp, const VoltagePoint &v) const;
 
     /** delayFactor at the nominal voltage point. */
-    double delayFactor(double temp_k) const;
+    double delayFactor(units::Kelvin temp) const;
 
     /**
      * Subthreshold leakage current multiplier relative to
      * (300 K, nominal voltage).
      */
-    double leakageFactor(double temp_k, const VoltagePoint &v) const;
+    double leakageFactor(units::Kelvin temp, const VoltagePoint &v) const;
 
-    /** Subthreshold swing at @p temp_k [V/decade]. */
-    double subthresholdSwing(double temp_k) const;
+    /** Subthreshold swing at @p temp [V/decade]. */
+    units::Volt subthresholdSwing(units::Kelvin temp) const;
 
     /**
      * Whether (vdd, vth) keeps leakage no higher than the nominal
      * 300 K leakage - the feasibility rule the paper uses to restrict
      * Vdd/Vth scaling to cryogenic temperatures.
      */
-    bool voltageScalingFeasible(double temp_k, const VoltagePoint &v) const;
+    bool voltageScalingFeasible(units::Kelvin temp,
+                                const VoltagePoint &v) const;
 
-    /** On-resistance of a size-@p h driver at (T, V) [ohm]. */
-    double driverResistance(double temp_k, const VoltagePoint &v,
-                            double h = 1.0) const;
+    /** On-resistance of a size-@p h driver at (T, V). */
+    units::Ohm driverResistance(units::Kelvin temp, const VoltagePoint &v,
+                                double h = 1.0) const;
 
-    /** Input capacitance of a size-@p h gate [F]. */
-    double gateCap(double h = 1.0) const;
+    /** Input capacitance of a size-@p h gate. */
+    units::Farad gateCap(double h = 1.0) const;
 
-    /** Parasitic output capacitance of a size-@p h gate [F]. */
-    double parasiticCap(double h = 1.0) const;
+    /** Parasitic output capacitance of a size-@p h gate. */
+    units::Farad parasiticCap(double h = 1.0) const;
 
-    /** FO4 inverter delay at (T, V) [s]: the logic-delay yardstick. */
-    double fo4Delay(double temp_k, const VoltagePoint &v) const;
+    /** FO4 inverter delay at (T, V): the logic-delay yardstick. */
+    units::Second fo4Delay(units::Kelvin temp, const VoltagePoint &v) const;
 
   private:
     /** Alpha-power speed term (Vdd - Vth_eff)^alpha / Vdd, higher=faster. */
-    double voltageSpeed(double temp_k, const VoltagePoint &v) const;
+    double voltageSpeed(units::Kelvin temp, const VoltagePoint &v) const;
 
     MosfetParams params_;
 };

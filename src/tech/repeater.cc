@@ -9,60 +9,70 @@
 namespace cryo::tech
 {
 
+using units::Farad;
+using units::FaradPerMetre;
+using units::Kelvin;
+using units::Metre;
+using units::Ohm;
+using units::OhmPerMetre;
+using units::Second;
+
 RepeateredWire::RepeateredWire(const WireSpec &spec, const Mosfet &mosfet)
     : spec_(spec), mosfet_(mosfet)
 {
 }
 
 double
-RepeateredWire::optimalSize(double seg_len, double temp_k,
+RepeateredWire::optimalSize(Metre seg_len, Kelvin temp,
                             const VoltagePoint &v) const
 {
     // d(t_seg)/dh = 0 => h = sqrt(R0 c l / (r l C0)) = sqrt(R0 c / (r C0)).
-    const double r0 = mosfet_.driverResistance(temp_k, v, 1.0);
-    const double c0 = mosfet_.gateCap(1.0);
-    const double r = spec_.resistancePerM(temp_k);
-    const double c = spec_.capPerM();
+    const Ohm r0 = mosfet_.driverResistance(temp, v, 1.0);
+    const Farad c0 = mosfet_.gateCap(1.0);
+    const OhmPerMetre r = spec_.resistancePerM(temp);
+    const FaradPerMetre c = spec_.capPerM();
     (void)seg_len; // h is independent of l in the Elmore form
     return std::max(1.0, std::sqrt(r0 * c / (r * c0)));
 }
 
-double
-RepeateredWire::designDelay(double length, int k, double h, double temp_k,
+Second
+RepeateredWire::designDelay(Metre length, int k, double h, Kelvin temp,
                             const VoltagePoint &v) const
 {
-    const double l = length / k;
-    const double rd = mosfet_.driverResistance(temp_k, v, h);
-    const double cw = spec_.capPerM() * l;
-    const double rw = spec_.resistancePerM(temp_k) * l;
-    const double cg = mosfet_.gateCap(h);
-    const double cp = mosfet_.parasiticCap(h);
-    const double t_seg = 0.69 * rd * (cw + cg + cp)
+    const Metre l = length / k;
+    const Ohm rd = mosfet_.driverResistance(temp, v, h);
+    const Farad cw = spec_.capPerM() * l;
+    const Ohm rw = spec_.resistancePerM(temp) * l;
+    const Farad cg = mosfet_.gateCap(h);
+    const Farad cp = mosfet_.parasiticCap(h);
+    const Second t_seg = 0.69 * rd * (cw + cg + cp)
         + 0.38 * rw * cw + 0.69 * rw * cg;
     return k * t_seg;
 }
 
 RepeaterDesign
-RepeateredWire::optimize(double length, double temp_k,
-                         const VoltagePoint &v, int max_segments) const
+RepeateredWire::optimize(Metre length, Kelvin temp, const VoltagePoint &v,
+                         int max_segments) const
 {
-    fatalIf(length <= 0.0, "wire length must be positive");
+    fatalIf(length.value() <= 0.0, "wire length must be positive");
     fatalIf(max_segments < 1, "need at least one segment");
 
-    RepeaterDesign best{1, 1.0, std::numeric_limits<double>::infinity(),
-                        length};
+    RepeaterDesign best{
+        1, 1.0, Second{std::numeric_limits<double>::infinity()}, length};
     // The continuous-k optimum gives the neighbourhood to scan.
-    const double r0 = mosfet_.driverResistance(temp_k, v, 1.0);
-    const double c0 = mosfet_.gateCap(1.0) + mosfet_.parasiticCap(1.0);
-    const double r = spec_.resistancePerM(temp_k);
-    const double c = spec_.capPerM();
-    const double k_cont = length * std::sqrt(0.38 * r * c / (0.69 * r0 * c0));
+    const Ohm r0 = mosfet_.driverResistance(temp, v, 1.0);
+    const Farad c0 = mosfet_.gateCap(1.0) + mosfet_.parasiticCap(1.0);
+    const OhmPerMetre r = spec_.resistancePerM(temp);
+    const FaradPerMetre c = spec_.capPerM();
+    const double k_cont =
+        length.value() * std::sqrt(0.38 * (r * c).value()
+                                   / (0.69 * (r0 * c0).value()));
     const int k_hi = std::min<int>(
         max_segments, std::max(2, static_cast<int>(std::ceil(k_cont)) + 2));
 
     for (int k = 1; k <= k_hi; ++k) {
-        const double h = optimalSize(length / k, temp_k, v);
-        const double d = designDelay(length, k, h, temp_k, v);
+        const double h = optimalSize(length / k, temp, v);
+        const Second d = designDelay(length, k, h, temp, v);
         if (d < best.delay)
             best = {k, h, d, length / k};
     }
@@ -70,29 +80,29 @@ RepeateredWire::optimize(double length, double temp_k,
 }
 
 RepeaterDesign
-RepeateredWire::optimize(double length, double temp_k) const
+RepeateredWire::optimize(Metre length, Kelvin temp) const
 {
-    return optimize(length, temp_k, mosfet_.params().nominal);
+    return optimize(length, temp, mosfet_.params().nominal);
+}
+
+Second
+RepeateredWire::delay(Metre length, Kelvin temp) const
+{
+    return optimize(length, temp).delay;
 }
 
 double
-RepeateredWire::delay(double length, double temp_k) const
+RepeateredWire::speedup(Metre length, Kelvin temp) const
 {
-    return optimize(length, temp_k).delay;
+    return delay(length, constants::roomTemp) / delay(length, temp);
 }
 
-double
-RepeateredWire::speedup(double length, double temp_k) const
+Second
+RepeateredWire::delayWithFrozenLayout(Metre length, Kelvin design_temp,
+                                      Kelvin temp) const
 {
-    return delay(length, 300.0) / delay(length, temp_k);
-}
-
-double
-RepeateredWire::delayWithFrozenLayout(double length, double design_temp_k,
-                                      double temp_k) const
-{
-    const RepeaterDesign d = optimize(length, design_temp_k);
-    return designDelay(length, d.segments, d.size, temp_k,
+    const RepeaterDesign d = optimize(length, design_temp);
+    return designDelay(length, d.segments, d.size, temp,
                        mosfet_.params().nominal);
 }
 

@@ -21,6 +21,7 @@
 
 #include "tech/mosfet.hh"
 #include "tech/wire_geometry.hh"
+#include "util/units.hh"
 
 namespace cryo::tech
 {
@@ -28,10 +29,10 @@ namespace cryo::tech
 /** Result of optimizing one repeatered wire. */
 struct RepeaterDesign
 {
-    int segments;       ///< number of wire segments (repeaters = k - 1)
-    double size;        ///< repeater size in unit-inverter multiples
-    double delay;       ///< end-to-end latency [s]
-    double segmentLen;  ///< length of one segment [m]
+    int segments;            ///< number of wire segments (repeaters = k - 1)
+    double size;             ///< repeater size in unit-inverter multiples
+    units::Second delay;     ///< end-to-end latency
+    units::Metre segmentLen; ///< length of one segment
 };
 
 /**
@@ -46,34 +47,36 @@ class RepeateredWire
      * Latency-optimal design for a @p length wire at (T, V).
      * @param max_segments cap on k (arbitration of area; >= 1).
      */
-    RepeaterDesign optimize(double length, double temp_k,
+    RepeaterDesign optimize(units::Metre length, units::Kelvin temp,
                             const VoltagePoint &v,
                             int max_segments = 256) const;
 
     /** Optimal design at the nominal voltage. */
-    RepeaterDesign optimize(double length, double temp_k) const;
+    RepeaterDesign optimize(units::Metre length, units::Kelvin temp) const;
 
-    /** Optimal end-to-end delay [s]. */
-    double delay(double length, double temp_k) const;
+    /** Optimal end-to-end delay. */
+    units::Second delay(units::Metre length, units::Kelvin temp) const;
 
     /** delay(L, 300 K) / delay(L, T), both re-optimized. */
-    double speedup(double length, double temp_k) const;
+    double speedup(units::Metre length, units::Kelvin temp) const;
 
     /**
-     * Delay at temperature @p temp_k of a wire whose repeater layout
-     * (k, h) was fixed by optimizing at @p design_temp_k - models
+     * Delay at temperature @p temp of a wire whose repeater layout
+     * (k, h) was fixed by optimizing at @p design_temp - models
      * cooling existing silicon without redesign.
      */
-    double delayWithFrozenLayout(double length, double design_temp_k,
-                                 double temp_k) const;
+    units::Second delayWithFrozenLayout(units::Metre length,
+                                        units::Kelvin design_temp,
+                                        units::Kelvin temp) const;
 
   private:
     /** Delay of a specific (k, h) design. */
-    double designDelay(double length, int k, double h, double temp_k,
-                       const VoltagePoint &v) const;
+    units::Second designDelay(units::Metre length, int k, double h,
+                              units::Kelvin temp,
+                              const VoltagePoint &v) const;
 
     /** Closed-form optimal h for a given segment length. */
-    double optimalSize(double seg_len, double temp_k,
+    double optimalSize(units::Metre seg_len, units::Kelvin temp,
                        const VoltagePoint &v) const;
 
     const WireSpec &spec_;

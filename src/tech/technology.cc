@@ -9,6 +9,12 @@
 namespace cryo::tech
 {
 
+using units::FaradPerMetre;
+using units::Kelvin;
+using units::Metre;
+using units::OhmMetre;
+using units::Second;
+
 /*
  * Calibration constants.
  *
@@ -36,21 +42,21 @@ namespace cryo::tech
 namespace
 {
 
-constexpr double kDebyeTempCu = 343.0;
+constexpr Kelvin kDebyeTempCu{343.0};
 
 // Local wire: ~70 nm wide, strong size effects -> smallest 77 K gain.
 // rho77/rho300 = 1/2.95 = 0.339.
-constexpr double kRhoLocal300 = 4.00e-8;
-constexpr double kRhoLocal77 = 1.356e-8;
+constexpr OhmMetre kRhoLocal300{4.00e-8};
+constexpr OhmMetre kRhoLocal77{1.356e-8};
 
 // Semi-global wire: ~140 nm. rho77/rho300 = 1/3.69 = 0.271.
-constexpr double kRhoSemi300 = 2.80e-8;
-constexpr double kRhoSemi77 = 0.759e-8;
+constexpr OhmMetre kRhoSemi300{2.80e-8};
+constexpr OhmMetre kRhoSemi77{0.759e-8};
 
 // Global wire: ~400 nm, near-bulk behaviour. Ratio 0.118 makes the
 // re-optimized repeatered 6 mm link 3.05x faster at 77 K (Fig. 10).
-constexpr double kRhoGlobal300 = 2.20e-8;
-constexpr double kRhoGlobal77 = 0.2596e-8;
+constexpr OhmMetre kRhoGlobal300{2.20e-8};
+constexpr OhmMetre kRhoGlobal77{0.2596e-8};
 
 } // namespace
 
@@ -89,23 +95,23 @@ Technology::scaledNode(double node_nm, bool thick_wire_mitigation)
     struct LayerScaling
     {
         WireLayer layer;
-        double rho300_45;
-        double rho77_45;
-        double width45;
-        double thickness45;
-        double cap_per_m;
+        OhmMetre rho300_45;
+        OhmMetre rho77_45;
+        Metre width45;
+        Metre thickness45;
+        FaradPerMetre capPerM;
         double widthExp; ///< width ~ (node/45)^exp
     };
     const LayerScaling layers[] = {
         // Local wires track the node 1:1.
-        {WireLayer::Local, kRhoLocal300, kRhoLocal77, 70e-9, 140e-9,
+        {WireLayer::Local, kRhoLocal300, kRhoLocal77, 70 * nm, 140 * nm,
          0.20 * fF / um, 1.0},
         // Semi-global (mid-stack) pitch shrinks roughly with sqrt(node).
-        {WireLayer::SemiGlobal, kRhoSemi300, kRhoSemi77, 140e-9,
-         280e-9, 0.20 * fF / um, 0.5},
+        {WireLayer::SemiGlobal, kRhoSemi300, kRhoSemi77, 140 * nm,
+         280 * nm, 0.20 * fF / um, 0.5},
         // Global (top-stack) pitch is near node-independent [6].
-        {WireLayer::Global, kRhoGlobal300, kRhoGlobal77, 400e-9,
-         800e-9, 0.328 * fF / um, 0.0},
+        {WireLayer::Global, kRhoGlobal300, kRhoGlobal77, 400 * nm,
+         800 * nm, 0.328 * fF / um, 0.0},
     };
 
     std::vector<WireSpec> specs;
@@ -113,20 +119,21 @@ Technology::scaledNode(double node_nm, bool thick_wire_mitigation)
         double shrink = std::pow(node_nm / 45.0, l.widthExp);
         if (thick_wire_mitigation && l.layer == WireLayer::SemiGlobal)
             shrink *= 2.0; // draw the forwarding wires twice as wide
-        const double width = l.width45 * shrink;
-        const double thickness = l.thickness45 * shrink;
+        const Metre width = l.width45 * shrink;
+        const Metre thickness = l.thickness45 * shrink;
 
         // Split the 45 nm anchors into phonon + residual, then scale
         // only the residual with 1/width.
         Conductor ref{l.rho300_45, l.rho77_45, kDebyeTempCu};
-        const double residual =
+        const OhmMetre residual =
             ref.residualResistivity() * (l.width45 / width);
-        const double phonon300 = ref.phononResistivity300();
+        const OhmMetre phonon300 = ref.phononResistivity300();
         BlochGruneisen bg{kDebyeTempCu};
-        const double rho300 = residual + phonon300;
-        const double rho77 = residual + phonon300 * bg.phononFactor(77.0);
+        const OhmMetre rho300 = residual + phonon300;
+        const OhmMetre rho77 =
+            residual + phonon300 * bg.phononFactor(constants::ln2Temp);
 
-        specs.emplace_back(l.layer, width, thickness, l.cap_per_m,
+        specs.emplace_back(l.layer, width, thickness, l.capPerM,
                            Conductor{rho300, rho77, kDebyeTempCu});
     }
     return Technology{std::move(mosfet), std::move(specs[0]),
@@ -161,49 +168,49 @@ Technology::wire(WireLayer layer) const
 }
 
 double
-Technology::transistorSpeedup(double temp_k) const
+Technology::transistorSpeedup(Kelvin temp) const
 {
-    return 1.0 / mosfet_.delayFactor(temp_k);
+    return 1.0 / mosfet_.delayFactor(temp);
 }
 
 double
-Technology::wireSpeedup(WireLayer layer, double length, double temp_k,
+Technology::wireSpeedup(WireLayer layer, Metre length, Kelvin temp,
                         double driver_size) const
 {
     WireRC rc{wire(layer), mosfet_, driver_size};
-    return rc.speedup(length, temp_k);
+    return rc.speedup(length, temp);
 }
 
 double
-Technology::repeateredWireSpeedup(WireLayer layer, double length,
-                                  double temp_k) const
+Technology::repeateredWireSpeedup(WireLayer layer, Metre length,
+                                  Kelvin temp) const
 {
     RepeateredWire rep{wire(layer), mosfet_};
-    return rep.speedup(length, temp_k);
+    return rep.speedup(length, temp);
 }
 
-double
-Technology::wireDelay(WireLayer layer, double length, double temp_k,
+Second
+Technology::wireDelay(WireLayer layer, Metre length, Kelvin temp,
                       double driver_size, double load_size) const
 {
     WireRC rc{wire(layer), mosfet_, driver_size, load_size};
-    return rc.delay(length, temp_k);
+    return rc.delay(length, temp);
 }
 
-double
-Technology::repeateredWireDelay(WireLayer layer, double length,
-                                double temp_k) const
+Second
+Technology::repeateredWireDelay(WireLayer layer, Metre length,
+                                Kelvin temp) const
 {
     RepeateredWire rep{wire(layer), mosfet_};
-    return rep.delay(length, temp_k);
+    return rep.delay(length, temp);
 }
 
-double
-Technology::repeateredWireDelay(WireLayer layer, double length,
-                                double temp_k, const VoltagePoint &v) const
+Second
+Technology::repeateredWireDelay(WireLayer layer, Metre length, Kelvin temp,
+                                const VoltagePoint &v) const
 {
     RepeateredWire rep{wire(layer), mosfet_};
-    return rep.optimize(length, temp_k, v).delay;
+    return rep.optimize(length, temp, v).delay;
 }
 
 } // namespace cryo::tech

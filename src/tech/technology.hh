@@ -17,6 +17,7 @@
 #include "tech/repeater.hh"
 #include "tech/wire_geometry.hh"
 #include "tech/wire_rc.hh"
+#include "util/units.hh"
 
 namespace cryo::tech
 {
@@ -58,31 +59,32 @@ class Technology
     const WireSpec &wire(WireLayer layer) const;
 
     /** Transistor speed-up vs 300 K at nominal voltage (1.08 at 77 K). */
-    double transistorSpeedup(double temp_k) const;
+    double transistorSpeedup(units::Kelvin temp) const;
 
     /**
      * Speed-up of an unrepeated wire of @p length on @p layer,
      * driven by a size-@p driver_size driver.
      */
-    double wireSpeedup(WireLayer layer, double length, double temp_k,
-                       double driver_size = 64.0) const;
+    double wireSpeedup(WireLayer layer, units::Metre length,
+                       units::Kelvin temp, double driver_size = 64.0) const;
 
     /** Speed-up of a latency-optimally repeatered wire. */
-    double repeateredWireSpeedup(WireLayer layer, double length,
-                                 double temp_k) const;
+    double repeateredWireSpeedup(WireLayer layer, units::Metre length,
+                                 units::Kelvin temp) const;
 
-    /** Delay of an unrepeated wire [s]. */
-    double wireDelay(WireLayer layer, double length, double temp_k,
-                     double driver_size = 64.0,
-                     double load_size = 16.0) const;
+    /** Delay of an unrepeated wire. */
+    units::Second wireDelay(WireLayer layer, units::Metre length,
+                            units::Kelvin temp, double driver_size = 64.0,
+                            double load_size = 16.0) const;
 
-    /** Delay of a repeatered wire [s]. */
-    double repeateredWireDelay(WireLayer layer, double length,
-                               double temp_k) const;
+    /** Delay of a repeatered wire. */
+    units::Second repeateredWireDelay(WireLayer layer, units::Metre length,
+                                      units::Kelvin temp) const;
 
     /** Repeatered delay at an explicit voltage point. */
-    double repeateredWireDelay(WireLayer layer, double length,
-                               double temp_k, const VoltagePoint &v) const;
+    units::Second repeateredWireDelay(WireLayer layer, units::Metre length,
+                                      units::Kelvin temp,
+                                      const VoltagePoint &v) const;
 
   private:
     Mosfet mosfet_;

@@ -19,26 +19,27 @@ wireLayerName(WireLayer layer)
     return "unknown";
 }
 
-WireSpec::WireSpec(WireLayer layer, double width, double thickness,
-                   double cap_per_m, Conductor conductor)
+WireSpec::WireSpec(WireLayer layer, units::Metre width,
+                   units::Metre thickness, units::FaradPerMetre cap_per_m,
+                   Conductor conductor)
     : layer_(layer), width_(width), thickness_(thickness),
       capPerM_(cap_per_m), conductor_(conductor)
 {
-    fatalIf(width <= 0.0, "wire width must be positive");
-    fatalIf(thickness <= 0.0, "wire thickness must be positive");
-    fatalIf(cap_per_m <= 0.0, "wire capacitance must be positive");
+    fatalIf(width.value() <= 0.0, "wire width must be positive");
+    fatalIf(thickness.value() <= 0.0, "wire thickness must be positive");
+    fatalIf(cap_per_m.value() <= 0.0, "wire capacitance must be positive");
+}
+
+units::OhmPerMetre
+WireSpec::resistancePerM(units::Kelvin temp) const
+{
+    return conductor_.resistivity(temp) / (width_ * thickness_);
 }
 
 double
-WireSpec::resistancePerM(double temp_k) const
+WireSpec::resistanceRatio(units::Kelvin temp) const
 {
-    return conductor_.resistivity(temp_k) / (width_ * thickness_);
-}
-
-double
-WireSpec::resistanceRatio(double temp_k) const
-{
-    return conductor_.resistivityRatio(temp_k);
+    return conductor_.resistivityRatio(temp);
 }
 
 } // namespace cryo::tech

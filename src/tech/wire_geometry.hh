@@ -12,9 +12,8 @@
 #ifndef CRYOWIRE_TECH_WIRE_GEOMETRY_HH
 #define CRYOWIRE_TECH_WIRE_GEOMETRY_HH
 
-#include <string>
-
 #include "tech/material.hh"
+#include "util/units.hh"
 
 namespace cryo::tech
 {
@@ -42,34 +41,34 @@ class WireSpec
   public:
     /**
      * @param layer      wire class
-     * @param width      drawn width [m]
-     * @param thickness  metal thickness [m]
-     * @param cap_per_m  total capacitance per length [F/m]
+     * @param width      drawn width
+     * @param thickness  metal thickness
+     * @param cap_per_m  total capacitance per length
      * @param conductor  temperature-dependent resistivity
      */
-    WireSpec(WireLayer layer, double width, double thickness,
-             double cap_per_m, Conductor conductor);
+    WireSpec(WireLayer layer, units::Metre width, units::Metre thickness,
+             units::FaradPerMetre cap_per_m, Conductor conductor);
 
     WireLayer layer() const { return layer_; }
-    double width() const { return width_; }
-    double thickness() const { return thickness_; }
+    units::Metre width() const { return width_; }
+    units::Metre thickness() const { return thickness_; }
 
-    /** Resistance per metre at @p temp_k [ohm/m]. */
-    double resistancePerM(double temp_k) const;
+    /** Resistance per metre at @p temp. */
+    units::OhmPerMetre resistancePerM(units::Kelvin temp) const;
 
-    /** Capacitance per metre [F/m] (temperature-independent). */
-    double capPerM() const { return capPerM_; }
+    /** Capacitance per metre (temperature-independent). */
+    units::FaradPerMetre capPerM() const { return capPerM_; }
 
     /** R(T)/R(300 K). */
-    double resistanceRatio(double temp_k) const;
+    double resistanceRatio(units::Kelvin temp) const;
 
     const Conductor &conductor() const { return conductor_; }
 
   private:
     WireLayer layer_;
-    double width_;
-    double thickness_;
-    double capPerM_;
+    units::Metre width_;
+    units::Metre thickness_;
+    units::FaradPerMetre capPerM_;
     Conductor conductor_;
 };
 

@@ -5,6 +5,12 @@
 namespace cryo::tech
 {
 
+using units::Farad;
+using units::Kelvin;
+using units::Metre;
+using units::Ohm;
+using units::Second;
+
 WireRC::WireRC(const WireSpec &spec, const Mosfet &mosfet,
                double driver_size, double load_size)
     : spec_(spec), mosfet_(mosfet), driverSize_(driver_size),
@@ -14,34 +20,34 @@ WireRC::WireRC(const WireSpec &spec, const Mosfet &mosfet,
     fatalIf(load_size <= 0.0, "load size must be positive");
 }
 
-double
-WireRC::delay(double length, double temp_k, const VoltagePoint &v) const
+Second
+WireRC::delay(Metre length, Kelvin temp, const VoltagePoint &v) const
 {
-    fatalIf(length < 0.0, "wire length must be non-negative");
-    const double rd = mosfet_.driverResistance(temp_k, v, driverSize_);
-    const double cw = spec_.capPerM() * length;
-    const double rw = spec_.resistancePerM(temp_k) * length;
-    const double cl = mosfet_.gateCap(loadSize_);
-    const double cp = mosfet_.parasiticCap(driverSize_);
+    fatalIf(length.value() < 0.0, "wire length must be non-negative");
+    const Ohm rd = mosfet_.driverResistance(temp, v, driverSize_);
+    const Farad cw = spec_.capPerM() * length;
+    const Ohm rw = spec_.resistancePerM(temp) * length;
+    const Farad cl = mosfet_.gateCap(loadSize_);
+    const Farad cp = mosfet_.parasiticCap(driverSize_);
     return 0.69 * rd * (cw + cl + cp) + 0.38 * rw * cw + 0.69 * rw * cl;
 }
 
-double
-WireRC::delay(double length, double temp_k) const
+Second
+WireRC::delay(Metre length, Kelvin temp) const
 {
-    return delay(length, temp_k, mosfet_.params().nominal);
+    return delay(length, temp, mosfet_.params().nominal);
 }
 
 double
-WireRC::speedup(double length, double temp_k) const
+WireRC::speedup(Metre length, Kelvin temp) const
 {
-    return delay(length, 300.0) / delay(length, temp_k);
+    return delay(length, constants::roomTemp) / delay(length, temp);
 }
 
 double
-WireRC::asymptoticSpeedup(double temp_k) const
+WireRC::asymptoticSpeedup(Kelvin temp) const
 {
-    return 1.0 / spec_.resistanceRatio(temp_k);
+    return 1.0 / spec_.resistanceRatio(temp);
 }
 
 } // namespace cryo::tech

@@ -17,6 +17,7 @@
 
 #include "tech/mosfet.hh"
 #include "tech/wire_geometry.hh"
+#include "util/units.hh"
 
 namespace cryo::tech
 {
@@ -36,20 +37,21 @@ class WireRC
     WireRC(const WireSpec &spec, const Mosfet &mosfet,
            double driver_size = 64.0, double load_size = 16.0);
 
-    /** End-to-end delay of a @p length wire at (T, V) [s]. */
-    double delay(double length, double temp_k, const VoltagePoint &v) const;
+    /** End-to-end delay of a @p length wire at (T, V). */
+    units::Second delay(units::Metre length, units::Kelvin temp,
+                        const VoltagePoint &v) const;
 
     /** Delay at the nominal voltage point. */
-    double delay(double length, double temp_k) const;
+    units::Second delay(units::Metre length, units::Kelvin temp) const;
 
     /** delay(L, 300 K) / delay(L, T): > 1 below room temperature. */
-    double speedup(double length, double temp_k) const;
+    double speedup(units::Metre length, units::Kelvin temp) const;
 
     /**
-     * Asymptotic (long-wire) speed-up at @p temp_k: the inverse of the
+     * Asymptotic (long-wire) speed-up at @p temp: the inverse of the
      * layer's resistance ratio, independent of the driver.
      */
-    double asymptoticSpeedup(double temp_k) const;
+    double asymptoticSpeedup(units::Kelvin temp) const;
 
     double driverSize() const { return driverSize_; }
 

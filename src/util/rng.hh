@@ -72,7 +72,7 @@ class Rng
     double
     uniform()
     {
-        return (next() >> 11) * 0x1.0p-53;
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
     /** Uniform integer in [0, bound). @p bound must be > 0. */

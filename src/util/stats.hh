@@ -29,7 +29,10 @@ class RunningStats
     double stddev() const;
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
-    double sum() const { return count_ ? mean_ * count_ : 0.0; }
+    double sum() const
+    {
+        return count_ ? mean_ * static_cast<double>(count_) : 0.0;
+    }
 
   private:
     std::uint64_t count_ = 0;

@@ -1,59 +1,321 @@
 /**
  * @file
- * Physical units and constants used throughout CryoWire.
+ * Physical units, typed quantities, and constants used throughout
+ * CryoWire.
  *
  * All quantities in the library are carried in SI base units (metres,
- * seconds, ohms, farads, kelvin, watts). The constants below make call
- * sites read like the paper ("900 * units::um", "77 * units::kelvin").
+ * seconds, ohms, farads, kelvin, watts). The physical-model layers
+ * (`src/tech`, `src/power`, and the tech-facing surfaces of
+ * `src/pipeline` and `src/noc`) exchange `Quantity` values whose
+ * dimensions are checked at compile time; higher simulation layers keep
+ * plain `double` and cross the boundary explicitly via `.value()` (to
+ * leave the typed world) or `Kelvin{t}`-style construction (to enter
+ * it).
+ *
+ * The constants below make call sites read like the paper
+ * ("900 * units::um", "77 * units::kelvin") while producing typed
+ * quantities: `900 * units::um` is a `units::Metre`, and adding it to a
+ * `units::Second` is a compile error.
  */
 
 #ifndef CRYOWIRE_UTIL_UNITS_HH
 #define CRYOWIRE_UTIL_UNITS_HH
 
+#include <type_traits>
+
 namespace cryo::units
 {
 
+/**
+ * A physical quantity with compile-time dimension checking.
+ *
+ * The template arguments are the exponents of the five SI base
+ * dimensions the library uses: metre^L second^T kilogram^M ampere^I
+ * kelvin^K. Arithmetic derives dimensions: `*` and `/` add/subtract
+ * exponents (collapsing to plain `double` when every exponent cancels),
+ * while `+`, `-`, and comparisons only exist between quantities of the
+ * same dimension, so mixing metres with seconds fails to compile.
+ *
+ * The wrapper is layout-compatible with `double` (same size, trivially
+ * copyable) and every operation is `constexpr`, so the checked code
+ * compiles to exactly the arithmetic it replaces.
+ */
+template <int L, int T, int M, int I, int K>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+
+    /** Explicit: a bare double never silently becomes a quantity. */
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /** The magnitude in SI base units - the exit to untyped code. */
+    constexpr double value() const { return value_; }
+
+    constexpr Quantity operator-() const { return Quantity{-value_}; }
+    constexpr Quantity operator+() const { return *this; }
+
+    constexpr Quantity &operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+    constexpr Quantity &operator*=(double scale)
+    {
+        value_ *= scale;
+        return *this;
+    }
+    constexpr Quantity &operator/=(double scale)
+    {
+        value_ /= scale;
+        return *this;
+    }
+
+    friend constexpr Quantity operator+(Quantity a, Quantity b)
+    {
+        return Quantity{a.value_ + b.value_};
+    }
+    friend constexpr Quantity operator-(Quantity a, Quantity b)
+    {
+        return Quantity{a.value_ - b.value_};
+    }
+    friend constexpr Quantity operator*(double s, Quantity q)
+    {
+        return Quantity{s * q.value_};
+    }
+    friend constexpr Quantity operator*(Quantity q, double s)
+    {
+        return Quantity{q.value_ * s};
+    }
+    friend constexpr Quantity operator/(Quantity q, double s)
+    {
+        return Quantity{q.value_ / s};
+    }
+
+    friend constexpr bool operator==(Quantity a, Quantity b)
+    {
+        return a.value_ == b.value_;
+    }
+    friend constexpr bool operator!=(Quantity a, Quantity b)
+    {
+        return a.value_ != b.value_;
+    }
+    friend constexpr bool operator<(Quantity a, Quantity b)
+    {
+        return a.value_ < b.value_;
+    }
+    friend constexpr bool operator<=(Quantity a, Quantity b)
+    {
+        return a.value_ <= b.value_;
+    }
+    friend constexpr bool operator>(Quantity a, Quantity b)
+    {
+        return a.value_ > b.value_;
+    }
+    friend constexpr bool operator>=(Quantity a, Quantity b)
+    {
+        return a.value_ >= b.value_;
+    }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** q1 * q2 adds exponents; a fully cancelled result is a plain double. */
+template <int L1, int T1, int M1, int I1, int K1, int L2, int T2, int M2,
+          int I2, int K2>
+constexpr auto
+operator*(Quantity<L1, T1, M1, I1, K1> a, Quantity<L2, T2, M2, I2, K2> b)
+{
+    if constexpr (L1 + L2 == 0 && T1 + T2 == 0 && M1 + M2 == 0 &&
+                  I1 + I2 == 0 && K1 + K2 == 0) {
+        return a.value() * b.value();
+    } else {
+        return Quantity<L1 + L2, T1 + T2, M1 + M2, I1 + I2, K1 + K2>{
+            a.value() * b.value()};
+    }
+}
+
+/** q1 / q2 subtracts exponents; a same-dimension ratio is a double. */
+template <int L1, int T1, int M1, int I1, int K1, int L2, int T2, int M2,
+          int I2, int K2>
+constexpr auto
+operator/(Quantity<L1, T1, M1, I1, K1> a, Quantity<L2, T2, M2, I2, K2> b)
+{
+    if constexpr (L1 == L2 && T1 == T2 && M1 == M2 && I1 == I2 && K1 == K2) {
+        return a.value() / b.value();
+    } else {
+        return Quantity<L1 - L2, T1 - T2, M1 - M2, I1 - I2, K1 - K2>{
+            a.value() / b.value()};
+    }
+}
+
+/** scalar / quantity inverts the dimension (1 / Second = Hertz). */
+template <int L, int T, int M, int I, int K>
+constexpr Quantity<-L, -T, -M, -I, -K>
+operator/(double s, Quantity<L, T, M, I, K> q)
+{
+    return Quantity<-L, -T, -M, -I, -K>{s / q.value()};
+}
+
+// Base dimensions.
+using Metre = Quantity<1, 0, 0, 0, 0>;
+using SquareMetre = Quantity<2, 0, 0, 0, 0>;
+using Second = Quantity<0, 1, 0, 0, 0>;
+using Kilogram = Quantity<0, 0, 1, 0, 0>;
+using Ampere = Quantity<0, 0, 0, 1, 0>;
+using Kelvin = Quantity<0, 0, 0, 0, 1>;
+
+// Derived dimensions (SI definitions in base-exponent form).
+using Hertz = Quantity<0, -1, 0, 0, 0>;
+using Coulomb = Quantity<0, 1, 0, 1, 0>;
+using Volt = Quantity<2, -3, 1, -1, 0>;
+using Ohm = Quantity<2, -3, 1, -2, 0>;
+using Farad = Quantity<-2, 4, -1, 2, 0>;
+using Joule = Quantity<2, -2, 1, 0, 0>;
+using Watt = Quantity<2, -3, 1, 0, 0>;
+using OhmPerMetre = Quantity<1, -3, 1, -2, 0>;
+using FaradPerMetre = Quantity<-3, 4, -1, 2, 0>;
+using OhmMetre = Quantity<3, -3, 1, -2, 0>; ///< resistivity
+using JoulePerKelvin = Quantity<2, -2, 1, 0, -1>;
+
+// The checked algebra must agree with the SI derivations and stay
+// layout-compatible with the doubles it replaces.
+static_assert(sizeof(Quantity<1, 0, 0, 0, 0>) == sizeof(double),
+              "Quantity must be layout-compatible with double");
+static_assert(std::is_trivially_copyable_v<Metre>);
+static_assert(std::is_same_v<decltype(Volt{1} / Ampere{1}), Ohm>);
+static_assert(std::is_same_v<decltype(Ohm{1} * Farad{1}), Second>);
+static_assert(std::is_same_v<decltype(1.0 / Second{1}), Hertz>);
+static_assert(std::is_same_v<decltype(Watt{1} * Second{1}), Joule>);
+static_assert(std::is_same_v<decltype(OhmMetre{1} / SquareMetre{1}),
+                             OhmPerMetre>);
+static_assert(std::is_same_v<decltype(Metre{2} / Metre{1}), double>);
+
 // Length
-constexpr double m = 1.0;
-constexpr double mm = 1e-3;
-constexpr double um = 1e-6;
-constexpr double nm = 1e-9;
+inline constexpr Metre m{1.0};
+inline constexpr Metre mm{1e-3};
+inline constexpr Metre um{1e-6};
+inline constexpr Metre nm{1e-9};
 
 // Time
-constexpr double s = 1.0;
-constexpr double ms = 1e-3;
-constexpr double us = 1e-6;
-constexpr double ns = 1e-9;
-constexpr double ps = 1e-12;
+inline constexpr Second s{1.0};
+inline constexpr Second ms{1e-3};
+inline constexpr Second us{1e-6};
+inline constexpr Second ns{1e-9};
+inline constexpr Second ps{1e-12};
 
 // Frequency
-constexpr double Hz = 1.0;
-constexpr double kHz = 1e3;
-constexpr double MHz = 1e6;
-constexpr double GHz = 1e9;
+inline constexpr Hertz Hz{1.0};
+inline constexpr Hertz kHz{1e3};
+inline constexpr Hertz MHz{1e6};
+inline constexpr Hertz GHz{1e9};
 
 // Electrical
-constexpr double ohm = 1.0;
-constexpr double kohm = 1e3;
-constexpr double farad = 1.0;
-constexpr double fF = 1e-15;
-constexpr double pF = 1e-12;
-constexpr double volt = 1.0;
-constexpr double mV = 1e-3;
-constexpr double ampere = 1.0;
-constexpr double mA = 1e-3;
-constexpr double uA = 1e-6;
-constexpr double nA = 1e-9;
+inline constexpr Ohm ohm{1.0};
+inline constexpr Ohm kohm{1e3};
+inline constexpr Farad farad{1.0};
+inline constexpr Farad fF{1e-15};
+inline constexpr Farad pF{1e-12};
+inline constexpr Volt volt{1.0};
+inline constexpr Volt mV{1e-3};
+inline constexpr Ampere ampere{1.0};
+inline constexpr Ampere mA{1e-3};
+inline constexpr Ampere uA{1e-6};
+inline constexpr Ampere nA{1e-9};
 
 // Power / energy
-constexpr double watt = 1.0;
-constexpr double mW = 1e-3;
-constexpr double uW = 1e-6;
-constexpr double joule = 1.0;
-constexpr double pJ = 1e-12;
+inline constexpr Watt watt{1.0};
+inline constexpr Watt mW{1e-3};
+inline constexpr Watt uW{1e-6};
+inline constexpr Joule joule{1.0};
+inline constexpr Joule pJ{1e-12};
 
 // Temperature
-constexpr double kelvin = 1.0;
+inline constexpr Kelvin kelvin{1.0};
+
+/**
+ * Literal suffixes for typed constants: `6.0_mm`, `77.0_K`, `4.0_GHz`.
+ * `using namespace cryo::units::literals;` to enable.
+ */
+namespace literals
+{
+
+constexpr Metre operator""_m(long double v)
+{
+    return Metre{static_cast<double>(v)};
+}
+constexpr Metre operator""_mm(long double v)
+{
+    return static_cast<double>(v) * mm;
+}
+constexpr Metre operator""_um(long double v)
+{
+    return static_cast<double>(v) * um;
+}
+constexpr Metre operator""_nm(long double v)
+{
+    return static_cast<double>(v) * nm;
+}
+constexpr Second operator""_s(long double v)
+{
+    return Second{static_cast<double>(v)};
+}
+constexpr Second operator""_ns(long double v)
+{
+    return static_cast<double>(v) * ns;
+}
+constexpr Second operator""_ps(long double v)
+{
+    return static_cast<double>(v) * ps;
+}
+constexpr Hertz operator""_Hz(long double v)
+{
+    return Hertz{static_cast<double>(v)};
+}
+constexpr Hertz operator""_MHz(long double v)
+{
+    return static_cast<double>(v) * MHz;
+}
+constexpr Hertz operator""_GHz(long double v)
+{
+    return static_cast<double>(v) * GHz;
+}
+constexpr Kelvin operator""_K(long double v)
+{
+    return Kelvin{static_cast<double>(v)};
+}
+constexpr Kelvin operator""_K(unsigned long long v)
+{
+    return Kelvin{static_cast<double>(v)};
+}
+constexpr Volt operator""_V(long double v)
+{
+    return Volt{static_cast<double>(v)};
+}
+constexpr Volt operator""_mV(long double v)
+{
+    return static_cast<double>(v) * mV;
+}
+constexpr Farad operator""_fF(long double v)
+{
+    return static_cast<double>(v) * fF;
+}
+constexpr Ohm operator""_ohm(long double v)
+{
+    return Ohm{static_cast<double>(v)};
+}
+constexpr Watt operator""_W(long double v)
+{
+    return Watt{static_cast<double>(v)};
+}
+
+} // namespace literals
 
 } // namespace cryo::units
 
@@ -61,26 +323,30 @@ namespace cryo::constants
 {
 
 /** Boltzmann constant [J/K]. */
-constexpr double kBoltzmann = 1.380649e-23;
+inline constexpr units::JoulePerKelvin kBoltzmann{1.380649e-23};
 
 /** Elementary charge [C]. */
-constexpr double qElectron = 1.602176634e-19;
+inline constexpr units::Coulomb qElectron{1.602176634e-19};
 
-/** Thermal voltage kT/q at temperature @p temp_k [V]. */
-constexpr double
-thermalVoltage(double temp_k)
+/** Thermal voltage kT/q at temperature @p temp [V]. */
+constexpr units::Volt
+thermalVoltage(units::Kelvin temp)
 {
-    return kBoltzmann * temp_k / qElectron;
+    // J/K * K / C = J/C = V: the dimension algebra checks the physics.
+    return kBoltzmann * temp / qElectron;
 }
 
-/** Room temperature reference used throughout the paper [K]. */
-constexpr double roomTempK = 300.0;
+static_assert(std::is_same_v<decltype(thermalVoltage(units::Kelvin{1})),
+                             units::Volt>);
 
-/** Liquid-nitrogen temperature, the paper's operating point [K]. */
-constexpr double ln2TempK = 77.0;
+/** Room temperature reference used throughout the paper. */
+inline constexpr units::Kelvin roomTemp{300.0};
 
-/** Temperature of the paper's validation experiments [K]. */
-constexpr double validationTempK = 135.0;
+/** Liquid-nitrogen temperature, the paper's operating point. */
+inline constexpr units::Kelvin ln2Temp{77.0};
+
+/** Temperature of the paper's validation experiments. */
+inline constexpr units::Kelvin validationTemp{135.0};
 
 } // namespace cryo::constants
 

@@ -1,0 +1,19 @@
+/**
+ * Compile-fail case: a bare double must never silently become a typed
+ * quantity. Entering the typed world requires an explicit construction
+ * (`Kelvin{t}`) or a unit constant (`t * kelvin`).
+ */
+
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace cryo::units;
+#ifdef CRYOWIRE_EXPECT_COMPILE_FAIL
+    const Kelvin temp = 77.0; // implicit double -> Quantity: ill-formed
+#else
+    const Kelvin temp{77.0};
+#endif
+    return temp.value() > 0.0 ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+/**
+ * Compile-fail case: passing a temperature where a frequency is
+ * expected must not compile.
+ *
+ * This is the exact bug class the typed tech-layer signatures exist to
+ * stop: `frequency(stages, 4e9)` vs `frequency(stages, 300.0)` were
+ * indistinguishable when both parameters were double.
+ */
+
+#include "util/units.hh"
+
+namespace
+{
+
+double
+cyclesFor(cryo::units::Second window, cryo::units::Hertz clock)
+{
+    return window * clock; // Second * Hertz cancels to a plain double
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cryo::units;
+    const Second window = 10 * ns;
+#ifdef CRYOWIRE_EXPECT_COMPILE_FAIL
+    // A Kelvin is not a Hertz, even though both used to be "double".
+    return cyclesFor(window, Kelvin{300.0}) > 0.0;
+#else
+    return cyclesFor(window, 4 * GHz) > 0.0 ? 0 : 1;
+#endif
+}

@@ -1,0 +1,23 @@
+/**
+ * Compile-fail case: adding metres to seconds must not compile.
+ *
+ * Without CRYOWIRE_EXPECT_COMPILE_FAIL this file is the positive
+ * control proving the harness compiles legal unit code; with it, the
+ * build must fail (asserted by a WILL_FAIL ctest entry).
+ */
+
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace cryo::units;
+    const Metre wire = 900 * um;
+    const Second delay = 35 * ps;
+#ifdef CRYOWIRE_EXPECT_COMPILE_FAIL
+    const auto nonsense = wire + delay; // metres + seconds: ill-formed
+    return nonsense.value() > 0.0;
+#else
+    return wire.value() > 0.0 && delay.value() > 0.0 ? 0 : 1;
+#endif
+}

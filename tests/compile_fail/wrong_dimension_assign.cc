@@ -1,0 +1,21 @@
+/**
+ * Compile-fail case: the result of dimension-deriving arithmetic can
+ * only land in a variable of the derived dimension. R*C is a time
+ * constant; binding it to a Farad must not compile.
+ */
+
+#include "util/units.hh"
+
+int
+main()
+{
+    using namespace cryo::units;
+    const Ohm r = 2 * kohm;
+    const Farad c = 1.8 * fF;
+#ifdef CRYOWIRE_EXPECT_COMPILE_FAIL
+    const Farad tau = r * c; // R*C is a Second, not a Farad
+#else
+    const Second tau = r * c;
+#endif
+    return tau.value() > 0.0 ? 0 : 1;
+}

@@ -26,7 +26,7 @@ class CoreConfigTest : public ::testing::Test
 TEST_F(CoreConfigTest, BaselineMatchesSkylakeSpec)
 {
     const auto c = designer.baseline300();
-    EXPECT_NEAR(c.frequency, 4.0 * GHz, 1e3);
+    EXPECT_NEAR(c.frequency, (4.0 * GHz).value(), 1e3);
     EXPECT_EQ(c.pipelineDepth, 14);
     EXPECT_EQ(c.structures.width, 8);
     EXPECT_EQ(c.structures.loadQueue, 72);
@@ -42,7 +42,8 @@ TEST_F(CoreConfigTest, SuperpipelineFrequencyNearPaper)
 {
     const auto c = designer.superpipeline77();
     // Paper: 6.4 GHz; model within 3%.
-    EXPECT_NEAR(c.frequency, 6.4 * GHz, 0.03 * 6.4 * GHz);
+    EXPECT_NEAR(c.frequency, (6.4 * GHz).value(),
+                (0.03 * 6.4 * GHz).value());
     EXPECT_EQ(c.pipelineDepth, 17);
     EXPECT_DOUBLE_EQ(c.ipcFactor, 0.96);
 }
@@ -62,7 +63,8 @@ TEST_F(CoreConfigTest, CryoSpFrequencyNearPaper)
 {
     const auto c = designer.cryoSP();
     // Paper: 7.84 GHz; model within 4%.
-    EXPECT_NEAR(c.frequency, 7.84 * GHz, 0.04 * 7.84 * GHz);
+    EXPECT_NEAR(c.frequency, (7.84 * GHz).value(),
+                (0.04 * 7.84 * GHz).value());
     EXPECT_DOUBLE_EQ(c.voltage.vdd, 0.64);
     EXPECT_DOUBLE_EQ(c.voltage.vth, 0.25);
     EXPECT_EQ(c.pipelineDepth, 17);
@@ -72,7 +74,8 @@ TEST_F(CoreConfigTest, ChpCoreFrequencyNearPaper)
 {
     const auto c = designer.chpCore();
     // Paper: 6.1 GHz; model within 5%.
-    EXPECT_NEAR(c.frequency, 6.1 * GHz, 0.05 * 6.1 * GHz);
+    EXPECT_NEAR(c.frequency, (6.1 * GHz).value(),
+                (0.05 * 6.1 * GHz).value());
     EXPECT_EQ(c.pipelineDepth, 14); // no superpipelining in prior work
     EXPECT_DOUBLE_EQ(c.ipcFactor, 0.93);
 }
@@ -121,8 +124,8 @@ TEST_F(CoreConfigTest, VoltagePointsAreLeakageFeasibleAt77K)
 {
     for (const auto &c : designer.table3Ladder()) {
         if (c.tempK <= 77.0) {
-            EXPECT_TRUE(tech.mosfet().voltageScalingFeasible(c.tempK,
-                                                             c.voltage))
+            EXPECT_TRUE(tech.mosfet().voltageScalingFeasible(
+                            cryo::units::Kelvin{c.tempK}, c.voltage))
                 << c.name;
         }
     }

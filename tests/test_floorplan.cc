@@ -23,9 +23,11 @@ TEST(Floorplan, Table1Geometry)
     const Floorplan fp = Floorplan::skylakeLike();
     // Table 1: ALU 25757 um^2 at 345 um width -> 74.callout um tall;
     // register file 376820 um^2 -> 1092 um tall.
-    EXPECT_NEAR(fp.alu().area, 25757 * um * um, 1e-15);
-    EXPECT_NEAR(fp.alu().height(), 74.66 * um, 0.5 * um);
-    EXPECT_NEAR(fp.regfile().height(), 1092.2 * um, 1.0 * um);
+    EXPECT_NEAR(fp.alu().area.value(), (25757 * um * um).value(), 1e-15);
+    EXPECT_NEAR(fp.alu().height().value(), (74.66 * um).value(),
+                (0.5 * um).value());
+    EXPECT_NEAR(fp.regfile().height().value(), (1092.2 * um).value(),
+                (1.0 * um).value());
     EXPECT_EQ(fp.aluCount(), 8);
 }
 
@@ -33,7 +35,8 @@ TEST(Floorplan, ForwardingWireMatchesTable1)
 {
     // Table 1: the forwarding wire over 8 ALUs + regfile is 1686 um.
     const Floorplan fp = Floorplan::skylakeLike();
-    EXPECT_NEAR(fp.forwardingWireLength(), 1686 * um, 6 * um);
+    EXPECT_NEAR(fp.forwardingWireLength().value(), (1686 * um).value(),
+                (6 * um).value());
 }
 
 TEST(Floorplan, WritebackShorterThanForwarding)
@@ -49,26 +52,27 @@ TEST(Floorplan, ScalingShrinksWires)
     const Floorplan fp = Floorplan::skylakeLike();
     const Floorplan half = fp.scaled(0.5);
     // Area halves, so linear dimensions shrink by sqrt(2).
-    EXPECT_NEAR(half.forwardingWireLength(),
-                fp.forwardingWireLength() / std::sqrt(2.0),
+    EXPECT_NEAR(half.forwardingWireLength().value(),
+                fp.forwardingWireLength().value() / std::sqrt(2.0),
                 1e-9);
-    EXPECT_NEAR(half.alu().area, fp.alu().area * 0.5, 1e-18);
+    EXPECT_NEAR(half.alu().area.value(), fp.alu().area.value() * 0.5,
+                1e-18);
 }
 
 TEST(Floorplan, ScaleIdentity)
 {
     const Floorplan fp = Floorplan::skylakeLike();
     const Floorplan same = fp.scaled(1.0);
-    EXPECT_DOUBLE_EQ(same.forwardingWireLength(),
-                     fp.forwardingWireLength());
+    EXPECT_DOUBLE_EQ(same.forwardingWireLength().value(),
+                     fp.forwardingWireLength().value());
 }
 
 TEST(Floorplan, RejectsBadInputs)
 {
-    UnitGeometry alu{"ALU", 1e-9, 1e-4};
-    UnitGeometry rf{"RF", 1e-8, 1e-4};
+    UnitGeometry alu{"ALU", SquareMetre{1e-9}, Metre{1e-4}};
+    UnitGeometry rf{"RF", SquareMetre{1e-8}, Metre{1e-4}};
     EXPECT_THROW((Floorplan{alu, rf, 0}), FatalError);
-    UnitGeometry bad{"bad", -1.0, 1e-4};
+    UnitGeometry bad{"bad", SquareMetre{-1.0}, Metre{1e-4}};
     EXPECT_THROW((Floorplan{bad, rf, 4}), FatalError);
     const Floorplan fp = Floorplan::skylakeLike();
     EXPECT_THROW(fp.scaled(0.0), FatalError);
@@ -76,12 +80,12 @@ TEST(Floorplan, RejectsBadInputs)
 
 TEST(Floorplan, MoreAlusLongerWire)
 {
-    UnitGeometry alu{"ALU", 25757e-12, 345e-6};
-    UnitGeometry rf{"RF", 376820e-12, 345e-6};
+    UnitGeometry alu{"ALU", SquareMetre{25757e-12}, Metre{345e-6}};
+    UnitGeometry rf{"RF", SquareMetre{376820e-12}, Metre{345e-6}};
     const Floorplan four{alu, rf, 4};
     const Floorplan eight{alu, rf, 8};
-    EXPECT_LT(four.forwardingWireLength(),
-              eight.forwardingWireLength());
+    EXPECT_LT(four.forwardingWireLength().value(),
+              eight.forwardingWireLength().value());
 }
 
 } // namespace

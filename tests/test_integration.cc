@@ -146,17 +146,18 @@ TEST_F(IntegrationTest, Fig9ValidationBand)
     pipeline::CriticalPathModel model{techno,
                                       pipeline::Floorplan::skylakeLike()};
     const auto stages = pipeline::boomSkylakeStages();
-    const double pipeline_speedup = model.frequency(stages, 135.0)
-        / model.frequency(stages, 300.0);
+    const double pipeline_speedup =
+        model.frequency(stages, constants::validationTemp)
+        / model.frequency(stages, constants::roomTemp);
     EXPECT_GT(pipeline_speedup, 1.09);
     EXPECT_LT(pipeline_speedup, 1.18);
 
     // Router model at 135 K: a few percent, within the paper's 2.8%
     // error of the uncore measurements.
-    noc::RouterModel rm{techno, noc::RouterSpec{}, 4.0e9,
+    noc::RouterModel rm{techno, noc::RouterSpec{}, 4.0 * units::GHz,
                         noc::NocDesigner::kV300};
-    EXPECT_GT(rm.speedup(135.0), 1.04);
-    EXPECT_LT(rm.speedup(135.0), 1.10);
+    EXPECT_GT(rm.speedup(constants::validationTemp), 1.04);
+    EXPECT_LT(rm.speedup(constants::validationTemp), 1.10);
 }
 
 TEST_F(IntegrationTest, EndToEndHeadlineClaim)

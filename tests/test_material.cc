@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "tech/material.hh"
+#include "util/units.hh"
 #include "util/log.hh"
 
 namespace
@@ -13,6 +14,9 @@ namespace
 
 using namespace cryo;
 using namespace cryo::tech;
+using namespace cryo::units::literals;
+using cryo::units::Kelvin;
+using cryo::units::OhmMetre;
 
 TEST(BlochGruneisen, IntegralBasics)
 {
@@ -37,25 +41,25 @@ TEST(BlochGruneisen, IntegralMonotone)
 
 TEST(BlochGruneisen, NormalizedAt300)
 {
-    BlochGruneisen bg(343.0);
-    EXPECT_NEAR(bg.phononFactor(300.0), 1.0, 1e-12);
+    BlochGruneisen bg(343.0_K);
+    EXPECT_NEAR(bg.phononFactor(300.0_K), 1.0, 1e-12);
 }
 
 TEST(BlochGruneisen, KnownCopperRatio)
 {
     // Bulk copper: rho_ph(77)/rho_ph(300) is ~0.11-0.13.
-    BlochGruneisen bg(343.0);
-    const double f77 = bg.phononFactor(77.0);
+    BlochGruneisen bg(343.0_K);
+    const double f77 = bg.phononFactor(77.0_K);
     EXPECT_GT(f77, 0.09);
     EXPECT_LT(f77, 0.13);
 }
 
 TEST(BlochGruneisen, MonotoneInTemperature)
 {
-    BlochGruneisen bg(343.0);
+    BlochGruneisen bg(343.0_K);
     double prev = 0.0;
     for (double t = 20.0; t <= 400.0; t += 20.0) {
-        const double f = bg.phononFactor(t);
+        const double f = bg.phononFactor(Kelvin{t});
         EXPECT_GT(f, prev);
         prev = f;
     }
@@ -64,32 +68,33 @@ TEST(BlochGruneisen, MonotoneInTemperature)
 TEST(BlochGruneisen, LowTemperatureCollapse)
 {
     // Phonon resistivity dies as ~T^5 at low temperature.
-    BlochGruneisen bg(343.0);
-    EXPECT_LT(bg.phononFactor(10.0), 1e-4);
+    BlochGruneisen bg(343.0_K);
+    EXPECT_LT(bg.phononFactor(10.0_K), 1e-4);
 }
 
 TEST(Conductor, ReproducesAnchors)
 {
-    Conductor c(2.8e-8, 0.759e-8, 343.0);
-    EXPECT_NEAR(c.resistivity(300.0), 2.8e-8, 1e-12);
-    EXPECT_NEAR(c.resistivity(77.0), 0.759e-8, 1e-12);
+    Conductor c(OhmMetre{2.8e-8}, OhmMetre{0.759e-8}, 343.0_K);
+    EXPECT_NEAR(c.resistivity(300.0_K).value(), 2.8e-8, 1e-12);
+    EXPECT_NEAR(c.resistivity(77.0_K).value(), 0.759e-8, 1e-12);
 }
 
 TEST(Conductor, ResidualIsPositiveAndConstant)
 {
-    Conductor c(2.8e-8, 0.759e-8, 343.0);
-    EXPECT_GT(c.residualResistivity(), 0.0);
+    Conductor c(OhmMetre{2.8e-8}, OhmMetre{0.759e-8}, 343.0_K);
+    EXPECT_GT(c.residualResistivity().value(), 0.0);
     // At very low T only the residual remains.
-    EXPECT_NEAR(c.resistivity(4.0), c.residualResistivity(),
-                0.01 * c.residualResistivity());
+    EXPECT_NEAR(c.resistivity(4.0_K).value(),
+                c.residualResistivity().value(),
+                0.01 * c.residualResistivity().value());
 }
 
 TEST(Conductor, RatioMonotone)
 {
-    Conductor c(4.0e-8, 1.356e-8, 343.0);
+    Conductor c(OhmMetre{4.0e-8}, OhmMetre{1.356e-8}, 343.0_K);
     double prev = 0.0;
     for (double t = 20.0; t <= 300.0; t += 10.0) {
-        const double r = c.resistivityRatio(t);
+        const double r = c.resistivityRatio(Kelvin{t});
         EXPECT_GT(r, prev);
         EXPECT_LE(r, 1.0 + 1e-12);
         prev = r;
@@ -98,10 +103,10 @@ TEST(Conductor, RatioMonotone)
 
 TEST(Conductor, RejectsNonMetallicAnchors)
 {
-    EXPECT_THROW(Conductor(1e-8, 2e-8), FatalError);  // rises on cooling
-    EXPECT_THROW(Conductor(-1e-8, 1e-9), FatalError); // negative
+    EXPECT_THROW(Conductor(OhmMetre{1e-8}, OhmMetre{2e-8}), FatalError);  // rises on cooling
+    EXPECT_THROW(Conductor(OhmMetre{-1e-8}, OhmMetre{1e-9}), FatalError); // negative
     // 77 K value below the pure-phonon limit implies negative residual.
-    EXPECT_THROW(Conductor(2.0e-8, 0.05e-8, 343.0), FatalError);
+    EXPECT_THROW(Conductor(OhmMetre{2.0e-8}, OhmMetre{0.05e-8}, 343.0_K), FatalError);
 }
 
 /** Parameterized: Matthiessen decomposition holds at every T. */
@@ -112,11 +117,11 @@ class ConductorSweep : public ::testing::TestWithParam<double>
 TEST_P(ConductorSweep, MatthiessenAdditivity)
 {
     const double t = GetParam();
-    Conductor c(2.8e-8, 0.759e-8, 343.0);
-    BlochGruneisen bg(343.0);
-    const double expected = c.residualResistivity()
-        + c.phononResistivity300() * bg.phononFactor(t);
-    EXPECT_NEAR(c.resistivity(t), expected, 1e-15);
+    Conductor c(OhmMetre{2.8e-8}, OhmMetre{0.759e-8}, 343.0_K);
+    BlochGruneisen bg(343.0_K);
+    const double expected = c.residualResistivity().value()
+        + c.phononResistivity300().value() * bg.phononFactor(Kelvin{t});
+    EXPECT_NEAR(c.resistivity(Kelvin{t}).value(), expected, 1e-15);
 }
 
 INSTANTIATE_TEST_SUITE_P(Temperatures, ConductorSweep,

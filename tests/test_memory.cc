@@ -19,10 +19,10 @@ using cryo::tech::Technology;
 TEST(MemTiming, Table4Values300K)
 {
     const auto t = MemTiming::at300();
-    EXPECT_NEAR(t.l1, 1.0 * ns, 1e-15);   // 4 cyc @ 4 GHz
-    EXPECT_NEAR(t.l2, 3.0 * ns, 1e-15);   // 12 cyc
-    EXPECT_NEAR(t.l3, 5.0 * ns, 1e-15);   // 20 cyc
-    EXPECT_NEAR(t.dram, 60.32 * ns, 1e-12);
+    EXPECT_NEAR(t.l1, (1.0 * ns).value(), 1e-15);   // 4 cyc @ 4 GHz
+    EXPECT_NEAR(t.l2, (3.0 * ns).value(), 1e-15);   // 12 cyc
+    EXPECT_NEAR(t.l3, (5.0 * ns).value(), 1e-15);   // 20 cyc
+    EXPECT_NEAR(t.dram, (60.32 * ns).value(), 1e-12);
 }
 
 TEST(MemTiming, CryoMemoryRatios)

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "tech/mosfet.hh"
+#include "util/units.hh"
 #include "util/log.hh"
 
 namespace
@@ -14,6 +15,8 @@ namespace
 
 using namespace cryo::tech;
 using cryo::FatalError;
+using namespace cryo::units::literals;
+using cryo::units::Kelvin;
 
 class MosfetTest : public ::testing::Test
 {
@@ -24,16 +27,16 @@ class MosfetTest : public ::testing::Test
 TEST_F(MosfetTest, DriveGainAnchors)
 {
     // The paper's model card: +8% Ion at 77 K, near-saturated by 135 K.
-    EXPECT_NEAR(m.driveGain(300.0), 1.0, 1e-12);
-    EXPECT_NEAR(m.driveGain(77.0), 1.08, 1e-9);
-    EXPECT_NEAR(m.driveGain(135.0), 1.075, 1e-9);
+    EXPECT_NEAR(m.driveGain(300.0_K), 1.0, 1e-12);
+    EXPECT_NEAR(m.driveGain(77.0_K), 1.08, 1e-9);
+    EXPECT_NEAR(m.driveGain(135.0_K), 1.075, 1e-9);
 }
 
 TEST_F(MosfetTest, DriveGainMonotoneOnCooling)
 {
     double prev = 0.0;
     for (double t = 310.0; t >= 4.0; t -= 5.0) {
-        const double g = m.driveGain(t);
+        const double g = m.driveGain(Kelvin{t});
         EXPECT_GE(g, prev);
         prev = g;
     }
@@ -41,57 +44,58 @@ TEST_F(MosfetTest, DriveGainMonotoneOnCooling)
 
 TEST_F(MosfetTest, DriveGainClampedOutsideAnchors)
 {
-    EXPECT_DOUBLE_EQ(m.driveGain(400.0), 1.0);
-    EXPECT_DOUBLE_EQ(m.driveGain(1.0), m.driveGain(4.0));
+    EXPECT_DOUBLE_EQ(m.driveGain(400.0_K), 1.0);
+    EXPECT_DOUBLE_EQ(m.driveGain(1.0_K), m.driveGain(4.0_K));
 }
 
 TEST_F(MosfetTest, NominalDelayIsInverseGain)
 {
     for (double t : {77.0, 135.0, 300.0})
-        EXPECT_NEAR(m.delayFactor(t), 1.0 / m.driveGain(t), 1e-12);
+        EXPECT_NEAR(m.delayFactor(Kelvin{t}), 1.0 / m.driveGain(Kelvin{t}),
+                    1e-12);
 }
 
 TEST_F(MosfetTest, CryoSpVoltageGain)
 {
     // Table 3: 6.4 -> 7.84 GHz from Vdd/Vth scaling at 77 K (+22.5%).
     const VoltagePoint sp{0.64, 0.25};
-    const double gain = m.delayFactor(77.0) / m.delayFactor(77.0, sp);
+    const double gain = m.delayFactor(77.0_K) / m.delayFactor(77.0_K, sp);
     EXPECT_NEAR(gain, 1.225, 0.01);
 }
 
 TEST_F(MosfetTest, ChpVoltageGain)
 {
     const VoltagePoint chp{0.75, 0.25};
-    const double gain = m.delayFactor(77.0) / m.delayFactor(77.0, chp);
+    const double gain = m.delayFactor(77.0_K) / m.delayFactor(77.0_K, chp);
     EXPECT_NEAR(gain, 1.235, 0.01);
 }
 
 TEST_F(MosfetTest, DelayRejectsSubthresholdSupply)
 {
-    EXPECT_THROW(m.delayFactor(300.0, VoltagePoint{0.3, 0.4}),
+    EXPECT_THROW(m.delayFactor(300.0_K, VoltagePoint{0.3, 0.4}),
                  FatalError);
 }
 
 TEST_F(MosfetTest, SubthresholdSwingScalesWithT)
 {
     // S = n kT/q ln10: ~89 mV/dec at 300 K for n = 1.5.
-    EXPECT_NEAR(m.subthresholdSwing(300.0), 89.3e-3, 2e-3);
-    EXPECT_NEAR(m.subthresholdSwing(77.0),
-                m.subthresholdSwing(300.0) * 77.0 / 300.0, 1e-6);
+    EXPECT_NEAR(m.subthresholdSwing(300.0_K).value(), 89.3e-3, 2e-3);
+    EXPECT_NEAR(m.subthresholdSwing(77.0_K).value(),
+                m.subthresholdSwing(300.0_K).value() * 77.0 / 300.0, 1e-6);
 }
 
 TEST_F(MosfetTest, LeakageCollapsesAtCryo)
 {
     // Cooling at the nominal voltage point kills subthreshold leakage
     // by many orders of magnitude.
-    const double f = m.leakageFactor(77.0, m.params().nominal);
+    const double f = m.leakageFactor(77.0_K, m.params().nominal);
     EXPECT_LT(f, 1e-10);
 }
 
 TEST_F(MosfetTest, LeakageExplodesWithLowVthAt300K)
 {
     const VoltagePoint scaled{0.64, 0.25};
-    EXPECT_GT(m.leakageFactor(300.0, scaled), 10.0);
+    EXPECT_GT(m.leakageFactor(300.0_K, scaled), 10.0);
 }
 
 TEST_F(MosfetTest, ScalingFeasibilityRule)
@@ -100,35 +104,36 @@ TEST_F(MosfetTest, ScalingFeasibilityRule)
     // cryogenic temperatures.
     const VoltagePoint sp{0.64, 0.25};
     const VoltagePoint chp{0.75, 0.25};
-    EXPECT_TRUE(m.voltageScalingFeasible(77.0, sp));
-    EXPECT_TRUE(m.voltageScalingFeasible(77.0, chp));
-    EXPECT_FALSE(m.voltageScalingFeasible(300.0, sp));
-    EXPECT_FALSE(m.voltageScalingFeasible(300.0, chp));
+    EXPECT_TRUE(m.voltageScalingFeasible(77.0_K, sp));
+    EXPECT_TRUE(m.voltageScalingFeasible(77.0_K, chp));
+    EXPECT_FALSE(m.voltageScalingFeasible(300.0_K, sp));
+    EXPECT_FALSE(m.voltageScalingFeasible(300.0_K, chp));
 }
 
 TEST_F(MosfetTest, DriverResistanceScalesInversely)
 {
     const auto v = m.params().nominal;
-    const double r1 = m.driverResistance(300.0, v, 1.0);
-    const double r8 = m.driverResistance(300.0, v, 8.0);
+    const double r1 = m.driverResistance(300.0_K, v, 1.0).value();
+    const double r8 = m.driverResistance(300.0_K, v, 8.0).value();
     EXPECT_NEAR(r1 / r8, 8.0, 1e-9);
-    EXPECT_THROW(m.driverResistance(300.0, v, 0.0), FatalError);
+    EXPECT_THROW(m.driverResistance(300.0_K, v, 0.0), FatalError);
 }
 
 TEST_F(MosfetTest, CapsScaleLinearly)
 {
-    EXPECT_DOUBLE_EQ(m.gateCap(4.0), 4.0 * m.gateCap(1.0));
-    EXPECT_DOUBLE_EQ(m.parasiticCap(4.0), 4.0 * m.parasiticCap(1.0));
+    EXPECT_DOUBLE_EQ(m.gateCap(4.0).value(), 4.0 * m.gateCap(1.0).value());
+    EXPECT_DOUBLE_EQ(m.parasiticCap(4.0).value(),
+                     4.0 * m.parasiticCap(1.0).value());
 }
 
 TEST_F(MosfetTest, Fo4InRealisticRange)
 {
     // 45 nm FO4 is ~15-20 ps.
-    const double fo4 = m.fo4Delay(300.0, m.params().nominal);
+    const double fo4 = m.fo4Delay(300.0_K, m.params().nominal).value();
     EXPECT_GT(fo4, 10e-12);
     EXPECT_LT(fo4, 25e-12);
     // Slightly faster when cooled.
-    EXPECT_LT(m.fo4Delay(77.0, m.params().nominal), fo4);
+    EXPECT_LT(m.fo4Delay(77.0_K, m.params().nominal).value(), fo4);
 }
 
 TEST(MosfetParamsTest, RejectsBadNominal)
@@ -153,7 +158,7 @@ class MosfetSweep : public ::testing::TestWithParam<double>
 TEST_P(MosfetSweep, CoolingNeverSlowsNominalLogic)
 {
     Mosfet m;
-    EXPECT_LE(m.delayFactor(GetParam()), 1.0 + 1e-12);
+    EXPECT_LE(m.delayFactor(Kelvin{GetParam()}), 1.0 + 1e-12);
 }
 
 TEST_P(MosfetSweep, LeakageMonotoneWithVth)
@@ -162,7 +167,7 @@ TEST_P(MosfetSweep, LeakageMonotoneWithVth)
     const double t = GetParam();
     double prev = 1e300;
     for (double vth = 0.2; vth <= 0.5; vth += 0.05) {
-        const double f = m.leakageFactor(t, VoltagePoint{1.0, vth});
+        const double f = m.leakageFactor(Kelvin{t}, VoltagePoint{1.0, vth});
         EXPECT_LT(f, prev);
         prev = f;
     }

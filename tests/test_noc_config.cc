@@ -27,15 +27,16 @@ TEST_F(NocTest, RouterSpeedupIsMarginal)
 {
     // Guideline #1's root cause: +9.3% router frequency at 77 K.
     RouterModel rm{tech, RouterSpec{}, 4 * GHz, NocDesigner::kV300};
-    EXPECT_NEAR(rm.speedup(77.0), 1.093, 0.012);
-    EXPECT_NEAR(rm.speedup(300.0), 1.0, 1e-9);
+    EXPECT_NEAR(rm.speedup(Kelvin{77.0}), 1.093, 0.012);
+    EXPECT_NEAR(rm.speedup(Kelvin{300.0}), 1.0, 1e-9);
 }
 
 TEST_F(NocTest, Mesh77FrequencyNearTable4)
 {
     // Table 4: 5.44 GHz for the voltage-optimized 77 K mesh router.
     const auto cfg = designer.mesh77();
-    EXPECT_NEAR(cfg.clockFreq(), 5.44 * GHz, 0.06 * 5.44 * GHz);
+    EXPECT_NEAR(cfg.clockFreq(), (5.44 * GHz).value(),
+                (0.06 * 5.44 * GHz).value());
     EXPECT_DOUBLE_EQ(cfg.voltage().vdd, 0.55);
     EXPECT_DOUBLE_EQ(cfg.voltage().vth, 0.225);
 }
@@ -45,25 +46,26 @@ TEST_F(NocTest, WireLinkHopsPerCycleAnchors)
     // CACTI-NUCA anchors: 4 hops per 4 GHz cycle at 300 K, 12 at 77 K
     // (nominal NoC voltage).
     const auto &link = designer.wireLink();
-    EXPECT_EQ(link.hopsPerCycle(4 * GHz, 300.0, NocDesigner::kV300), 4);
-    EXPECT_EQ(link.hopsPerCycle(4 * GHz, 77.0, NocDesigner::kV300), 12);
-    EXPECT_NEAR(link.hopDelay(300.0), 0.064 * ns, 0.002 * ns);
+    EXPECT_EQ(link.hopsPerCycle(4 * GHz, Kelvin{300.0}, NocDesigner::kV300), 4);
+    EXPECT_EQ(link.hopsPerCycle(4 * GHz, Kelvin{77.0}, NocDesigner::kV300), 12);
+    EXPECT_NEAR(link.hopDelay(Kelvin{300.0}).value(), (0.064 * ns).value(),
+                (0.002 * ns).value());
 }
 
 TEST_F(NocTest, WireLinkTraversal)
 {
     const auto &link = designer.wireLink();
-    EXPECT_EQ(link.traversalCycles(0, 4 * GHz, 300.0,
+    EXPECT_EQ(link.traversalCycles(0, 4 * GHz, Kelvin{300.0},
                                    NocDesigner::kV300), 0);
-    EXPECT_EQ(link.traversalCycles(30, 4 * GHz, 300.0,
+    EXPECT_EQ(link.traversalCycles(30, 4 * GHz, Kelvin{300.0},
                                    NocDesigner::kV300), 8);
-    EXPECT_EQ(link.traversalCycles(12, 4 * GHz, 300.0,
+    EXPECT_EQ(link.traversalCycles(12, 4 * GHz, Kelvin{300.0},
                                    NocDesigner::kV300), 3);
 }
 
 TEST_F(NocTest, WireLinkSpeedupNearFig10)
 {
-    EXPECT_NEAR(designer.wireLink().speedup(77.0), 3.0, 0.45);
+    EXPECT_NEAR(designer.wireLink().speedup(Kelvin{77.0}), 3.0, 0.45);
 }
 
 TEST_F(NocTest, Fig20BusBreakdowns)

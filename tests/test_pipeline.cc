@@ -17,6 +17,8 @@ namespace
 
 using namespace cryo::pipeline;
 using cryo::tech::Technology;
+using namespace cryo::units::literals;
+using cryo::units::Kelvin;
 
 class PipelineTest : public ::testing::Test
 {
@@ -40,7 +42,7 @@ TEST_F(PipelineTest, NormalizedToExecuteBypass)
     for (const auto &s : stages)
         max_delay = std::max(max_delay, s.delay300);
     EXPECT_DOUBLE_EQ(max_delay, 1.0);
-    EXPECT_EQ(model.criticalStage(stages, 300.0,
+    EXPECT_EQ(model.criticalStage(stages, 300.0_K,
                                   tech.mosfet().params().nominal),
               "execute bypass");
 }
@@ -84,7 +86,7 @@ TEST_F(PipelineTest, UnpipelinableStagesAreTheBypassLoops)
 TEST_F(PipelineTest, StageDelayDecomposition)
 {
     for (const auto &s : stages) {
-        const auto d = model.stageDelay(s, 300.0);
+        const auto d = model.stageDelay(s, 300.0_K);
         EXPECT_NEAR(d.total(), s.delay300, 1e-12) << s.name;
         EXPECT_NEAR(d.wireFraction(), s.wireFraction, 1e-12) << s.name;
     }
@@ -95,9 +97,9 @@ TEST_F(PipelineTest, Obs77K1FrontendBecomesCritical)
     // 77K Observation #1: the critical stage moves to the frontend and
     // the max delay shrinks only modestly (paper: 19%, model: ~16%).
     const auto nominal = tech.mosfet().params().nominal;
-    EXPECT_EQ(model.criticalStage(stages, 77.0, nominal), "fetch1");
-    const double reduction = 1.0 - model.maxDelay(stages, 77.0)
-        / model.maxDelay(stages, 300.0);
+    EXPECT_EQ(model.criticalStage(stages, 77.0_K, nominal), "fetch1");
+    const double reduction = 1.0 - model.maxDelay(stages, 77.0_K)
+        / model.maxDelay(stages, 300.0_K);
     EXPECT_GT(reduction, 0.12);
     EXPECT_LT(reduction, 0.22);
 }
@@ -106,7 +108,7 @@ TEST_F(PipelineTest, Obs77K2BackendCollapses)
 {
     // The forwarding stages fall to ~0.6 at 77 K while the frontend
     // stays near 0.8 - the opportunity for superpipelining.
-    for (const auto &d : model.stageDelays(stages, 77.0)) {
+    for (const auto &d : model.stageDelays(stages, 77.0_K)) {
         if (d.name == "execute bypass") {
             EXPECT_NEAR(d.total(), 0.61, 0.03);
         }
@@ -118,8 +120,8 @@ TEST_F(PipelineTest, Obs77K2BackendCollapses)
 
 TEST_F(PipelineTest, BackendShrinksMoreThanFrontend)
 {
-    const auto d300 = model.stageDelays(stages, 300.0);
-    const auto d77 = model.stageDelays(stages, 77.0);
+    const auto d300 = model.stageDelays(stages, 300.0_K);
+    const auto d77 = model.stageDelays(stages, 77.0_K);
     double fe300 = 0, fe77 = 0, be300 = 0, be77 = 0;
     for (std::size_t i = 0; i < stages.size(); ++i) {
         if (stages[i].kind == StageKind::Frontend) {
@@ -136,8 +138,8 @@ TEST_F(PipelineTest, BackendShrinksMoreThanFrontend)
 TEST_F(PipelineTest, FrequencyAnchors)
 {
     // 4 GHz at 300 K by construction; cooling alone buys ~15-22%.
-    EXPECT_NEAR(model.frequency(stages, 300.0), 4.0e9, 1e3);
-    const double f77 = model.frequency(stages, 77.0);
+    EXPECT_NEAR(model.frequency(stages, 300.0_K).value(), 4.0e9, 1e3);
+    const double f77 = model.frequency(stages, 77.0_K).value();
     EXPECT_GT(f77, 4.55e9);
     EXPECT_LT(f77, 4.95e9);
 }
@@ -146,8 +148,8 @@ TEST_F(PipelineTest, Fig9ValidationWindow)
 {
     // At the 135 K validation point the model predicts a speed-up in
     // the band the paper reports (model 15.0%, measured 12.1%).
-    const double s = model.frequency(stages, 135.0)
-        / model.frequency(stages, 300.0);
+    const double s = model.frequency(stages, 135.0_K)
+        / model.frequency(stages, 300.0_K);
     EXPECT_GT(s, 1.10);
     EXPECT_LT(s, 1.20);
 }
@@ -157,8 +159,8 @@ TEST_F(PipelineTest, VoltageScalingSpeedsEveryStage)
     const cryo::tech::VoltagePoint sp{0.64, 0.25};
     const auto nominal = tech.mosfet().params().nominal;
     for (const auto &s : stages) {
-        EXPECT_LT(model.stageDelay(s, 77.0, sp).total(),
-                  model.stageDelay(s, 77.0, nominal).total())
+        EXPECT_LT(model.stageDelay(s, 77.0_K, sp).total(),
+                  model.stageDelay(s, 77.0_K, nominal).total())
             << s.name;
     }
 }
@@ -167,14 +169,14 @@ TEST_F(PipelineTest, WireScaleAnchors)
 {
     const auto nominal = tech.mosfet().params().nominal;
     // Forwarding wires speed up ~2.8x at 77 K...
-    EXPECT_NEAR(1.0 / model.wireScale(WireClass::ForwardingWire, 77.0,
+    EXPECT_NEAR(1.0 / model.wireScale(WireClass::ForwardingWire, 77.0_K,
                                       nominal),
                 2.81, 0.1);
     // ...while short local wires barely improve.
-    EXPECT_LT(1.0 / model.wireScale(WireClass::ShortLocal, 77.0,
+    EXPECT_LT(1.0 / model.wireScale(WireClass::ShortLocal, 77.0_K,
                                     nominal),
               1.6);
-    EXPECT_DOUBLE_EQ(model.wireScale(WireClass::None, 77.0, nominal),
+    EXPECT_DOUBLE_EQ(model.wireScale(WireClass::None, 77.0_K, nominal),
                      1.0);
 }
 
@@ -191,7 +193,7 @@ TEST_P(StageSweep, MonotoneInTemperature)
     const auto &stage = stages[static_cast<std::size_t>(GetParam())];
     double prev = 0.0;
     for (double t = 50.0; t <= 300.0; t += 25.0) {
-        const double d = model.stageDelay(stage, t).total();
+        const double d = model.stageDelay(stage, Kelvin{t}).total();
         EXPECT_GE(d, prev) << stage.name << " at " << t;
         prev = d;
     }

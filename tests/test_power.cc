@@ -18,31 +18,33 @@ namespace
 using namespace cryo::power;
 using cryo::FatalError;
 using cryo::tech::Technology;
+using namespace cryo::units::literals;
+using cryo::units::Kelvin;
 
 TEST(Cooling, PaperAnchorAt77K)
 {
     // CO = 9.65 at 77 K, i.e. total power = 10.65x device power.
     CoolingModel c;
-    EXPECT_NEAR(c.overhead(77.0), 9.65, 0.05);
-    EXPECT_NEAR(c.totalPowerFactor(77.0), 10.65, 0.05);
+    EXPECT_NEAR(c.overhead(77.0_K), 9.65, 0.05);
+    EXPECT_NEAR(c.totalPowerFactor(77.0_K), 10.65, 0.05);
 }
 
 TEST(Cooling, NoCostAtRoomTemperature)
 {
     CoolingModel c;
-    EXPECT_DOUBLE_EQ(c.overhead(300.0), 0.0);
-    EXPECT_DOUBLE_EQ(c.overhead(350.0), 0.0);
+    EXPECT_DOUBLE_EQ(c.overhead(300.0_K), 0.0);
+    EXPECT_DOUBLE_EQ(c.overhead(350.0_K), 0.0);
 }
 
 TEST(Cooling, ExponentialGrowthOnCooling)
 {
     // Fig. 27(c): the overhead grows steeply as T falls.
     CoolingModel c;
-    EXPECT_NEAR(c.overhead(100.0), 6.67, 0.05);
-    EXPECT_NEAR(c.overhead(150.0), 3.33, 0.05);
+    EXPECT_NEAR(c.overhead(100.0_K), 6.67, 0.05);
+    EXPECT_NEAR(c.overhead(150.0_K), 3.33, 0.05);
     double prev = 1e9;
     for (double t = 50.0; t < 300.0; t += 10.0) {
-        const double co = c.overhead(t);
+        const double co = c.overhead(Kelvin{t});
         EXPECT_LT(co, prev);
         prev = co;
     }
@@ -52,7 +54,7 @@ TEST(Cooling, EfficiencyScalesInversely)
 {
     CoolingModel ideal(1.0);
     CoolingModel real(0.3);
-    EXPECT_NEAR(real.overhead(77.0) / ideal.overhead(77.0), 1.0 / 0.3,
+    EXPECT_NEAR(real.overhead(77.0_K) / ideal.overhead(77.0_K), 1.0 / 0.3,
                 1e-9);
     EXPECT_THROW(CoolingModel(0.0), FatalError);
 }

@@ -20,6 +20,8 @@ namespace
 
 using namespace cryo;
 using namespace cryo::netsim;
+using cryo::units::Kelvin;
+using cryo::units::Metre;
 
 tech::Technology &
 technology()
@@ -41,8 +43,8 @@ TEST_P(TemperatureGrid, EveryLayerFasterWhenColder)
     for (auto layer : {tech::WireLayer::Local,
                        tech::WireLayer::SemiGlobal,
                        tech::WireLayer::Global}) {
-        EXPECT_LE(technology().wire(layer).resistanceRatio(t),
-                  technology().wire(layer).resistanceRatio(t + 20.0));
+        EXPECT_LE(technology().wire(layer).resistanceRatio(Kelvin{t}),
+                  technology().wire(layer).resistanceRatio(Kelvin{t + 20.0}));
     }
 }
 
@@ -52,8 +54,8 @@ TEST_P(TemperatureGrid, PipelineFrequencyMonotone)
     pipeline::CriticalPathModel model{technology(),
                                       pipeline::Floorplan::skylakeLike()};
     const auto stages = pipeline::boomSkylakeStages();
-    EXPECT_GE(model.frequency(stages, t),
-              model.frequency(stages, t + 20.0));
+    EXPECT_GE(model.frequency(stages, Kelvin{t}).value(),
+              model.frequency(stages, Kelvin{t + 20.0}).value());
 }
 
 TEST_P(TemperatureGrid, SuperpipelinePlanNeverHurts)
@@ -63,11 +65,11 @@ TEST_P(TemperatureGrid, SuperpipelinePlanNeverHurts)
                                       pipeline::Floorplan::skylakeLike()};
     pipeline::Superpipeliner sp{model};
     const auto baseline = pipeline::boomSkylakeStages();
-    const auto plan = sp.plan(baseline, t);
+    const auto plan = sp.plan(baseline, Kelvin{t});
     // The methodology only cuts when it helps, so the planned pipeline
     // is never slower than the baseline at its design point.
-    EXPECT_GE(model.frequency(plan.result, t) + 1.0,
-              model.frequency(baseline, t));
+    EXPECT_GE(model.frequency(plan.result, Kelvin{t}).value() + 1.0,
+              model.frequency(baseline, Kelvin{t}).value());
 }
 
 TEST_P(TemperatureGrid, BusOccupancyNeverImprovesWhenWarmer)
@@ -83,9 +85,9 @@ TEST_P(TemperatureGrid, CoolingOverheadConsistent)
 {
     const double t = GetParam();
     power::CoolingModel cooling;
-    EXPECT_GE(cooling.overhead(t), cooling.overhead(t + 20.0));
-    EXPECT_NEAR(cooling.totalPowerFactor(t),
-                1.0 + cooling.overhead(t), 1e-12);
+    EXPECT_GE(cooling.overhead(Kelvin{t}), cooling.overhead(Kelvin{t + 20.0}));
+    EXPECT_NEAR(cooling.totalPowerFactor(Kelvin{t}),
+                1.0 + cooling.overhead(Kelvin{t}), 1e-12);
 }
 
 INSTANTIATE_TEST_SUITE_P(Grid, TemperatureGrid,
@@ -318,9 +320,10 @@ TEST(Properties, RepeaterDelayContinuousInLength)
     tech::RepeateredWire rep{
         technology().wire(tech::WireLayer::Global),
         technology().mosfet()};
-    double prev = rep.delay(1e-3, 77.0);
+    double prev = rep.delay(Metre{1e-3}, constants::ln2Temp).value();
     for (double len = 1.05e-3; len < 10e-3; len *= 1.05) {
-        const double d = rep.delay(len, 77.0);
+        const double d =
+            rep.delay(Metre{len}, constants::ln2Temp).value();
         EXPECT_GT(d, prev * 0.99);
         EXPECT_LT(d, prev * 1.25);
         prev = d;

@@ -18,6 +18,7 @@ namespace
 
 using namespace cryo::pipeline;
 using cryo::tech::Technology;
+using namespace cryo::units::literals;
 
 class SuperpipelineTest : public ::testing::Test
 {
@@ -32,7 +33,7 @@ TEST_F(SuperpipelineTest, NoSplitsAt300K)
 {
     // "Further frontend pipelining is meaningless at 300 K": the
     // target is execute bypass itself and nothing exceeds it.
-    const auto plan = sp.plan(stages, 300.0);
+    const auto plan = sp.plan(stages, 300.0_K);
     EXPECT_FALSE(plan.effective());
     EXPECT_EQ(plan.addedStages, 0);
     EXPECT_EQ(plan.targetStage, "execute bypass");
@@ -41,7 +42,7 @@ TEST_F(SuperpipelineTest, NoSplitsAt300K)
 
 TEST_F(SuperpipelineTest, SplitsExactlyThePaperStagesAt77K)
 {
-    const auto plan = sp.plan(stages, 77.0);
+    const auto plan = sp.plan(stages, 77.0_K);
     ASSERT_EQ(plan.splits.size(), 3u);
     std::vector<std::string> split_names;
     for (const auto &s : plan.splits) {
@@ -59,17 +60,17 @@ TEST_F(SuperpipelineTest, SplitsExactlyThePaperStagesAt77K)
 
 TEST_F(SuperpipelineTest, TargetIsExecuteBypass)
 {
-    const auto plan = sp.plan(stages, 77.0);
+    const auto plan = sp.plan(stages, 77.0_K);
     EXPECT_EQ(plan.targetStage, "execute bypass");
     EXPECT_NEAR(plan.targetLatency, 0.61, 0.03);
 }
 
 TEST_F(SuperpipelineTest, ResultMeetsTarget)
 {
-    const auto plan = sp.plan(stages, 77.0);
-    const double max77 = model.maxDelay(plan.result, 77.0);
+    const auto plan = sp.plan(stages, 77.0_K);
+    const double max77 = model.maxDelay(plan.result, 77.0_K);
     EXPECT_NEAR(max77, plan.targetLatency, 1e-9);
-    for (const auto &d : model.stageDelays(plan.result, 77.0))
+    for (const auto &d : model.stageDelays(plan.result, 77.0_K))
         EXPECT_LE(d.total(), plan.targetLatency + 1e-9) << d.name;
 }
 
@@ -77,12 +78,12 @@ TEST_F(SuperpipelineTest, Fig14CycleTimeReduction)
 {
     // Fig. 14: the superpipelined 77 K max delay is ~38% below the
     // 300 K baseline, i.e. ~+61% frequency.
-    const auto plan = sp.plan(stages, 77.0);
-    const double reduction = 1.0 - model.maxDelay(plan.result, 77.0)
-        / model.maxDelay(stages, 300.0);
+    const auto plan = sp.plan(stages, 77.0_K);
+    const double reduction = 1.0 - model.maxDelay(plan.result, 77.0_K)
+        / model.maxDelay(stages, 300.0_K);
     EXPECT_NEAR(reduction, 0.38, 0.025);
-    const double freq_gain = model.frequency(plan.result, 77.0)
-        / model.frequency(stages, 300.0);
+    const double freq_gain = model.frequency(plan.result, 77.0_K)
+        / model.frequency(stages, 300.0_K);
     EXPECT_NEAR(freq_gain, 1.61, 0.06);
 }
 
@@ -98,14 +99,14 @@ TEST_F(SuperpipelineTest, PaperSubstageNames)
 
 TEST_F(SuperpipelineTest, PlanIsIdempotent)
 {
-    const auto plan = sp.plan(stages, 77.0);
-    const auto again = sp.plan(plan.result, 77.0);
+    const auto plan = sp.plan(stages, 77.0_K);
+    const auto again = sp.plan(plan.result, 77.0_K);
     EXPECT_FALSE(again.effective());
 }
 
 TEST_F(SuperpipelineTest, SubstagesPreserveWireBudget)
 {
-    const auto plan = sp.plan(stages, 77.0);
+    const auto plan = sp.plan(stages, 77.0_K);
     // Total wire delay across substages equals the parent's (the cut
     // adds latch logic, never wire).
     double wire_before = 0.0, wire_after = 0.0;
@@ -121,16 +122,16 @@ TEST_F(SuperpipelineTest, HigherOverheadNeverHelps)
     Superpipeliner cheap{model, 0.02};
     Superpipeliner costly{model, 0.15};
     const double f_cheap =
-        model.frequency(cheap.plan(stages, 77.0).result, 77.0);
+        model.frequency(cheap.plan(stages, 77.0_K).result, 77.0_K).value();
     const double f_costly =
-        model.frequency(costly.plan(stages, 77.0).result, 77.0);
+        model.frequency(costly.plan(stages, 77.0_K).result, 77.0_K).value();
     EXPECT_GE(f_cheap, f_costly);
 }
 
 TEST_F(SuperpipelineTest, VoltageScaledPlanStillSplitsFrontend)
 {
     // CryoSP plans at the scaled voltage point too.
-    const auto plan = sp.plan(stages, 77.0,
+    const auto plan = sp.plan(stages, 77.0_K,
                               cryo::tech::VoltagePoint{0.64, 0.25});
     EXPECT_EQ(plan.addedStages, 3);
 }

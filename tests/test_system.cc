@@ -116,7 +116,7 @@ TEST_F(SystemTest, Fig3NocShareAverages)
         sum += share;
         mx = std::max(mx, share);
     }
-    EXPECT_NEAR(sum / parsec.size(), 0.456, 0.06);
+    EXPECT_NEAR(sum / static_cast<double>(parsec.size()), 0.456, 0.06);
     EXPECT_GT(mx, 0.70);
 }
 
@@ -133,8 +133,8 @@ TEST_F(SystemTest, Fig17BusBeatsMeshAt77K)
         mesh_rel += t_ideal / sim.run(mesh, w).timePerInstr;
         bus_rel += t_ideal / sim.run(bus, w).timePerInstr;
     }
-    mesh_rel /= parsec.size();
-    bus_rel /= parsec.size();
+    mesh_rel /= static_cast<double>(parsec.size());
+    bus_rel /= static_cast<double>(parsec.size());
     EXPECT_NEAR(mesh_rel, 0.567, 0.08);
     EXPECT_GT(bus_rel, 0.75);
     EXPECT_GT(bus_rel, mesh_rel + 0.2);
@@ -372,11 +372,13 @@ TEST(FloorplanScaling, ShorterForwardingWiresGainLessFromCooling)
     cryo::pipeline::CriticalPathModel m_half{tech, half};
     cryo::pipeline::Superpipeliner sp_full{m_full};
     cryo::pipeline::Superpipeliner sp_half{m_half};
-    const auto p_full = sp_full.plan(stages, 77.0);
-    const auto p_half = sp_half.plan(stages, 77.0);
+    const auto p_full = sp_full.plan(stages, cryo::constants::ln2Temp);
+    const auto p_half = sp_half.plan(stages, cryo::constants::ln2Temp);
     EXPECT_GT(p_half.targetLatency, p_full.targetLatency);
-    const double f_full = m_full.frequency(p_full.result, 77.0);
-    const double f_half = m_half.frequency(p_half.result, 77.0);
+    const double f_full =
+        m_full.frequency(p_full.result, cryo::constants::ln2Temp).value();
+    const double f_half =
+        m_half.frequency(p_half.result, cryo::constants::ln2Temp).value();
     EXPECT_LT(f_half, f_full);
     EXPECT_GT(f_half, 0.95 * f_full); // a few percent, not a collapse
 }

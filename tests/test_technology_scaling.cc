@@ -17,6 +17,7 @@ namespace
 using namespace cryo;
 using namespace cryo::tech;
 using namespace cryo::units;
+using namespace cryo::units::literals;
 
 TEST(ScaledNode, FortyFiveReproducesDefault)
 {
@@ -24,11 +25,11 @@ TEST(ScaledNode, FortyFiveReproducesDefault)
     auto def = Technology::freePdk45();
     for (auto layer : {WireLayer::Local, WireLayer::SemiGlobal,
                        WireLayer::Global}) {
-        EXPECT_NEAR(scaled.wire(layer).resistanceRatio(77.0),
-                    def.wire(layer).resistanceRatio(77.0), 1e-9);
-        EXPECT_NEAR(scaled.wire(layer).resistancePerM(300.0),
-                    def.wire(layer).resistancePerM(300.0),
-                    1e-3 * def.wire(layer).resistancePerM(300.0));
+        EXPECT_NEAR(scaled.wire(layer).resistanceRatio(77.0_K),
+                    def.wire(layer).resistanceRatio(77.0_K), 1e-9);
+        EXPECT_NEAR(scaled.wire(layer).resistancePerM(300.0_K).value(),
+                    def.wire(layer).resistancePerM(300.0_K).value(),
+                    1e-3 * def.wire(layer).resistancePerM(300.0_K).value());
     }
 }
 
@@ -40,7 +41,7 @@ TEST(ScaledNode, LocalGainErodesWithNode)
     for (double node : {45.0, 22.0, 10.0}) {
         auto technology = Technology::scaledNode(node);
         const double gain = 1.0 /
-            technology.wire(WireLayer::Local).resistanceRatio(77.0);
+            technology.wire(WireLayer::Local).resistanceRatio(77.0_K);
         EXPECT_LT(gain, prev) << node;
         prev = gain;
     }
@@ -51,13 +52,13 @@ TEST(ScaledNode, GlobalLayerIsNodeIndependent)
 {
     auto n45 = Technology::scaledNode(45.0);
     auto n10 = Technology::scaledNode(10.0);
-    EXPECT_NEAR(n10.wire(WireLayer::Global).resistanceRatio(77.0),
-                n45.wire(WireLayer::Global).resistanceRatio(77.0),
+    EXPECT_NEAR(n10.wire(WireLayer::Global).resistanceRatio(77.0_K),
+                n45.wire(WireLayer::Global).resistanceRatio(77.0_K),
                 1e-9);
     EXPECT_NEAR(n10.repeateredWireSpeedup(WireLayer::Global, 6 * mm,
-                                          77.0),
+                                          77.0_K),
                 n45.repeateredWireSpeedup(WireLayer::Global, 6 * mm,
-                                          77.0),
+                                          77.0_K),
                 0.02);
 }
 
@@ -66,9 +67,9 @@ TEST(ScaledNode, SemiGlobalDegradesGently)
     auto n45 = Technology::scaledNode(45.0);
     auto n10 = Technology::scaledNode(10.0);
     const double g45 = 1.0 /
-        n45.wire(WireLayer::SemiGlobal).resistanceRatio(77.0);
+        n45.wire(WireLayer::SemiGlobal).resistanceRatio(77.0_K);
     const double g10 = 1.0 /
-        n10.wire(WireLayer::SemiGlobal).resistanceRatio(77.0);
+        n10.wire(WireLayer::SemiGlobal).resistanceRatio(77.0_K);
     EXPECT_LT(g10, g45);
     EXPECT_GT(g10, 2.0); // still a meaningful cryogenic gain
 }
@@ -78,9 +79,9 @@ TEST(ScaledNode, ThickWireMitigationRecoversGain)
     auto plain = Technology::scaledNode(10.0);
     auto thick = Technology::scaledNode(10.0, true);
     const double g_plain = plain.wireSpeedup(WireLayer::SemiGlobal,
-                                             1686 * um, 77.0, 140.0);
+                                             1686 * um, 77.0_K, 140.0);
     const double g_thick = thick.wireSpeedup(WireLayer::SemiGlobal,
-                                             1686 * um, 77.0, 140.0);
+                                             1686 * um, 77.0_K, 140.0);
     EXPECT_GT(g_thick, g_plain);
 }
 
@@ -93,10 +94,10 @@ TEST(ScaledNode, CryoSpStillPaysOffAtTenNm)
                                       pipeline::Floorplan::skylakeLike()};
     pipeline::Superpipeliner sp{model};
     const auto baseline = pipeline::boomSkylakeStages();
-    const auto plan = sp.plan(baseline, 77.0);
+    const auto plan = sp.plan(baseline, 77.0_K);
     EXPECT_TRUE(plan.effective());
-    const double gain = model.frequency(plan.result, 77.0)
-        / model.frequency(baseline, 300.0);
+    const double gain = model.frequency(plan.result, 77.0_K)
+        / model.frequency(baseline, 300.0_K);
     EXPECT_GT(gain, 1.25);
 }
 

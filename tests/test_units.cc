@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Runtime tests for the compile-time dimensional-analysis layer.
+ *
+ * The interesting properties of `units::Quantity` are enforced by the
+ * compiler (see tests/compile_fail/); these tests cover the runtime
+ * half: literal and constant round-trips, the dimension algebra's
+ * numeric results, and the layout guarantees that make the wrapper a
+ * zero-overhead replacement for double.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "power/cooling.hh"
+#include "tech/technology.hh"
+#include "tech/wire_rc.hh"
+#include "util/units.hh"
+
+namespace
+{
+
+using namespace cryo;
+using namespace cryo::units;
+using namespace cryo::units::literals;
+
+TEST(Units, LayoutCompatibleWithDouble)
+{
+    static_assert(sizeof(Metre) == sizeof(double));
+    static_assert(alignof(Metre) == alignof(double));
+    static_assert(std::is_trivially_copyable_v<Second>);
+    static_assert(std::is_trivially_copyable_v<Kelvin>);
+    SUCCEED();
+}
+
+TEST(Units, ConstantsRoundTrip)
+{
+    // `900 * units::um` reads like the paper and is 900 micrometres.
+    EXPECT_DOUBLE_EQ((900 * um).value(), 900e-6);
+    EXPECT_DOUBLE_EQ((6 * mm).value(), 6e-3);
+    EXPECT_DOUBLE_EQ((45 * nm).value(), 45e-9);
+    EXPECT_DOUBLE_EQ((4 * GHz).value(), 4e9);
+    EXPECT_DOUBLE_EQ((2.5 * ns).value(), 2.5e-9);
+    EXPECT_DOUBLE_EQ((77 * kelvin).value(), 77.0);
+    EXPECT_DOUBLE_EQ((1.8 * fF).value(), 1.8e-15);
+    EXPECT_DOUBLE_EQ((3 * kohm).value(), 3e3);
+}
+
+TEST(Units, LiteralsRoundTrip)
+{
+    EXPECT_DOUBLE_EQ((900.0_um).value(), 900e-6);
+    EXPECT_DOUBLE_EQ((1.686_mm).value(), 1.686e-3);
+    EXPECT_DOUBLE_EQ((4.0_GHz).value(), 4e9);
+    EXPECT_DOUBLE_EQ((77.0_K).value(), 77.0);
+    EXPECT_DOUBLE_EQ((77_K).value(), 77.0);
+    EXPECT_DOUBLE_EQ((0.25_ns).value(), 0.25e-9);
+    EXPECT_DOUBLE_EQ((1.25_V).value(), 1.25);
+    EXPECT_DOUBLE_EQ((25.85_mV).value(), 25.85e-3);
+}
+
+TEST(Units, LiteralsAgreeWithConstants)
+{
+    EXPECT_EQ(900.0_um, 900 * um);
+    EXPECT_EQ(4.0_GHz, 4 * GHz);
+    EXPECT_EQ(77.0_K, 77 * kelvin);
+}
+
+TEST(Units, MultiplicationDerivesDimension)
+{
+    // R * C = time constant: types and numbers both come out right.
+    const Ohm r{2.0e3};
+    const Farad c{1.5e-12};
+    const Second tau = r * c;
+    EXPECT_DOUBLE_EQ(tau.value(), 3.0e-9);
+
+    // P * t = E.
+    const Joule e = Watt{5.0} * Second{2.0};
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Units, DivisionCollapsesToDouble)
+{
+    // Same-dimension ratios are plain double - speedups, scale
+    // factors, and gains fall out of the algebra untyped.
+    const auto ratio = (4 * GHz) / (2 * GHz);
+    static_assert(std::is_same_v<decltype(ratio), const double>);
+    EXPECT_DOUBLE_EQ(ratio, 2.0);
+
+    const auto cancelled = Ohm{4.0} * Farad{0.5} / Second{1.0};
+    static_assert(std::is_same_v<decltype(cancelled), const double>);
+    EXPECT_DOUBLE_EQ(cancelled, 2.0);
+}
+
+TEST(Units, ScalarDivisionInvertsDimension)
+{
+    const Hertz f = 1.0 / (0.25 * ns);
+    EXPECT_DOUBLE_EQ(f.value(), 4e9);
+    const Second period = 1.0 / (4 * GHz);
+    EXPECT_DOUBLE_EQ(period.value(), 0.25e-9);
+}
+
+TEST(Units, AdditiveAndCompoundOps)
+{
+    Metre len = 3 * mm;
+    len += 2 * mm;
+    len -= 1 * mm;
+    len *= 2.0;
+    len /= 4.0;
+    EXPECT_DOUBLE_EQ(len.value(), 2e-3);
+    EXPECT_DOUBLE_EQ((-len).value(), -2e-3);
+    EXPECT_DOUBLE_EQ((+len).value(), 2e-3);
+    EXPECT_DOUBLE_EQ((len + len).value(), 4e-3);
+    EXPECT_DOUBLE_EQ((len - len).value(), 0.0);
+}
+
+TEST(Units, ComparisonsOrderByMagnitude)
+{
+    EXPECT_LT(1 * mm, 2 * mm);
+    EXPECT_GT(1 * s, 1 * ns);
+    EXPECT_LE(77.0_K, 77.0_K);
+    EXPECT_GE(300.0_K, 77.0_K);
+    EXPECT_EQ(1000 * um, 1 * mm);
+    EXPECT_NE(1 * um, 1 * nm);
+}
+
+TEST(Units, PhysicalConstantsAreTyped)
+{
+    static_assert(std::is_same_v<decltype(constants::kBoltzmann),
+                                 const units::JoulePerKelvin>);
+    static_assert(std::is_same_v<decltype(constants::qElectron),
+                                 const units::Coulomb>);
+    static_assert(std::is_same_v<decltype(constants::roomTemp),
+                                 const units::Kelvin>);
+    EXPECT_DOUBLE_EQ(constants::roomTemp.value(), 300.0);
+    EXPECT_DOUBLE_EQ(constants::ln2Temp.value(), 77.0);
+    EXPECT_DOUBLE_EQ(constants::validationTemp.value(), 135.0);
+}
+
+TEST(Units, ThermalVoltageIsConstexpr)
+{
+    // The kT/q derivation runs entirely at compile time.
+    constexpr Volt vt = constants::thermalVoltage(constants::roomTemp);
+    static_assert(vt.value() > 0.0);
+    EXPECT_NEAR(vt.value(), 25.85e-3, 0.1e-3);
+}
+
+TEST(Units, DefaultConstructedIsZero)
+{
+    constexpr Metre zero;
+    static_assert(zero.value() == 0.0);
+    EXPECT_DOUBLE_EQ(zero.value(), 0.0);
+}
+
+// Unit-audit regressions. Migrating the model layers onto Quantity
+// re-derived every formula's dimensions in the type system; these
+// tests pin the identities the audit verified so a future edit that
+// changes a unit (W vs W/W, s vs Hz, per-metre vs absolute) breaks a
+// named test instead of silently shifting results.
+
+TEST(UnitAudit, CoolingOverheadIsWattPerWatt)
+{
+    // overhead() is W of cooler input per W removed - a ratio, so the
+    // typed API returns plain double, and the Carnot identity
+    // (T_hot - T_cold) / (eff * T_cold) holds exactly.
+    power::CoolingModel c;
+    static_assert(
+        std::is_same_v<decltype(c.overhead(constants::ln2Temp)), double>);
+    EXPECT_DOUBLE_EQ(c.overhead(constants::ln2Temp),
+                     (300.0 - 77.0) / (0.3 * 77.0));
+    // totalPowerFactor multiplies chip watts: 1 W in, (1+overhead) W
+    // at the wall.
+    EXPECT_DOUBLE_EQ(c.totalPowerFactor(constants::ln2Temp),
+                     1.0 + c.overhead(constants::ln2Temp));
+}
+
+TEST(UnitAudit, WireDelayIsSecondsAndSpeedupDimensionless)
+{
+    const tech::Technology tech = tech::Technology::freePdk45();
+    const tech::WireRC rc{tech.wire(tech::WireLayer::SemiGlobal),
+                          tech.mosfet()};
+    const auto d = rc.delay(1 * mm, constants::roomTemp);
+    static_assert(std::is_same_v<decltype(d), const Second>);
+    EXPECT_GT(d.value(), 0.0);
+    // speedup is delay(300K)/delay(T): the Second/Second ratio
+    // collapses to double in the algebra.
+    static_assert(std::is_same_v<
+                  decltype(rc.delay(1 * mm, constants::roomTemp) /
+                           rc.delay(1 * mm, constants::ln2Temp)),
+                  double>);
+    EXPECT_NEAR(rc.speedup(1 * mm, constants::ln2Temp),
+                d.value() / rc.delay(1 * mm, constants::ln2Temp).value(),
+                1e-12);
+}
+
+TEST(UnitAudit, ResistancePerMetreTimesLengthIsOhms)
+{
+    // The audit's one self-catch: resistivity [Ohm*m] over a
+    // cross-section [m^2] is Ohm/m - an early draft of the checked
+    // algebra asserted OhmMetre/Metre and the compiler rejected it.
+    const tech::Technology tech = tech::Technology::freePdk45();
+    const auto r_per_m = tech.wire(tech::WireLayer::Global)
+                             .resistancePerM(constants::roomTemp);
+    static_assert(std::is_same_v<decltype(r_per_m), const OhmPerMetre>);
+    const auto r = r_per_m * (1 * mm);
+    static_assert(std::is_same_v<decltype(r), const Ohm>);
+    EXPECT_GT(r.value(), 0.0);
+}
+
+} // namespace

@@ -262,8 +262,10 @@ TEST(Rng, ChanceMatchesProbability)
 TEST(Units, ThermalVoltage)
 {
     // kT/q at 300 K is the textbook 25.85 mV.
-    EXPECT_NEAR(constants::thermalVoltage(300.0), 25.85e-3, 0.1e-3);
-    EXPECT_NEAR(constants::thermalVoltage(77.0), 6.63e-3, 0.05e-3);
+    EXPECT_NEAR(constants::thermalVoltage(constants::roomTemp).value(),
+                25.85e-3, 0.1e-3);
+    EXPECT_NEAR(constants::thermalVoltage(constants::ln2Temp).value(),
+                6.63e-3, 0.05e-3);
 }
 
 TEST(Log, FatalThrows)

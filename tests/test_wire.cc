@@ -20,6 +20,7 @@ namespace
 using namespace cryo::tech;
 using namespace cryo::units;
 using cryo::FatalError;
+using namespace cryo::units::literals;
 
 class WireTest : public ::testing::Test
 {
@@ -30,11 +31,11 @@ class WireTest : public ::testing::Test
 TEST_F(WireTest, LayerResistanceOrdering)
 {
     // Thinner wires have higher resistance per length.
-    const double local = tech.wire(WireLayer::Local).resistancePerM(300.0);
+    const double local = tech.wire(WireLayer::Local).resistancePerM(300.0_K).value();
     const double semi =
-        tech.wire(WireLayer::SemiGlobal).resistancePerM(300.0);
+        tech.wire(WireLayer::SemiGlobal).resistancePerM(300.0_K).value();
     const double global =
-        tech.wire(WireLayer::Global).resistancePerM(300.0);
+        tech.wire(WireLayer::Global).resistancePerM(300.0_K).value();
     EXPECT_GT(local, semi);
     EXPECT_GT(semi, global);
 }
@@ -43,30 +44,30 @@ TEST_F(WireTest, Fig5aResistanceRatios)
 {
     // Long-wire asymptotes of Fig. 5(a): local 2.95x, semi-global
     // 3.69x at 77 K.
-    EXPECT_NEAR(1.0 / tech.wire(WireLayer::Local).resistanceRatio(77.0),
+    EXPECT_NEAR(1.0 / tech.wire(WireLayer::Local).resistanceRatio(77.0_K),
                 2.95, 0.05);
     EXPECT_NEAR(
-        1.0 / tech.wire(WireLayer::SemiGlobal).resistanceRatio(77.0),
+        1.0 / tech.wire(WireLayer::SemiGlobal).resistanceRatio(77.0_K),
         3.69, 0.05);
 }
 
 TEST_F(WireTest, UnrepeatedDelayGrowsSuperlinearly)
 {
     WireRC rc{tech.wire(WireLayer::SemiGlobal), tech.mosfet(), 64.0};
-    const double d1 = rc.delay(1 * mm, 300.0);
-    const double d2 = rc.delay(2 * mm, 300.0);
+    const double d1 = rc.delay(1 * mm, 300.0_K).value();
+    const double d2 = rc.delay(2 * mm, 300.0_K).value();
     EXPECT_GT(d2, 2.0 * d1); // quadratic wire term dominates
 }
 
 TEST_F(WireTest, SpeedupApproachesAsymptote)
 {
     WireRC rc{tech.wire(WireLayer::SemiGlobal), tech.mosfet(), 256.0};
-    const double asym = rc.asymptoticSpeedup(77.0);
+    const double asym = rc.asymptoticSpeedup(77.0_K);
     EXPECT_NEAR(asym, 3.69, 0.05);
     // Speed-up grows with length toward (but below) the asymptote.
     double prev = 0.0;
-    for (double len : {0.2 * mm, 1 * mm, 5 * mm, 20 * mm}) {
-        const double s = rc.speedup(len, 77.0);
+    for (Metre len : {0.2 * mm, 1 * mm, 5 * mm, 20 * mm}) {
+        const double s = rc.speedup(len, 77.0_K);
         EXPECT_GT(s, prev);
         EXPECT_LT(s, asym);
         prev = s;
@@ -79,7 +80,7 @@ TEST_F(WireTest, ShortWiresAreDriverLimited)
     // A short wire's speed-up approaches the transistor gain, not the
     // wire's (Fig. 5's length dependence).
     WireRC rc{tech.wire(WireLayer::Local), tech.mosfet(), 16.0};
-    const double s = rc.speedup(5 * um, 77.0);
+    const double s = rc.speedup(5 * um, 77.0_K);
     EXPECT_LT(s, 1.3);
     EXPECT_GT(s, 1.0);
 }
@@ -89,7 +90,7 @@ TEST_F(WireTest, ForwardingWireAnchor)
     // The 1686 um semi-global forwarding wire speeds up ~2.8x at 77 K
     // (the paper's "wires get 2.81x" in the pipeline analysis).
     const double s =
-        tech.wireSpeedup(WireLayer::SemiGlobal, 1686 * um, 77.0, 140.0);
+        tech.wireSpeedup(WireLayer::SemiGlobal, 1686 * um, 77.0_K, 140.0);
     EXPECT_NEAR(s, 2.81, 0.1);
 }
 
@@ -97,8 +98,8 @@ TEST_F(WireTest, RepeaterCountGrowsWithLength)
 {
     RepeateredWire rep{tech.wire(WireLayer::Global), tech.mosfet()};
     int prev = 0;
-    for (double len : {0.5 * mm, 2 * mm, 6 * mm, 12 * mm}) {
-        const auto d = rep.optimize(len, 300.0);
+    for (Metre len : {0.5 * mm, 2 * mm, 6 * mm, 12 * mm}) {
+        const auto d = rep.optimize(len, 300.0_K);
         EXPECT_GE(d.segments, prev);
         prev = d.segments;
     }
@@ -108,8 +109,8 @@ TEST_F(WireTest, RepeaterCountGrowsWithLength)
 TEST_F(WireTest, RepeatedDelayNearlyLinearInLength)
 {
     RepeateredWire rep{tech.wire(WireLayer::Global), tech.mosfet()};
-    const double d6 = rep.delay(6 * mm, 300.0);
-    const double d12 = rep.delay(12 * mm, 300.0);
+    const double d6 = rep.delay(6 * mm, 300.0_K).value();
+    const double d12 = rep.delay(12 * mm, 300.0_K).value();
     EXPECT_NEAR(d12 / d6, 2.0, 0.15);
 }
 
@@ -117,15 +118,17 @@ TEST_F(WireTest, RepeatersBeatRawWireWhenLong)
 {
     WireRC raw{tech.wire(WireLayer::Global), tech.mosfet(), 64.0};
     RepeateredWire rep{tech.wire(WireLayer::Global), tech.mosfet()};
-    EXPECT_LT(rep.delay(6 * mm, 300.0), raw.delay(6 * mm, 300.0));
+    EXPECT_LT(rep.delay(6 * mm, 300.0_K).value(),
+              raw.delay(6 * mm, 300.0_K).value());
 }
 
 TEST_F(WireTest, FrozenLayoutIsNeverFaster)
 {
     // Cooling silicon designed for 300 K cannot beat a 77 K redesign.
     RepeateredWire rep{tech.wire(WireLayer::Global), tech.mosfet()};
-    const double frozen = rep.delayWithFrozenLayout(6 * mm, 300.0, 77.0);
-    const double redesigned = rep.delay(6 * mm, 77.0);
+    const double frozen =
+        rep.delayWithFrozenLayout(6 * mm, 300.0_K, 77.0_K).value();
+    const double redesigned = rep.delay(6 * mm, 77.0_K).value();
     EXPECT_GE(frozen, redesigned - 1e-15);
 }
 
@@ -134,7 +137,7 @@ TEST_F(WireTest, Fig10WireLinkAnchor)
     // The 6 mm CryoBus link speeds up 3.05x at 77 K; the paper's model
     // itself carries 1.6% error vs Hspice, so a 3% tolerance.
     const double s = tech.repeateredWireSpeedup(WireLayer::Global,
-                                                6 * mm, 77.0);
+                                                6 * mm, 77.0_K);
     EXPECT_NEAR(s, 3.05, 0.09);
 }
 
@@ -143,9 +146,10 @@ TEST_F(WireTest, Fig5bRepeatedSpeedupsBelowRawOnes)
     // Fig. 5(b): repeatered wires gain less than raw RC wires because
     // the repeater (transistor) share barely improves.
     const double raw =
-        tech.wireSpeedup(WireLayer::SemiGlobal, 10 * mm, 77.0, 256.0);
+        tech.wireSpeedup(WireLayer::SemiGlobal, 10 * mm, 77.0_K, 256.0);
     const double rep =
-        tech.repeateredWireSpeedup(WireLayer::SemiGlobal, 10 * mm, 77.0);
+        tech.repeateredWireSpeedup(WireLayer::SemiGlobal, 10 * mm,
+                                   77.0_K);
     EXPECT_LT(rep, raw);
     EXPECT_GT(rep, 1.5);
 }
@@ -154,20 +158,20 @@ TEST_F(WireTest, RepeaterSpeedupNearSqrtLaw)
 {
     // Latency-optimal repeatered speed-up ~ sqrt(R gain x device gain).
     const double r_gain =
-        1.0 / tech.wire(WireLayer::Global).resistanceRatio(77.0);
-    const double dev_gain = tech.transistorSpeedup(77.0);
+        1.0 / tech.wire(WireLayer::Global).resistanceRatio(77.0_K);
+    const double dev_gain = tech.transistorSpeedup(77.0_K);
     const double predicted = std::sqrt(r_gain * dev_gain);
     const double actual =
-        tech.repeateredWireSpeedup(WireLayer::Global, 20 * mm, 77.0);
+        tech.repeateredWireSpeedup(WireLayer::Global, 20 * mm, 77.0_K);
     EXPECT_NEAR(actual, predicted, 0.12 * predicted);
 }
 
 TEST_F(WireTest, BadArgumentsRejected)
 {
     RepeateredWire rep{tech.wire(WireLayer::Global), tech.mosfet()};
-    EXPECT_THROW(rep.optimize(-1.0, 300.0), FatalError);
+    EXPECT_THROW(rep.optimize(-1.0 * m, 300.0_K), FatalError);
     WireRC rc{tech.wire(WireLayer::Local), tech.mosfet(), 8.0};
-    EXPECT_THROW(rc.delay(-1.0, 300.0), FatalError);
+    EXPECT_THROW(rc.delay(-1.0 * m, 300.0_K), FatalError);
     EXPECT_THROW(
         (WireRC{tech.wire(WireLayer::Local), tech.mosfet(), 0.0}),
         FatalError);
@@ -175,8 +179,8 @@ TEST_F(WireTest, BadArgumentsRejected)
 
 TEST_F(WireTest, TransistorSpeedupAnchor)
 {
-    EXPECT_NEAR(tech.transistorSpeedup(77.0), 1.08, 1e-6);
-    EXPECT_NEAR(tech.transistorSpeedup(300.0), 1.0, 1e-9);
+    EXPECT_NEAR(tech.transistorSpeedup(77.0_K), 1.08, 1e-6);
+    EXPECT_NEAR(tech.transistorSpeedup(300.0_K), 1.0, 1e-9);
 }
 
 /** Parameterized: every layer's delay falls monotonically on cooling. */
@@ -190,7 +194,7 @@ TEST_P(LayerSweep, DelayMonotoneInTemperature)
     WireRC rc{tech.wire(GetParam()), tech.mosfet(), 32.0};
     double prev = 0.0;
     for (double t = 40.0; t <= 300.0; t += 20.0) {
-        const double d = rc.delay(1 * mm, t);
+        const double d = rc.delay(1 * mm, Kelvin{t}).value();
         EXPECT_GT(d, prev);
         prev = d;
     }
@@ -200,10 +204,10 @@ TEST_P(LayerSweep, RepeaterOptimizationDeterministic)
 {
     Technology tech = Technology::freePdk45();
     RepeateredWire rep{tech.wire(GetParam()), tech.mosfet()};
-    const auto a = rep.optimize(3 * mm, 77.0);
-    const auto b = rep.optimize(3 * mm, 77.0);
+    const auto a = rep.optimize(3 * mm, 77.0_K);
+    const auto b = rep.optimize(3 * mm, 77.0_K);
     EXPECT_EQ(a.segments, b.segments);
-    EXPECT_DOUBLE_EQ(a.delay, b.delay);
+    EXPECT_DOUBLE_EQ(a.delay.value(), b.delay.value());
     EXPECT_DOUBLE_EQ(a.size, b.size);
     EXPECT_GE(a.size, 1.0);
 }

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Flag raw-double unit parameters in the typed model layers.
+
+The dimensional-analysis layer (src/util/units.hh) makes the tech and
+power layers exchange typed quantities.  This checker keeps that
+boundary from eroding: any *new* function parameter in a src/tech or
+src/power header that is a plain ``double`` but named like a physical
+quantity (``temp_k``, ``len_m``, ``freq_hz``, ``power_w``) is an error -
+it should be ``units::Kelvin``, ``units::Metre``, ``units::Hertz``, or
+``units::Watt`` instead.
+
+Usage: tools/lint_units.py [--root DIR]
+
+Exits non-zero and prints one line per offence when violations exist.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Parameter-name suffixes that imply a unit, and the typed alternative.
+SUFFIX_TO_TYPE = {
+    "_k": "units::Kelvin",
+    "_m": "units::Metre",
+    "_hz": "units::Hertz",
+    "_w": "units::Watt",
+}
+
+# A raw-double parameter: "double <name>" where <name> ends in a unit
+# suffix.  Matches declarations and definitions alike; "double" must be
+# the full type (so "units::Kelvin temp_k" never matches).
+PARAM_RE = re.compile(
+    r"\bdouble\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*(?:"
+    + "|".join(SUFFIX_TO_TYPE)
+    + r"))\b"
+)
+
+CHECKED_DIRS = ("src/tech", "src/power")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments, preserving line numbers."""
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(
+        r"/\*.*?\*/",
+        lambda m: re.sub(r"[^\n]", "", m.group(0)),
+        text,
+        flags=re.S,
+    )
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    offences = []
+    lines = strip_comments(path.read_text()).splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        for match in PARAM_RE.finditer(line):
+            name = match.group("name")
+            suffix = next(s for s in SUFFIX_TO_TYPE if name.endswith(s))
+            offences.append(
+                f"{path}:{lineno}: raw 'double {name}' in a typed "
+                f"layer; use {SUFFIX_TO_TYPE[suffix]}"
+            )
+    return offences
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this "
+        "script)",
+    )
+    args = parser.parse_args()
+
+    offences = []
+    for rel in CHECKED_DIRS:
+        for path in sorted((args.root / rel).rglob("*.hh")):
+            offences.extend(check_file(path))
+
+    for offence in offences:
+        print(offence)
+    if offences:
+        print(
+            f"lint_units: {len(offences)} raw-double unit parameter(s) "
+            "in src/tech or src/power headers",
+            file=sys.stderr,
+        )
+        return 1
+    print("lint_units: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
