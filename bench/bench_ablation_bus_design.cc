@@ -1,83 +1,10 @@
 /**
  * @file
- * Ablation: decomposing CryoBus's gain into its three ingredients -
- * cooling (wire speed), the H-tree topology (broadcast distance), and
- * the dynamic link connection (which the H-tree requires, costing one
- * grant cycle but enabling the topology at all).
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "ablation-bus-design" (see src/exp/); run `cryowire_bench
+ * --filter ablation-bus-design` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "noc/noc_config.hh"
-#include "sys/interval_sim.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-
-    bench::printHeader(
-        "Ablation - CryoBus ingredient decomposition",
-        "Broadcast cycles and bus bandwidth for every "
-        "(topology x temperature) combination.");
-
-    auto technology = tech::Technology::freePdk45();
-    noc::NocDesigner designer{technology};
-
-    Table t({"design", "max hops", "hops/cycle", "broadcast cycles",
-             "bandwidth (tx/node/cyc)", "ingredients"});
-    struct Row
-    {
-        noc::NocConfig cfg;
-        const char *ingredients;
-    };
-    const Row rows[] = {
-        {designer.sharedBus300(), "none (baseline)"},
-        {designer.sharedBus77(), "cooling only"},
-        {designer.hTreeBus300(), "topology only"},
-        {designer.cryoBus(), "cooling + topology + dyn links"},
-    };
-    for (const auto &row : rows) {
-        const auto b = row.cfg.busBreakdown();
-        t.addRow({row.cfg.name(),
-                  std::to_string(row.cfg.topology().maxBroadcastHops()),
-                  std::to_string(row.cfg.hopsPerCycle()),
-                  std::to_string(b.broadcast),
-                  Table::num(sys::IntervalSimulator::saturationTxRate(
-                                 row.cfg, 1), 4),
-                  row.ingredients});
-    }
-    t.print();
-
-    // Bandwidth scaling with interleaving ways (Section 7.1).
-    Table w({"CryoBus ways", "bandwidth (tx/node/cyc)",
-             "covers SPEC band (hi 0.024)?"});
-    for (int ways : {1, 2, 4, 8}) {
-        const double sat = sys::IntervalSimulator::saturationTxRate(
-            designer.cryoBus(), ways);
-        w.addRow({std::to_string(ways), Table::num(sat, 4),
-                  sat > 0.024 ? "yes" : "no"});
-    }
-    w.print();
-
-    // How the broadcast degrades as the machine warms - the quantized
-    // cliff behind the Fig. 27 sweet spot.
-    Table temp({"temperature", "hops/cycle", "broadcast cycles",
-                "bandwidth (tx/node/cyc)"});
-    for (double k : {77.0, 100.0, 125.0, 150.0, 200.0, 250.0, 300.0}) {
-        const auto cfg = designer.cryoBusAt(k);
-        temp.addRow({Table::num(k, 0) + " K",
-                     std::to_string(cfg.hopsPerCycle()),
-                     std::to_string(cfg.busBreakdown().broadcast),
-                     Table::num(sys::IntervalSimulator::saturationTxRate(
-                                    cfg, 1), 4)});
-    }
-    temp.print();
-
-    bench::printVerdict(
-        "Neither ingredient suffices alone (3-cycle broadcasts both "
-        "ways); their product reaches the 1-cycle target, and "
-        "interleaving then scales bandwidth linearly.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("ablation-bus-design")

@@ -1,80 +1,10 @@
 /**
  * @file
- * Ablation: scale-out (CloudSuite-style) server workloads on the
- * Table-4 systems - the heaviest injection band of Fig. 18, which the
- * paper draws but does not evaluate per-workload.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "ablation-cloudsuite" (see src/exp/); run `cryowire_bench
+ * --filter ablation-cloudsuite` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "core/evaluation.hh"
-#include "sys/interval_sim.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::sys;
-
-    bench::printHeader(
-        "Ablation - CloudSuite-style scale-out services",
-        "64-core runs on the five evaluated systems, normalized to the "
-        "300 K baseline; plus the band check behind Fig. 18.");
-
-    auto technology = tech::Technology::freePdk45();
-    core::Evaluator evaluator{technology};
-    IntervalSimulator sim;
-    const auto suite = cloudSuite();
-
-    std::vector<SystemDesign> designs = {
-        evaluator.builder().baseline300Mesh(),
-        evaluator.builder().chpMesh77(),
-        evaluator.builder().cryoSpCryoBus77(1),
-        evaluator.builder().cryoSpCryoBus77(2),
-        evaluator.builder().cryoSpCryoBus77(4),
-    };
-    const auto res = evaluator.evaluate(designs, suite, 0);
-
-    Table t({"workload", "300K base", "CHP Mesh", "CryoBus 1-way",
-             "2-way", "4-way", "1-way state"});
-    for (std::size_t wi = 0; wi < res.workloads.size(); ++wi) {
-        std::vector<std::string> row{res.workloads[wi]};
-        for (std::size_t di = 0; di < designs.size(); ++di)
-            row.push_back(Table::num(res.perf[wi][di]));
-        row.push_back(sim.run(designs[2], suite[wi]).saturated
-                          ? "saturated" : "ok");
-        t.addRow(row);
-    }
-    t.addRule();
-    {
-        std::vector<std::string> row{"MEAN"};
-        for (double m : res.mean)
-            row.push_back(Table::num(m));
-        row.push_back("");
-        t.addRow(row);
-    }
-    t.print();
-
-    // The Fig.-18 band endpoints recomputed from these workloads: the
-    // unthrottled demand each service would offer on an ideal NoC.
-    const auto ideal = evaluator.builder().idealNoc77();
-    double lo = 1.0, hi = 0.0;
-    for (const auto &w : suite) {
-        const auto r = sim.run(ideal, w);
-        const double rate = w.l3Apki / 1000.0
-            / (r.timePerInstr * 4.0e9);
-        lo = std::min(lo, rate);
-        hi = std::max(hi, rate);
-    }
-    std::printf("measured CloudSuite injection band: %.4f - %.4f "
-                "req/node/cycle (Fig. 18 band: 0.0080 - 0.0300)\n\n",
-                lo, hi);
-
-    bench::printVerdict(
-        "Scale-out services stress the snooping bus harder than "
-        "SPEC - most saturate the 1-way CryoBus, and the interleaving "
-        "the paper proposes for SPEC (Section 7.1) is what makes the "
-        "design hold for servers too.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("ablation-cloudsuite")

@@ -1,64 +1,10 @@
 /**
  * @file
- * Ablation: floorplan scaling and the forwarding wires.
- *
- * Table 3 keeps 6.4 GHz when CryoCore halves the machine even though
- * the halved floorplan shortens the forwarding wires. This study
- * re-derives the superpipelining target across floorplan scales:
- * shorter forwarding wires are more driver-limited, so they gain
- * *less* from cooling, the un-pipelinable bypass target rises
- * slightly, and the achievable clock dips a few percent - i.e. the
- * paper's decision not to re-derive a higher clock for the down-sized
- * machine is exactly what a floorplan-aware model predicts.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "ablation-floorplan" (see src/exp/); run `cryowire_bench
+ * --filter ablation-floorplan` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "pipeline/stage_library.hh"
-#include "pipeline/superpipeline.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Ablation - floorplan scale vs superpipelined frequency",
-        "The forwarding-wire length tracks the execution cluster's "
-        "area; the un-pipelinable bypass target tracks the wire.");
-
-    auto technology = tech::Technology::freePdk45();
-    const auto baseline = boomSkylakeStages();
-
-    Table t({"floorplan area", "fwd wire (um)", "target latency @77K",
-             "cuts", "frequency @77K", "vs full-size"});
-    double full_freq = 0.0;
-    for (double area : {2.0, 1.0, 0.5, 0.25}) {
-        const Floorplan fp = Floorplan::skylakeLike().scaled(area);
-        CriticalPathModel model{technology, fp};
-        Superpipeliner sp{model};
-        const auto plan = sp.plan(baseline, constants::ln2Temp);
-        const double freq =
-            model.frequency(plan.result, constants::ln2Temp).value();
-        if (area == 1.0)
-            full_freq = freq;
-        t.addRow({Table::num(area, 2) + "x",
-                  Table::num(fp.forwardingWireLength().value() * 1e6, 0),
-                  Table::num(plan.targetLatency, 3),
-                  std::to_string(static_cast<int>(plan.splits.size())),
-                  Table::num(freq / 1e9, 2) + " GHz",
-                  full_freq > 0.0 ? Table::mult(freq / full_freq)
-                                  : "-"});
-    }
-    t.print();
-
-    bench::printVerdict(
-        "Shorter forwarding wires benefit less from 77 K (they are "
-        "driver-limited), so the halved CryoCore floorplan clocks ~3% "
-        "below the full-size derivation - consistent with Table 3 "
-        "keeping 6.4 GHz for the down-sized machine. Physically larger "
-        "execution clusters gain the most from CryoSP.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("ablation-floorplan")

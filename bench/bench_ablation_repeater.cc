@@ -1,56 +1,10 @@
 /**
  * @file
- * Ablation: repeater re-optimization at the target temperature.
- *
- * Quantifies the paper's implicit claim that cryogenic wires must be
- * *redesigned*, not just cooled: a 300 K-optimal repeater layout run
- * at 77 K leaves a chunk of the wire speed-up on the table.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "ablation-repeater" (see src/exp/); run `cryowire_bench
+ * --filter ablation-repeater` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "tech/repeater.hh"
-#include "tech/technology.hh"
-#include "util/units.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::units;
-    using tech::WireLayer;
-
-    bench::printHeader(
-        "Ablation - cooling vs redesigning repeatered wires",
-        "Frozen 300 K repeater layout at 77 K vs a layout re-optimized "
-        "for 77 K (global layer).");
-
-    auto technology = tech::Technology::freePdk45();
-    tech::RepeateredWire wire{technology.wire(WireLayer::Global),
-                              technology.mosfet()};
-
-    Table t({"length", "segments 300K", "segments 77K",
-             "speed-up (frozen)", "speed-up (redesigned)",
-             "left on table"});
-    for (Metre len : {2 * mm, 6 * mm, 12 * mm, 20 * mm}) {
-        const auto d300 = wire.optimize(len, constants::roomTemp);
-        const auto d77 = wire.optimize(len, constants::ln2Temp);
-        const double frozen =
-            d300.delay / wire.delayWithFrozenLayout(len, constants::roomTemp,
-                                                    constants::ln2Temp);
-        const double redesigned = d300.delay / d77.delay;
-        t.addRow({Table::num(len.value() * 1e3, 0) + " mm",
-                  std::to_string(d300.segments),
-                  std::to_string(d77.segments), Table::mult(frozen),
-                  Table::mult(redesigned),
-                  Table::pct(1.0 - frozen / redesigned)});
-    }
-    t.print();
-
-    bench::printVerdict(
-        "The 77 K redesign uses fewer, smaller repeaters (the wire "
-        "resistance fell ~8x) and recovers the remaining speed-up - "
-        "the microarchitectural analogue of the paper's thesis that "
-        "cooling alone is not enough.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("ablation-repeater")

@@ -1,81 +1,10 @@
 /**
  * @file
- * Ablation: when does frontend superpipelining pay off?
- *
- * Sweeps (a) the operating temperature - finding the crossover below
- * which the paper's methodology starts cutting stages - and (b) the
- * latch/skew overhead per cut, the knob that bounds how deep a
- * frontend can usefully get.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "ablation-superpipeline" (see src/exp/); run `cryowire_bench
+ * --filter ablation-superpipeline` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "pipeline/ipc_model.hh"
-#include "pipeline/stage_library.hh"
-#include "pipeline/superpipeline.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Ablation - superpipelining across temperature and overhead",
-        "Net single-thread gain = frequency gain x IPC factor from the "
-        "misprediction model.");
-
-    auto technology = tech::Technology::freePdk45();
-    CriticalPathModel model{technology, Floorplan::skylakeLike()};
-    IpcModel ipc;
-    const auto baseline = boomSkylakeStages();
-
-    Table t({"temperature", "stages cut", "depth", "freq gain",
-             "IPC cost", "net gain", "verdict"});
-    for (double temp : {300.0, 250.0, 200.0, 150.0, 125.0, 100.0,
-                        77.0}) {
-        Superpipeliner sp{model};
-        const units::Kelvin t_k{temp};
-        const auto plan = sp.plan(baseline, t_k);
-        const double f_gain = model.frequency(plan.result, t_k)
-            / model.frequency(baseline, t_k);
-        const double ipc_factor =
-            ipc.frontendDeepeningFactor(plan.addedStages);
-        const double net = f_gain * ipc_factor;
-        t.addRow({Table::num(temp, 0) + " K",
-                  std::to_string(
-                      static_cast<int>(plan.splits.size())),
-                  std::to_string(kBaselineDepth + plan.addedStages),
-                  Table::mult(f_gain), Table::pct(1.0 - ipc_factor),
-                  Table::mult(net),
-                  net > 1.02 ? "pays off"
-                             : (plan.effective() ? "marginal"
-                                                 : "no cuts")});
-    }
-    t.print();
-
-    Table o({"latch overhead (norm)", "stages cut", "freq vs 300K",
-             "net gain at 77K"});
-    for (double overhead : {0.02, 0.05, 0.08, 0.12, 0.16, 0.22}) {
-        Superpipeliner sp{model, overhead};
-        const auto plan = sp.plan(baseline, constants::ln2Temp);
-        const double f_vs_300 = model.frequency(plan.result, constants::ln2Temp)
-            / model.frequency(baseline, constants::roomTemp);
-        const double net = model.frequency(plan.result, constants::ln2Temp)
-            / model.frequency(baseline, constants::ln2Temp)
-            * ipc.frontendDeepeningFactor(plan.addedStages);
-        o.addRow({Table::num(overhead, 2),
-                  std::to_string(
-                      static_cast<int>(plan.splits.size())),
-                  Table::mult(f_vs_300), Table::mult(net)});
-    }
-    o.print();
-
-    bench::printVerdict(
-        "Superpipelining switches on as the wire-heavy backend "
-        "collapses with cooling (no cuts at 300 K, full 3-stage cut by "
-        "~150 K) and remains profitable up to realistic latch "
-        "overheads - the design window CryoSP sits in.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("ablation-superpipeline")

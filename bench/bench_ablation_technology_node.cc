@@ -1,96 +1,10 @@
 /**
  * @file
- * Ablation: wires in smaller technologies (Section 7.5).
- *
- * Scales the metal stack to smaller nodes (local wires shrink 1:1,
- * semi-global gently, global pitch fixed, per Intel's stack [6]) and
- * measures how much cryogenic gain each CryoWire ingredient keeps -
- * plus the paper's proposed mitigation of drawing the forwarding wires
- * thicker.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "ablation-technology-node" (see src/exp/); run `cryowire_bench
+ * --filter ablation-technology-node` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "noc/noc_config.hh"
-#include "noc/wire_link.hh"
-#include "pipeline/stage_library.hh"
-#include "pipeline/superpipeline.hh"
-#include "tech/technology.hh"
-#include "util/units.hh"
-
-namespace
-{
-
-using namespace cryo;
-using namespace cryo::units;
-
-/** CryoSP-style frequency gain (superpipelined 77 K vs 300 K). */
-double
-cryoSpGain(const tech::Technology &technology)
-{
-    pipeline::CriticalPathModel model{technology,
-                                      pipeline::Floorplan::skylakeLike()};
-    pipeline::Superpipeliner sp{model};
-    const auto baseline = pipeline::boomSkylakeStages();
-    const auto plan = sp.plan(baseline, constants::ln2Temp);
-    return model.frequency(plan.result, constants::ln2Temp)
-        / model.frequency(baseline, constants::roomTemp);
-}
-
-} // namespace
-
-int
-main()
-{
-    bench::printHeader(
-        "Ablation - technology-node scaling (Section 7.5)",
-        "Cryogenic wire gains as the node shrinks, and the "
-        "thick-forwarding-wire mitigation.");
-
-    Table t({"node", "local speed-up", "semi-global (fwd wire)",
-             "global link", "CryoBus hops/cyc @77K", "CryoSP freq gain"});
-    for (double node : {45.0, 22.0, 10.0}) {
-        auto technology = tech::Technology::scaledNode(node);
-        noc::WireLink link{technology};
-        t.addRow({Table::num(node, 0) + " nm",
-                  Table::mult(technology.wireSpeedup(
-                      tech::WireLayer::Local, 2 * mm, constants::ln2Temp, 64.0)),
-                  Table::mult(technology.wireSpeedup(
-                      tech::WireLayer::SemiGlobal, 1686 * um,
-                      constants::ln2Temp, 140.0)),
-                  Table::mult(technology.repeateredWireSpeedup(
-                      tech::WireLayer::Global, 6 * mm, constants::ln2Temp)),
-                  std::to_string(link.hopsPerCycle(
-                      4.0 * GHz, constants::ln2Temp,
-                      noc::NocDesigner::kV300)),
-                  Table::mult(cryoSpGain(technology))});
-    }
-    t.addRule();
-    {
-        auto mitigated = tech::Technology::scaledNode(10.0, true);
-        noc::WireLink link{mitigated};
-        t.addRow({"10 nm + thick fwd wires",
-                  Table::mult(mitigated.wireSpeedup(
-                      tech::WireLayer::Local, 2 * mm, constants::ln2Temp, 64.0)),
-                  Table::mult(mitigated.wireSpeedup(
-                      tech::WireLayer::SemiGlobal, 1686 * um,
-                      constants::ln2Temp, 140.0)),
-                  Table::mult(mitigated.repeateredWireSpeedup(
-                      tech::WireLayer::Global, 6 * mm, constants::ln2Temp)),
-                  std::to_string(link.hopsPerCycle(
-                      4.0 * GHz, constants::ln2Temp,
-                      noc::NocDesigner::kV300)),
-                  Table::mult(cryoSpGain(mitigated))});
-    }
-    t.print();
-
-    bench::printVerdict(
-        "Section 7.5 reproduced: local wires lose most of their "
-        "cryogenic gain at small nodes while the node-independent "
-        "global links keep CryoBus fully effective. Drawing the "
-        "forwarding wires thicker restores their speed-up, though at "
-        "10 nm the eroded *local* (CAM) wires become CryoSP's new "
-        "frequency floor - a finding one step beyond the paper's "
-        "qualitative argument.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("ablation-technology-node")

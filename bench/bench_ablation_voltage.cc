@@ -1,89 +1,10 @@
 /**
  * @file
- * Ablation: the Vdd/Vth design space behind CryoSP (Section 4.5).
- *
- * Re-derives the voltage point with an explicit constrained search
- * instead of the paper's hand-picked (0.64 V, 0.25 V), across
- * temperatures and power budgets, and shows why the same search
- * returns "no gain" at 300 K.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "ablation-voltage" (see src/exp/); run `cryowire_bench
+ * --filter ablation-voltage` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "core/system_builder.hh"
-#include "core/voltage_optimizer.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::core;
-
-    bench::printHeader(
-        "Ablation - Vdd/Vth design space (CryoSP derivation)",
-        "Grid search maximizing frequency s.t. leakage <= 300K "
-        "baseline, total power budget, SRAM Vmin, noise margins.");
-
-    auto technology = tech::Technology::freePdk45();
-    SystemBuilder builder{technology};
-    pipeline::CriticalPathModel model{technology,
-                                      pipeline::Floorplan::skylakeLike()};
-    VoltageOptimizer opt{technology, model};
-    const auto base = builder.cores().baseline300();
-    const auto core = builder.cores().superpipelineCryoCore77();
-
-    Table t({"temperature", "budget", "Vdd", "Vth", "frequency",
-             "total power", "note"});
-    for (double temp : {77.0, 100.0, 150.0, 200.0, 300.0}) {
-        VoltageConstraints c;
-        const auto r = opt.optimize(core, base, temp,
-                                    VoltageObjective::Frequency, c);
-        t.addRow({Table::num(temp, 0) + " K", "1.0x",
-                  r.feasible ? Table::num(r.voltage.vdd, 2) : "-",
-                  r.feasible ? Table::num(r.voltage.vth, 3) : "-",
-                  r.feasible
-                      ? Table::num(r.frequency / 1e9, 2) + " GHz" : "-",
-                  r.feasible ? Table::num(r.totalPower, 3) : "-",
-                  temp >= 299.0 ? "leakage pins Vth near nominal"
-                                : "scaling feasible"});
-    }
-    t.addRule();
-    {
-        VoltageConstraints c;
-        c.totalPowerBudget = 1.30;
-        const auto paper = opt.evaluate(core, base, 77.0, {0.64, 0.25},
-                                        c);
-        const auto best = opt.optimize(core, base, 77.0,
-                                       VoltageObjective::Frequency, c);
-        t.addRow({"77 K (paper's point)", "1.3x", "0.64", "0.250",
-                  Table::num(paper.frequency / 1e9, 2) + " GHz",
-                  Table::num(paper.totalPower, 3),
-                  "Table 3's hand-picked CryoSP point"});
-        t.addRow({"77 K (searched, same budget)", "1.3x",
-                  Table::num(best.voltage.vdd, 2),
-                  Table::num(best.voltage.vth, 3),
-                  Table::num(best.frequency / 1e9, 2) + " GHz",
-                  Table::num(best.totalPower, 3),
-                  "model optimum"});
-    }
-    {
-        VoltageConstraints c;
-        const auto eff = opt.optimize(core, base, 77.0,
-                                      VoltageObjective::PerfPerWatt, c);
-        t.addRow({"77 K (perf/W objective)", "1.0x",
-                  Table::num(eff.voltage.vdd, 2),
-                  Table::num(eff.voltage.vth, 3),
-                  Table::num(eff.frequency / 1e9, 2) + " GHz",
-                  Table::num(eff.totalPower, 3),
-                  "efficiency-optimal point"});
-    }
-    t.print();
-
-    bench::printVerdict(
-        "The search reproduces the paper's method: at 77 K the leakage "
-        "collapse opens a wide feasible region around its (0.64, 0.25) "
-        "choice; at 300 K the same search finds nothing better than "
-        "nominal.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("ablation-voltage")

@@ -1,52 +1,10 @@
 /**
  * @file
- * Fig. 2: critical-path delay breakdown of the three forwarding
- * stages (writeback, execute bypass, data read from bypass).
- *
- * Paper anchor: 57.6% average wire portion across the three.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig02-stage-breakdown" (see src/exp/); run `cryowire_bench
+ * --filter fig02-stage-breakdown` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "pipeline/critical_path.hh"
-#include "pipeline/stage_library.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Fig. 2 - forwarding-stage delay breakdown",
-        "The intra-core wire share of the three longest backend stages "
-        "at 300 K.");
-
-    auto technology = tech::Technology::freePdk45();
-    CriticalPathModel model{technology, Floorplan::skylakeLike()};
-
-    Table t({"stage", "total (norm)", "transistor", "wire",
-             "wire share"});
-    double wire_sum = 0.0;
-    for (const auto &stage : boomSkylakeStages()) {
-        for (const char *name : kFig2Stages) {
-            if (stage.name != name)
-                continue;
-            const auto d = model.stageDelay(stage, constants::roomTemp);
-            t.addRow({stage.name, Table::num(d.total()),
-                      Table::num(d.logic), Table::num(d.wire),
-                      Table::pct(d.wireFraction())});
-            wire_sum += d.wireFraction();
-        }
-    }
-    t.addRule();
-    t.addRow({"average (paper: 57.6%)", "", "", "",
-              Table::pct(wire_sum / 3.0)});
-    t.print();
-
-    bench::printVerdict(
-        "The intra-core forwarding wires dominate these stages' "
-        "critical paths - the 300 K frequency wall of Section 2.2.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig02-stage-breakdown")

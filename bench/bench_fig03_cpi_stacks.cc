@@ -1,59 +1,10 @@
 /**
  * @file
- * Fig. 3: normalized CPI stacks of PARSEC 2.1 on the 64-core 300 K
- * baseline - the NoC takes 45.6% of CPI on average, 76.6% max.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig03-cpi-stacks" (see src/exp/); run `cryowire_bench
+ * --filter fig03-cpi-stacks` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include <algorithm>
-
-#include "core/system_builder.hh"
-#include "sys/interval_sim.hh"
-#include "sys/workload.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::sys;
-
-    bench::printHeader(
-        "Fig. 3 - PARSEC CPI stacks, Baseline (300K, Mesh)",
-        "Time-per-instruction decomposition from the interval model "
-        "(gem5 substitute); 'NoC' = traversal + contention + sync.");
-
-    auto technology = tech::Technology::freePdk45();
-    core::SystemBuilder builder{technology};
-    IntervalSimulator sim;
-    const auto base = builder.baseline300Mesh();
-
-    Table t({"workload", "core", "L2", "L3+NoC", "DRAM", "sync",
-             "NoC share"});
-    double sum = 0.0, mx = 0.0;
-    for (const auto &w : parsec21()) {
-        const auto r = sim.run(base, w);
-        const auto &s = r.stack;
-        const double total = s.total();
-        t.addRow({w.name, Table::pct(s.core / total),
-                  Table::pct(s.l2 / total),
-                  Table::pct((s.l3Noc + s.l3Cache + s.queue) / total),
-                  Table::pct(s.dram / total),
-                  Table::pct(s.sync / total),
-                  Table::pct(r.stack.nocShare())});
-        sum += r.stack.nocShare();
-        mx = std::max(mx, r.stack.nocShare());
-    }
-    t.addRule();
-    t.addRow({"average NoC share", "", "", "", "",
-              "paper: 45.6%", Table::pct(sum / 13.0)});
-    t.addRow({"max NoC share", "", "", "", "", "paper: 76.6%",
-              Table::pct(mx)});
-    t.print();
-
-    bench::printVerdict(
-        "The inter-core interconnect dominates multi-thread CPI at 64 "
-        "cores - the motivation for a wire-driven NoC redesign.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig03-cpi-stacks")

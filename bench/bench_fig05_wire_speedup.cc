@@ -1,76 +1,10 @@
 /**
  * @file
- * Fig. 5: 77 K wire speed-up (a) without and (b) with repeaters.
- *
- * Paper anchors: unrepeated local/semi-global max speed-ups 2.95x and
- * 3.69x; repeatered semi-global @900 um 2.25x and global @6.22 mm
- * 3.38x.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig05-wire-speedup" (see src/exp/); run `cryowire_bench
+ * --filter fig05-wire-speedup` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "tech/technology.hh"
-#include "util/units.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::units;
-    using tech::WireLayer;
-
-    bench::printHeader(
-        "Fig. 5 - cryogenic wire speed-up",
-        "Hspice-deck substitute: distributed-RC + Bakoglu repeaters "
-        "over the calibrated rho(T) model.");
-
-    auto technology = tech::Technology::freePdk45();
-
-    Table a({"wire (no repeaters)", "length", "77K speed-up"});
-    for (Metre len :
-         {100 * um, 300 * um, 900 * um, 2 * mm, 5 * mm, 10 * mm}) {
-        a.addRow({"local",
-                  Table::num(len.value() * 1e6, 0) + " um",
-                  Table::mult(technology.wireSpeedup(
-                      WireLayer::Local, len, constants::ln2Temp,
-                      64.0))});
-    }
-    a.addRule();
-    for (Metre len :
-         {100 * um, 300 * um, 900 * um, 2 * mm, 5 * mm, 10 * mm}) {
-        a.addRow({"semi-global",
-                  Table::num(len.value() * 1e6, 0) + " um",
-                  Table::mult(technology.wireSpeedup(
-                      WireLayer::SemiGlobal, len, constants::ln2Temp,
-                      140.0))});
-    }
-    a.addRule();
-    a.addRow({"local asymptote (paper max 2.95x)", "-",
-              Table::mult(1.0 /
-                          technology.wire(WireLayer::Local)
-                              .resistanceRatio(constants::ln2Temp))});
-    a.addRow({"semi-global asymptote (paper max 3.69x)", "-",
-              Table::mult(1.0 /
-                          technology.wire(WireLayer::SemiGlobal)
-                              .resistanceRatio(constants::ln2Temp))});
-    a.print();
-
-    Table b({"wire (latency-optimal repeaters)", "paper", "measured"});
-    b.addRow({"semi-global @ 900 um", "2.25x",
-              Table::mult(technology.repeateredWireSpeedup(
-                  WireLayer::SemiGlobal, 900 * um, constants::ln2Temp))});
-    b.addRow({"global @ 6.22 mm", "3.38x",
-              Table::mult(technology.repeateredWireSpeedup(
-                  WireLayer::Global, 6.22 * mm, constants::ln2Temp))});
-    b.addRow({"forwarding wire @ 1686 um (unrepeated)", "2.81x",
-              Table::mult(technology.wireSpeedup(
-                  WireLayer::SemiGlobal, 1686 * um, constants::ln2Temp, 140.0))});
-    b.print();
-
-    bench::printVerdict(
-        "Shape reproduced: long raw wires approach the full resistance "
-        "gain; repeatered wires gain ~sqrt of it (our global repeatered "
-        "point sits ~10% under the paper's 3.38x, consistent with its "
-        "own 3.05x CACTI link in Fig. 10).");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig05-wire-speedup")

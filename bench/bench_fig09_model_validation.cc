@@ -1,85 +1,10 @@
 /**
  * @file
- * Fig. 9: pipeline and router model validation at the 135 K
- * LN-evaporator operating point.
- *
- * The measured data are the paper's: the 14 nm Skylake core gained
- * 12.1% at 135 K (its model predicted 15.0%); the ring/uncore
- * measurements across 32/22/14 nm bracket the router model within
- * 2.8%. We store those measurements as reference data (they are
- * experiments, not behaviour) and compare our models' predictions.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig09-model-validation" (see src/exp/); run `cryowire_bench
+ * --filter fig09-model-validation` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "noc/noc_config.hh"
-#include "noc/router_model.hh"
-#include "pipeline/critical_path.hh"
-#include "pipeline/stage_library.hh"
-#include "tech/technology.hh"
-
-namespace
-{
-
-/** Measured speed-ups at 135 K, normalized to 300 K. The core value is
- * from the paper's text; the uncore values are representative of its
- * Fig. 9 error bars (<= 2.8% from the model). */
-struct Measurement
-{
-    const char *device;
-    double speedup;
-};
-
-constexpr Measurement kCoreMeasured{"i5-6600K core (14nm)", 1.121};
-constexpr Measurement kUncoreMeasured[] = {
-    {"i7-2700K uncore (32nm, ITRS-projected)", 1.052},
-    {"i7-4790K uncore (22nm, ITRS-projected)", 1.060},
-    {"i5-6600K uncore (14nm)", 1.068},
-};
-
-} // namespace
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Fig. 9 - pipeline & router model validation at 135 K",
-        "Model predictions vs the LN-evaporator measurements "
-        "(Table 2 boards).");
-
-    auto technology = tech::Technology::freePdk45();
-    CriticalPathModel model{technology, Floorplan::skylakeLike()};
-    const auto stages = boomSkylakeStages();
-    const double pipe_model = model.frequency(stages, constants::validationTemp)
-        / model.frequency(stages, constants::roomTemp);
-
-    noc::RouterModel router{technology, noc::RouterSpec{},
-                            4.0 * units::GHz, noc::NocDesigner::kV300};
-    const double router_model =
-        router.speedup(constants::validationTemp);
-
-    Table t({"model", "prediction", "measured", "error",
-             "paper's model"});
-    t.addRow({"pipeline @135K", Table::mult(pipe_model, 3),
-              Table::mult(kCoreMeasured.speedup, 3),
-              Table::pct(std::abs(pipe_model - kCoreMeasured.speedup)
-                         / kCoreMeasured.speedup),
-              "1.150x (err 2.6%)"});
-    for (const auto &m : kUncoreMeasured) {
-        t.addRow({std::string("router vs ") + m.device,
-                  Table::mult(router_model, 3),
-                  Table::mult(m.speedup, 3),
-                  Table::pct(std::abs(router_model - m.speedup)
-                             / m.speedup),
-                  "(max err 2.8%)"});
-    }
-    t.print();
-
-    bench::printVerdict(
-        "Both models land within a few percent of the 135 K "
-        "measurements, matching the paper's validation quality.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig09-model-validation")

@@ -1,63 +1,10 @@
 /**
  * @file
- * Fig. 10: wire-link model validation - the 6 mm CryoBus link's 77 K
- * speed-up vs the Hspice reference (paper: 3.05x, 1.6% error).
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig10-wirelink-validation" (see src/exp/); run `cryowire_bench
+ * --filter fig10-wirelink-validation` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "noc/noc_config.hh"
-#include "noc/wire_link.hh"
-#include "tech/technology.hh"
-#include "util/units.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::units;
-
-    bench::printHeader(
-        "Fig. 10 - 6 mm wire-link validation",
-        "The CACTI-NUCA-substitute link model vs the Hspice-deck "
-        "substitute (full RC + repeaters at card-nominal voltage).");
-
-    auto technology = tech::Technology::freePdk45();
-
-    // The "Hspice" reference: the full repeatered-RC computation.
-    const double hspice = technology.repeateredWireSpeedup(
-        tech::WireLayer::Global, 6 * mm, constants::ln2Temp);
-
-    // The link model's prediction at the NoC operating points.
-    noc::WireLink link{technology};
-    const double model_77 =
-        link.linkDelay(6 * mm, constants::roomTemp,
-                       noc::NocDesigner::kV300)
-        / link.linkDelay(6 * mm, constants::ln2Temp,
-                         noc::NocDesigner::kV300);
-
-    Table t({"quantity", "paper", "measured"});
-    t.addRow({"6 mm link speed-up (Hspice ref)", "3.05x",
-              Table::mult(hspice, 3)});
-    t.addRow({"wire-link model @ NoC voltage", "3.05x",
-              Table::mult(model_77, 3)});
-    t.addRow({"model-vs-reference error", "1.6%",
-              Table::pct(std::abs(model_77 - hspice) / hspice)});
-    t.addRule();
-    t.addRow({"2 mm hop delay @300K (CACTI: 0.064 ns)", "0.064 ns",
-              Table::num(link.hopDelay(constants::roomTemp).value() * 1e9, 4) + " ns"});
-    t.addRow({"hops per 4 GHz cycle @300K", "4",
-              std::to_string(link.hopsPerCycle(
-                  4.0 * GHz, constants::roomTemp,
-                  noc::NocDesigner::kV300))});
-    t.addRow({"hops per 4 GHz cycle @77K", "12",
-              std::to_string(link.hopsPerCycle(
-                  4.0 * GHz, constants::ln2Temp,
-                  noc::NocDesigner::kV300))});
-    t.print();
-
-    bench::printVerdict(
-        "Link anchors reproduced: ~3x faster global links, 4 -> 12 "
-        "hops per cycle - the raw material for CryoBus.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig10-wirelink-validation")

@@ -1,54 +1,10 @@
 /**
  * @file
- * Fig. 12: stage-wise critical-path delay of the baseline core at
- * 300 K, normalized to the longest stage.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig12-critical-path-300k" (see src/exp/); run `cryowire_bench
+ * --filter fig12-critical-path-300k` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "pipeline/critical_path.hh"
-#include "pipeline/stage_library.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Fig. 12 - 300 K critical-path delays",
-        "All 13 representative BOOM/Skylake stages; backend forwarding "
-        "stages are the frequency bottleneck.");
-
-    auto technology = tech::Technology::freePdk45();
-    CriticalPathModel model{technology, Floorplan::skylakeLike()};
-    const auto stages = boomSkylakeStages();
-
-    Table t({"stage", "kind", "delay", "wire share", "pipelinable"});
-    for (const auto &d : model.stageDelays(stages, constants::roomTemp)) {
-        t.addRow({d.name,
-                  d.kind == StageKind::Frontend ? "frontend" : "backend",
-                  Table::num(d.total()), Table::pct(d.wireFraction()),
-                  d.pipelinable ? "yes" : "no"});
-    }
-    t.addRule();
-    t.addRow({"critical stage",
-              model.criticalStage(stages, constants::roomTemp,
-                                  technology.mosfet().params().nominal),
-              Table::num(model.maxDelay(stages, constants::roomTemp)), "", ""});
-    t.addRow({"frontend avg wire (paper ~19%)", "",
-              "", Table::pct(averageWireFraction(stages,
-                                                 StageKind::Frontend)),
-              ""});
-    t.addRow({"backend avg wire (paper ~45%)", "",
-              "", Table::pct(averageWireFraction(stages,
-                                                 StageKind::Backend)),
-              ""});
-    t.print();
-
-    bench::printVerdict(
-        "300K Observations #1/#2: backend stages carry the wire delay, "
-        "and the un-pipelinable bypass stages set the cycle time.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig12-critical-path-300k")

@@ -1,55 +1,10 @@
 /**
  * @file
- * Fig. 13: stage-wise critical-path delay of the baseline core at
- * 77 K (same normalization as Fig. 12).
- *
- * Paper anchor: the maximum delay shrinks only ~19% because the
- * transistor-dominant frontend becomes critical.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig13-critical-path-77k" (see src/exp/); run `cryowire_bench
+ * --filter fig13-critical-path-77k` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "pipeline/critical_path.hh"
-#include "pipeline/stage_library.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Fig. 13 - 77 K critical-path delays",
-        "Cooling collapses the backend forwarding stages but barely "
-        "helps the frontend.");
-
-    auto technology = tech::Technology::freePdk45();
-    CriticalPathModel model{technology, Floorplan::skylakeLike()};
-    const auto stages = boomSkylakeStages();
-
-    Table t({"stage", "300K", "77K", "reduction"});
-    const auto d300 = model.stageDelays(stages, constants::roomTemp);
-    const auto d77 = model.stageDelays(stages, constants::ln2Temp);
-    for (std::size_t i = 0; i < stages.size(); ++i) {
-        t.addRow({d77[i].name, Table::num(d300[i].total()),
-                  Table::num(d77[i].total()),
-                  Table::pct(1.0 - d77[i].total() / d300[i].total())});
-    }
-    t.addRule();
-    const double max300 = model.maxDelay(stages, constants::roomTemp);
-    const double max77 = model.maxDelay(stages, constants::ln2Temp);
-    t.addRow({"max (critical: " +
-                  model.criticalStage(stages, constants::ln2Temp,
-                                      technology.mosfet()
-                                          .params().nominal) +
-                  ")",
-              Table::num(max300), Table::num(max77),
-              Table::pct(1.0 - max77 / max300) + " (paper 19%)"});
-    t.print();
-
-    bench::printVerdict(
-        "77K Observation #1 reproduced: the critical path moves to the "
-        "frontend (fetch1) and caps the cooling-only frequency gain.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig13-critical-path-77k")

@@ -1,66 +1,10 @@
 /**
  * @file
- * Fig. 14: critical-path delays after frontend superpipelining at
- * 77 K.
- *
- * Paper anchors: max delay 38% below the 300 K baseline; +61% / +38%
- * frequency vs the 300 K / 77 K baselines; 5-stage frontend becomes 8.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig14-superpipelined" (see src/exp/); run `cryowire_bench
+ * --filter fig14-superpipelined` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "pipeline/stage_library.hh"
-#include "pipeline/superpipeline.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Fig. 14 - superpipelined 77 K critical paths",
-        "Section 4.4 methodology: split every pipelinable stage that "
-        "exceeds the longest un-pipelinable backend stage.");
-
-    auto technology = tech::Technology::freePdk45();
-    CriticalPathModel model{technology, Floorplan::skylakeLike()};
-    Superpipeliner sp{model};
-    const auto baseline = boomSkylakeStages();
-    const auto plan = sp.plan(baseline, constants::ln2Temp);
-
-    std::printf("target latency: %.3f (stage: %s)\nsplits:",
-                plan.targetLatency, plan.targetStage.c_str());
-    for (const auto &s : plan.splits)
-        std::printf(" [%s -> %d]", s.stage.c_str(), s.pieces);
-    std::printf("\n\n");
-
-    Table t({"stage", "77K delay", "under target"});
-    for (const auto &d : model.stageDelays(plan.result, constants::ln2Temp)) {
-        t.addRow({d.name, Table::num(d.total()),
-                  d.total() <= plan.targetLatency + 1e-9 ? "yes" : "NO"});
-    }
-    t.print();
-
-    const double max300 = model.maxDelay(baseline, constants::roomTemp);
-    const double max77b = model.maxDelay(baseline, constants::ln2Temp);
-    const double max77sp = model.maxDelay(plan.result, constants::ln2Temp);
-    Table s({"metric", "paper", "measured"});
-    s.addRow({"cycle-time reduction vs 300K", "38.0%",
-              Table::pct(1.0 - max77sp / max300)});
-    s.addRow({"frequency gain vs 300K baseline", "+61%",
-              "+" + Table::pct(max300 / max77sp - 1.0)});
-    s.addRow({"frequency gain vs 77K baseline", "+38%",
-              "+" + Table::pct(max77b / max77sp - 1.0)});
-    s.addRow({"frontend stages", "8",
-              std::to_string(frontendStageCount(plan.result))});
-    s.addRow({"pipeline depth", "17",
-              std::to_string(kBaselineDepth + plan.addedStages)});
-    s.print();
-
-    bench::printVerdict(
-        "77K Observation #2 realized: frontend superpipelining becomes "
-        "profitable once the wire-heavy backend collapses.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig14-superpipelined")

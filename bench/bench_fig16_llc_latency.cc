@@ -1,76 +1,10 @@
 /**
  * @file
- * Fig. 16: L3 hit and miss latency breakdown for the representative
- * NoC designs at 300 K and 77 K, normalized to the 300 K mesh.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig16-llc-latency" (see src/exp/); run `cryowire_bench
+ * --filter fig16-llc-latency` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include <vector>
-
-#include "mem/memory_system.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::mem;
-
-    bench::printHeader(
-        "Fig. 16 - L3 hit/miss latency breakdown",
-        "Zero-load composition: interconnect + L3 array (+ DRAM and "
-        "the memory-controller leg on misses).");
-
-    auto technology = tech::Technology::freePdk45();
-    noc::NocDesigner designer{technology};
-
-    struct Row
-    {
-        const char *label;
-        noc::NocConfig cfg;
-        MemTiming mem;
-    };
-    std::vector<Row> rows = {
-        {"300K Mesh", designer.mesh300(), MemTiming::at300()},
-        {"300K CMesh", designer.cmesh(300.0, 1), MemTiming::at300()},
-        {"300K FB", designer.flattenedButterfly(300.0, 1),
-         MemTiming::at300()},
-        {"300K Shared bus", designer.sharedBus300(), MemTiming::at300()},
-        {"77K Mesh", designer.mesh77(), MemTiming::at77()},
-        {"77K CMesh", designer.cmesh(77.0, 1), MemTiming::at77()},
-        {"77K FB", designer.flattenedButterfly(77.0, 1),
-         MemTiming::at77()},
-        {"77K Shared bus", designer.sharedBus77(), MemTiming::at77()},
-        {"CryoBus (77K)", designer.cryoBus(), MemTiming::at77()},
-    };
-
-    const MemorySystem ref{MemTiming::at300(), designer.mesh300()};
-    const double hit_ref = ref.l3Hit().total();
-    const double miss_ref = ref.l3Miss().total();
-
-    Table t({"design", "hit (norm)", "hit NoC share", "miss (norm)",
-             "miss NoC share"});
-    for (const auto &row : rows) {
-        MemorySystem ms{row.mem, row.cfg};
-        const auto hit = ms.l3Hit();
-        const auto miss = ms.l3Miss();
-        t.addRow({row.label, Table::num(hit.total() / hit_ref),
-                  Table::pct(hit.nocShare()),
-                  Table::num(miss.total() / miss_ref),
-                  Table::pct(miss.nocShare())});
-    }
-    t.addRule();
-    const double zero_hit = MemTiming::at77().l3 / hit_ref;
-    const double zero_miss = (MemTiming::at77().l3 +
-                              MemTiming::at77().dram) / miss_ref;
-    t.addRow({"77K zero-NoC line (red dotted)", Table::num(zero_hit),
-              "0%", Table::num(zero_miss), "0%"});
-    t.print();
-
-    bench::printVerdict(
-        "Guideline #1's evidence: router NoCs dominate the 77 K L3 "
-        "latency (paper: 71.7% of hits on Mesh) while the buses "
-        "approach the zero-NoC line.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig16-llc-latency")

@@ -1,53 +1,10 @@
 /**
  * @file
- * Fig. 17: system-level performance of the 77 K computer with Shared
- * bus and Mesh, normalized to an ideal (zero-latency, snooping) NoC.
- *
- * Paper anchors: Mesh loses 43.3%, Shared bus only 8.1%.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig17-bus-vs-mesh" (see src/exp/); run `cryowire_bench
+ * --filter fig17-bus-vs-mesh` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "core/system_builder.hh"
-#include "sys/interval_sim.hh"
-#include "sys/workload.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::sys;
-
-    bench::printHeader(
-        "Fig. 17 - 77 K Shared bus vs Mesh vs ideal NoC",
-        "PARSEC performance normalized to the zero-latency snooping "
-        "interconnect.");
-
-    auto technology = tech::Technology::freePdk45();
-    core::SystemBuilder builder{technology};
-    IntervalSimulator sim;
-    const auto ideal = builder.idealNoc77();
-    const auto mesh = builder.chpMesh77();
-    const auto bus = builder.sharedBus77();
-
-    Table t({"workload", "77K Mesh", "77K Shared bus"});
-    double mesh_sum = 0.0, bus_sum = 0.0;
-    for (const auto &w : parsec21()) {
-        const double t_ideal = sim.run(ideal, w).timePerInstr;
-        const double m = t_ideal / sim.run(mesh, w).timePerInstr;
-        const double b = t_ideal / sim.run(bus, w).timePerInstr;
-        t.addRow({w.name, Table::num(m), Table::num(b)});
-        mesh_sum += m;
-        bus_sum += b;
-    }
-    t.addRule();
-    t.addRow({"average (paper: 0.567 / 0.919)",
-              Table::num(mesh_sum / 13.0), Table::num(bus_sum / 13.0)});
-    t.print();
-
-    bench::printVerdict(
-        "Guideline #1: the shared bus recovers most of the ideal-NoC "
-        "performance at 77 K; the router-based mesh cannot.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig17-bus-vs-mesh")

@@ -1,71 +1,10 @@
 /**
  * @file
- * Fig. 18: load-latency of the Shared bus at 300 K and 77 K under
- * uniform random traffic, with the measured workload injection bands.
- *
- * Paper story: the 300 K bus saturates below even PARSEC's injection
- * rates; the 77 K bus covers PARSEC but not SPEC/CloudSuite.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig18-bus-load-latency" (see src/exp/); run `cryowire_bench
+ * --filter fig18-bus-load-latency` or this binary for the same output.
  */
 
-#include "bench_common.hh"
-#include "bench_netsim_common.hh"
+#include "exp/shim.hh"
 
-#include "sys/workload.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::netsim;
-
-    bench::printHeader(
-        "Fig. 18 - Shared-bus load-latency at 300 K and 77 K",
-        "Cycle-accurate bus simulation, uniform random requests "
-        "(latency in 4 GHz cycles).");
-
-    auto technology = tech::Technology::freePdk45();
-    noc::NocDesigner designer{technology};
-
-    const std::vector<double> rates = {0.0005, 0.001, 0.002, 0.003,
-                                       0.004, 0.006, 0.008, 0.012};
-    TrafficSpec tr;
-    const auto opts = bench::benchOpts();
-
-    Table t({"rate (req/node/cyc)", "300K bus latency", "77K bus latency"});
-    const auto c300 = sweepLoadLatency(
-        bench::busFactory(designer.sharedBus300()), tr, rates, opts);
-    const auto c77 = sweepLoadLatency(
-        bench::busFactory(designer.sharedBus77()), tr, rates, opts);
-    for (std::size_t i = 0; i < rates.size(); ++i) {
-        auto cell = [](const LoadPoint &p) {
-            return p.saturated ? std::string("saturated")
-                               : Table::num(p.avgLatency, 1);
-        };
-        t.addRow({Table::num(rates[i], 4), cell(c300[i]), cell(c77[i])});
-    }
-    t.print();
-
-    Table bands({"workload band", "lo", "hi", "covered by 300K bus",
-                 "covered by 77K bus"});
-    const double sat300 = saturationRate(
-        bench::busFactory(designer.sharedBus300()), tr, 0.02, 0.0002,
-        opts);
-    const double sat77 = saturationRate(
-        bench::busFactory(designer.sharedBus77()), tr, 0.03, 0.0003,
-        opts);
-    for (const auto &b : sys::injectionBands()) {
-        bands.addRow({b.suite, Table::num(b.lo, 4), Table::num(b.hi, 4),
-                      b.hi < sat300 ? "yes" : "NO",
-                      b.hi < sat77 ? "yes" : "NO"});
-    }
-    bands.addRule();
-    bands.addRow({"measured saturation", "", "",
-                  Table::num(sat300, 4), Table::num(sat77, 4)});
-    bands.print();
-
-    bench::printVerdict(
-        "Guideline #2: even the 77 K bus cannot carry SPEC/CloudSuite "
-        "rates - the bus must get faster still, hence CryoBus.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig18-bus-load-latency")

@@ -1,50 +1,10 @@
 /**
  * @file
- * Fig. 20: broadcast-latency breakdown for the four bus designs -
- * only CryoBus (77 K + H-tree + dynamic links) reaches the 1-cycle
- * broadcast target.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig20-bus-latency-breakdown" (see src/exp/); run `cryowire_bench
+ * --filter fig20-bus-latency-breakdown` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "noc/noc_config.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-
-    bench::printHeader(
-        "Fig. 20 - bus transaction latency breakdown",
-        "Request / arbitration / grant / control / broadcast cycles at "
-        "4 GHz; the broadcast occupancy bounds bus bandwidth.");
-
-    auto technology = tech::Technology::freePdk45();
-    noc::NocDesigner designer{technology};
-
-    Table t({"design", "request", "arb", "grant", "control",
-             "broadcast", "total", "occupancy"});
-    for (const auto &cfg :
-         {designer.sharedBus300(), designer.sharedBus77(),
-          designer.hTreeBus300(), designer.cryoBus()}) {
-        const auto b = cfg.busBreakdown();
-        t.addRow({cfg.name(), std::to_string(b.request),
-                  std::to_string(b.arbitration),
-                  std::to_string(b.grant), std::to_string(b.control),
-                  std::to_string(b.broadcast),
-                  std::to_string(b.total()),
-                  std::to_string(cfg.busOccupancyCycles(1))});
-    }
-    t.print();
-
-    std::printf("target broadcast latency (red dotted line): 1 cycle\n"
-                "paper: only CryoBus meets it; cooling alone (77K bus) "
-                "and topology alone (300K H-tree) both fall short.\n\n");
-
-    bench::printVerdict(
-        "CryoBus = H-tree (30 -> 12 hops) x 77 K links (4 -> 12+ "
-        "hops/cycle) + dynamic link connection (1 extra grant cycle "
-        "that does not occupy the medium).");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig20-bus-latency-breakdown")

@@ -1,96 +1,10 @@
 /**
  * @file
- * Fig. 21: load-latency of CryoBus vs Mesh / CMesh / FB (1- and
- * 3-cycle routers) at 77 K with voltage optimization, uniform random.
- *
- * Router NoCs carry the full directory transaction (request + 5-flit
- * response) on one network; the split-transaction CryoBus carries
- * requests on the address plane. Latencies reported in nanoseconds so
- * designs at different clocks are comparable.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig21-noc-load-latency" (see src/exp/); run `cryowire_bench
+ * --filter fig21-noc-load-latency` or this binary for the same output.
  */
 
-#include "bench_common.hh"
-#include "bench_netsim_common.hh"
+#include "exp/shim.hh"
 
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::netsim;
-
-    bench::printHeader(
-        "Fig. 21 - 77 K load-latency across NoC designs",
-        "Cycle-accurate simulation, uniform random; x in requests per "
-        "node per 4 GHz cycle, y in ns.");
-
-    auto technology = tech::Technology::freePdk45();
-    noc::NocDesigner designer{technology};
-    const auto opts = bench::benchOpts();
-
-    struct Design
-    {
-        std::string label;
-        NetworkFactory factory;
-        double clock;   ///< Hz, to convert cycles -> ns
-        double rateRef; ///< its cycle rate per 4 GHz-cycle unit
-        TrafficSpec traffic;
-    };
-    std::vector<Design> designs;
-    auto add_router = [&](const noc::NocConfig &cfg) {
-        designs.push_back({cfg.name(), bench::routerFactory(cfg),
-                           cfg.clockFreq(), cfg.clockFreq() / 4.0e9,
-                           bench::directoryTraffic()});
-    };
-    auto add_bus = [&](const noc::NocConfig &cfg, int ways,
-                       const std::string &label) {
-        designs.push_back({label, bench::busFactory(cfg, ways),
-                           cfg.clockFreq(), cfg.clockFreq() / 4.0e9,
-                           TrafficSpec{}});
-    };
-    add_router(designer.mesh(77.0, 1));
-    add_router(designer.mesh(77.0, 3));
-    add_router(designer.cmesh(77.0, 1));
-    add_router(designer.cmesh(77.0, 3));
-    add_router(designer.flattenedButterfly(77.0, 1));
-    add_router(designer.flattenedButterfly(77.0, 3));
-    add_bus(designer.sharedBus77(), 1, "77K Shared bus");
-    add_bus(designer.cryoBus(), 1, "CryoBus");
-    add_bus(designer.cryoBus(), 2, "CryoBus (2-way)");
-
-    const std::vector<double> rates = {0.002, 0.006, 0.012, 0.02,
-                                       0.03, 0.05};
-
-    Table t({"design", "zero-load (ns)", "lat@0.006", "lat@0.012",
-             "lat@0.02", "saturation (req/node/cyc)"});
-    for (auto &d : designs) {
-        TrafficSpec tr = d.traffic;
-        std::vector<std::string> cells{d.label};
-        const double zl =
-            zeroLoadLatency(d.factory, tr, opts) / d.clock * 1e9;
-        cells.push_back(Table::num(zl, 2));
-        for (double r : {0.006, 0.012, 0.02}) {
-            TrafficSpec spec = tr;
-            spec.injectionRate = r / d.rateRef; // per design cycle
-            const auto pt = measureLoadPoint(d.factory, spec, opts);
-            cells.push_back(pt.saturated
-                                ? std::string("sat")
-                                : Table::num(pt.avgLatency / d.clock
-                                                 * 1e9, 2));
-        }
-        TrafficSpec spec = tr;
-        const double sat =
-            saturationRate(d.factory, spec, 0.6, 0.002, opts)
-            * d.rateRef;
-        cells.push_back(Table::num(sat, 4));
-        t.addRow(cells);
-    }
-    t.print();
-
-    bench::printVerdict(
-        "CryoBus: lowest latency of every design and bandwidth in the "
-        "CMesh(3c) class; 2-way interleaving doubles it (the paper's "
-        "'comparable scalability' claim).");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig21-noc-load-latency")

@@ -1,64 +1,10 @@
 /**
  * @file
- * Fig. 22: NoC power (device + cooling) with the 77 K voltage
- * optimization, normalized to the 300 K mesh.
- *
- * Paper anchors: CryoBus -57.2% vs 300K Mesh, -40.5% vs 77K Mesh,
- * -30.7% vs the 77K Shared bus.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig22-noc-power" (see src/exp/); run `cryowire_bench
+ * --filter fig22-noc-power` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "noc/noc_config.hh"
-#include "power/orion_lite.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-
-    bench::printHeader(
-        "Fig. 22 - NoC power with cooling",
-        "Orion-lite structural energy model scaled by cryo-MOSFET; "
-        "cooling charged at CO = 9.65 for the 77 K designs.");
-
-    auto technology = tech::Technology::freePdk45();
-    noc::NocDesigner designer{technology};
-    power::OrionLite orion{technology};
-
-    const double ref = orion.power(designer.mesh300()).total();
-
-    Table t({"design", "dynamic", "static", "cooling", "total",
-             "paper"});
-    auto add = [&](const noc::NocConfig &cfg, const char *paper) {
-        const auto p = orion.power(cfg);
-        t.addRow({cfg.name(), Table::num(p.dynamic / ref),
-                  Table::num(p.leakage / ref),
-                  Table::num(p.cooling / ref),
-                  Table::num(p.total() / ref), paper});
-    };
-    add(designer.mesh300(), "1.000");
-    add(designer.mesh77(), "0.719");
-    add(designer.sharedBus77(), "0.618");
-    add(designer.cryoBus(), "0.428");
-    t.print();
-
-    const double cb = orion.power(designer.cryoBus()).total();
-    Table s({"claim", "paper", "measured"});
-    s.addRow({"CryoBus vs 300K Mesh", "-57.2%",
-              "-" + Table::pct(1.0 - cb / ref)});
-    s.addRow({"CryoBus vs 77K Mesh", "-40.5%",
-              "-" + Table::pct(1.0 - cb /
-                               orion.power(designer.mesh77()).total())});
-    s.addRow({"CryoBus vs 77K Shared bus", "-30.7%",
-              "-" + Table::pct(
-                        1.0 - cb /
-                            orion.power(designer.sharedBus77()).total())});
-    s.print();
-
-    bench::printVerdict(
-        "Static power vanishes at 77 K and the dynamic-link connection "
-        "avoids wasteful broadcast on data responses.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig22-noc-power")

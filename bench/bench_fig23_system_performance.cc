@@ -1,66 +1,10 @@
 /**
  * @file
- * Fig. 23: multi-thread PARSEC performance of the five Table-4
- * systems, normalized to CHP-core (77K, Mesh).
- *
- * Paper anchors: CryoSP(Mesh) +16.1%; CHP(CryoBus) 2.10x; the full
- * design 2.53x (5.74x on streamcluster) and 3.82x over the 300 K
- * baseline.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig23-system-performance" (see src/exp/); run `cryowire_bench
+ * --filter fig23-system-performance` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "core/evaluation.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-
-    bench::printHeader(
-        "Fig. 23 - system-level PARSEC performance",
-        "Interval-model simulation of the five Table-4 systems "
-        "(normalized to CHP-core (77K, Mesh)).");
-
-    auto technology = tech::Technology::freePdk45();
-    core::Evaluator evaluator{technology};
-    const auto res = evaluator.parsecComparison();
-
-    Table t({"workload", "300K base", "CHP Mesh", "CryoSP Mesh",
-             "CHP CryoBus", "CryoSP CryoBus"});
-    for (std::size_t wi = 0; wi < res.workloads.size(); ++wi) {
-        std::vector<std::string> row{res.workloads[wi]};
-        for (std::size_t di = 0; di < res.designs.size(); ++di)
-            row.push_back(Table::num(res.perf[wi][di]));
-        t.addRow(row);
-    }
-    t.addRule();
-    {
-        std::vector<std::string> row{"MEAN"};
-        for (double m : res.mean)
-            row.push_back(Table::num(m));
-        t.addRow(row);
-    }
-    t.addRow({"paper mean", "0.66", "1.00", "1.16", "2.10", "2.53"});
-    t.print();
-
-    Table s({"headline claim", "paper", "measured"});
-    s.addRow({"CryoSP+CryoBus vs CHP (77K, Mesh)", "2.53x",
-              Table::mult(res.mean[4])});
-    s.addRow({"CryoSP+CryoBus vs Baseline (300K)", "3.82x",
-              Table::mult(res.mean[4] / res.mean[0])});
-    // streamcluster is row index 9 in the PARSEC suite.
-    s.addRow({"streamcluster, CHP (77K, CryoBus)", "4.63x",
-              Table::mult(res.perf[9][3])});
-    s.addRow({"streamcluster, CryoSP (77K, CryoBus)", "5.74x",
-              Table::mult(res.perf[9][4])});
-    s.print();
-
-    bench::printVerdict(
-        "Fig. 23's shape holds: CryoBus drives the large gains "
-        "(streamcluster most, via the snooping protocol), CryoSP adds "
-        "its clock advantage on top, and the combination is "
-        "synergistic.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig23-system-performance")

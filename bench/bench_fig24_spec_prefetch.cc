@@ -1,71 +1,10 @@
 /**
  * @file
- * Fig. 24: SPEC 2006/2017 rate mode with the aggressive stride
- * prefetcher - the memory-intensive stress test of Section 7.1.
- *
- * Paper anchors: CryoSP+CryoBus 2.11x over the 300 K baseline (37.2%
- * over CHP+Mesh); 2-way interleaving resolves the contention of
- * cactusADM / gcc / xalancbmk / libquantum and reaches 2.34x.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig24-spec-prefetch" (see src/exp/); run `cryowire_bench
+ * --filter fig24-spec-prefetch` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "core/evaluation.hh"
-#include "sys/interval_sim.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-
-    bench::printHeader(
-        "Fig. 24 - SPEC rate mode with aggressive prefetching",
-        "64 copies per system; prefetch traffic loads the interconnect "
-        "without stalling the cores.");
-
-    auto technology = tech::Technology::freePdk45();
-    core::Evaluator evaluator{technology};
-    sys::IntervalSimulator sim;
-    const auto res = evaluator.specComparison();
-
-    const auto one_way = evaluator.builder().cryoSpCryoBus77(1);
-    const auto suite = sys::specRateAggressivePrefetch();
-
-    Table t({"workload", "300K base", "CHP Mesh", "CryoSP CryoBus",
-             "CryoSP CryoBus 2-way", "1-way bus"});
-    for (std::size_t wi = 0; wi < res.workloads.size(); ++wi) {
-        std::vector<std::string> row{res.workloads[wi]};
-        for (std::size_t di = 0; di < res.designs.size(); ++di)
-            row.push_back(Table::num(res.perf[wi][di]));
-        row.push_back(sim.run(one_way, suite[wi]).saturated
-                          ? "saturated" : "ok");
-        t.addRow(row);
-    }
-    t.addRule();
-    {
-        std::vector<std::string> row{"MEAN"};
-        for (double m : res.mean)
-            row.push_back(Table::num(m));
-        row.push_back("");
-        t.addRow(row);
-    }
-    t.print();
-
-    Table s({"claim", "paper", "measured"});
-    s.addRow({"CryoSP+CryoBus vs 300K baseline", "2.11x",
-              Table::mult(res.mean[2])});
-    s.addRow({"CryoSP+CryoBus vs CHP (77K, Mesh)", "+37.2%",
-              "+" + Table::pct(res.mean[2] / res.mean[1] - 1.0)});
-    s.addRow({"2-way vs 300K baseline", "2.34x",
-              Table::mult(res.mean[3])});
-    s.addRow({"2-way vs CHP (77K, Mesh)", "+52%",
-              "+" + Table::pct(res.mean[3] / res.mean[1] - 1.0)});
-    s.print();
-
-    bench::printVerdict(
-        "The Fig. 24 shape holds: exactly the paper's four workloads "
-        "hit the 1-way bus bandwidth, and 2-way address interleaving "
-        "makes CryoBus the best design for every workload.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig24-spec-prefetch")

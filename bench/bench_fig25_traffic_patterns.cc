@@ -1,88 +1,10 @@
 /**
  * @file
- * Fig. 25: load-latency under Transpose, Hotspot, Bit-Reverse, and
- * Burst traffic at 77 K.
- *
- * Paper story: uniform random is the router NoCs' best case; under
- * adversarial patterns they degrade while CryoBus, whose broadcast
- * reaches everyone anyway, is pattern-insensitive.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig25-traffic-patterns" (see src/exp/); run `cryowire_bench
+ * --filter fig25-traffic-patterns` or this binary for the same output.
  */
 
-#include "bench_common.hh"
-#include "bench_netsim_common.hh"
+#include "exp/shim.hh"
 
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::netsim;
-
-    bench::printHeader(
-        "Fig. 25 - load-latency under adversarial traffic",
-        "Saturation throughput (requests/node/4GHz-cycle) per pattern "
-        "and design; CryoBus rows should barely move.");
-
-    auto technology = tech::Technology::freePdk45();
-    noc::NocDesigner designer{technology};
-    auto opts = bench::benchOpts();
-    opts.measureCycles = 4000;
-
-    struct Design
-    {
-        std::string label;
-        NetworkFactory factory;
-        double rateRef;
-        TrafficSpec base;
-    };
-    std::vector<Design> designs = {
-        {"Mesh (3c)", bench::routerFactory(designer.mesh(77.0, 3)),
-         designer.mesh(77.0, 3).clockFreq() / 4.0e9,
-         bench::directoryTraffic()},
-        {"CMesh (3c)", bench::routerFactory(designer.cmesh(77.0, 3)),
-         designer.cmesh(77.0, 3).clockFreq() / 4.0e9,
-         bench::directoryTraffic()},
-        {"FB (3c)",
-         bench::routerFactory(designer.flattenedButterfly(77.0, 3)),
-         designer.flattenedButterfly(77.0, 3).clockFreq() / 4.0e9,
-         bench::directoryTraffic()},
-        {"CryoBus", bench::busFactory(designer.cryoBus(), 1), 1.0,
-         TrafficSpec{}},
-        {"CryoBus (2-way)", bench::busFactory(designer.cryoBus(), 2),
-         1.0, TrafficSpec{}},
-    };
-
-    const std::vector<std::pair<const char *, TrafficPattern>> patterns =
-        {{"uniform", TrafficPattern::UniformRandom},
-         {"transpose", TrafficPattern::Transpose},
-         {"hotspot", TrafficPattern::Hotspot},
-         {"bit-reverse", TrafficPattern::BitReverse},
-         {"burst", TrafficPattern::Burst}};
-
-    std::vector<std::string> header{"design"};
-    for (const auto &p : patterns)
-        header.push_back(p.first);
-    Table t(header);
-
-    for (auto &d : designs) {
-        std::vector<std::string> row{d.label};
-        for (const auto &p : patterns) {
-            TrafficSpec tr = d.base;
-            tr.pattern = p.second;
-            const double sat =
-                saturationRate(d.factory, tr, 0.6, 0.003, opts)
-                * d.rateRef;
-            row.push_back(Table::num(sat, 4));
-        }
-        t.addRow(row);
-    }
-    t.print();
-
-    bench::printVerdict(
-        "CryoBus's bandwidth is pattern-insensitive (it broadcasts "
-        "regardless); the router NoCs lose bandwidth under transpose/"
-        "hotspot - at hotspot the bus is competitive with all of them, "
-        "the Fig. 25 claim.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig25-traffic-patterns")

@@ -1,72 +1,10 @@
 /**
  * @file
- * Fig. 26: the 256-core directory-based hybrid CryoBus - four CryoBus
- * clusters on a global mesh - against 256-core router NoCs.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "fig26-hybrid-256core" (see src/exp/); run `cryowire_bench
+ * --filter fig26-hybrid-256core` or this binary for the same output.
  */
 
-#include "bench_common.hh"
-#include "bench_netsim_common.hh"
+#include "exp/shim.hh"
 
-#include "netsim/hybrid_net.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::netsim;
-
-    bench::printHeader(
-        "Fig. 26 - scaling CryoBus to 256 cores",
-        "Hybrid = 4 x 64-core CryoBus + 2x2 global mesh (gives up "
-        "global snooping, keeps the latency).");
-
-    auto technology = tech::Technology::freePdk45();
-    noc::NocDesigner designer256{technology, 256};
-    noc::NocDesigner designer64{technology, 64};
-    auto opts = bench::benchOpts();
-
-    HybridConfig hc;
-    hc.busTiming = BusTiming::fromConfig(designer64.cryoBus(), 1);
-    auto hybrid1 = [hc]() -> std::unique_ptr<Network> {
-        return std::make_unique<HybridNetwork>(hc);
-    };
-    HybridConfig hc2 = hc;
-    hc2.busTiming = BusTiming::fromConfig(designer64.cryoBus(), 2);
-    auto hybrid2 = [hc2]() -> std::unique_ptr<Network> {
-        return std::make_unique<HybridNetwork>(hc2);
-    };
-
-    TrafficSpec tr;
-    Table t({"design (256 cores)", "zero-load (ns)",
-             "saturation (req/node/cyc)"});
-
-    auto add_hybrid = [&](const char *label,
-                          const NetworkFactory &factory) {
-        const double zl = zeroLoadLatency(factory, tr, opts) / 4.0;
-        const double sat = saturationRate(factory, tr, 0.05, 0.0005,
-                                          opts);
-        t.addRow({label, Table::num(zl, 2), Table::num(sat, 4)});
-    };
-    add_hybrid("Hybrid CryoBus", hybrid1);
-    add_hybrid("Hybrid CryoBus (2-way)", hybrid2);
-
-    for (const auto &cfg :
-         {designer256.mesh(77.0, 1), designer256.cmesh(77.0, 3),
-          designer256.flattenedButterfly(77.0, 3)}) {
-        auto factory = bench::routerFactory(cfg);
-        TrafficSpec dir = bench::directoryTraffic();
-        const double zl =
-            zeroLoadLatency(factory, dir, opts) / cfg.clockFreq() * 1e9;
-        const double sat =
-            saturationRate(factory, dir, 0.5, 0.002, opts)
-            * cfg.clockFreq() / 4.0e9;
-        t.addRow({cfg.name(), Table::num(zl, 2), Table::num(sat, 4)});
-    }
-    t.print();
-
-    bench::printVerdict(
-        "The hybrid keeps the lowest latency at 256 cores and scales "
-        "its bandwidth with interleaving - Fig. 26's conclusion.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("fig26-hybrid-256core")

@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_netsim_common.hh"
+#include "exp/netsim_support.hh"
 
 #include "noc/noc_config.hh"
 #include "tech/technology.hh"
@@ -59,12 +59,12 @@ main(int argc, char **argv)
 
     auto technology = tech::Technology::freePdk45();
     noc::NocDesigner designer{technology};
-    const auto factory = bench::busFactory(designer.cryoBus(), 2);
+    const auto factory = exp::busFactory(designer.cryoBus(), 2);
 
     // 32 independent cycle-accurate points below and into saturation.
-    const auto rates = bench::denseRates(0.001, 0.028, 32);
+    const auto rates = exp::denseRates(0.001, 0.028, 32);
     TrafficSpec tr;
-    auto opts = bench::benchOpts();
+    auto opts = exp::measureOpts();
     opts.measureCycles = 8000;
 
     auto timedSweep = [&](int jobs, std::vector<LoadPoint> &out) {

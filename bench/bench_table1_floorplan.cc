@@ -1,41 +1,10 @@
 /**
  * @file
- * Table 1: ALU / register-file geometry and the forwarding-wire
- * length implied by the Skylake-like floorplan.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "table1-floorplan" (see src/exp/); run `cryowire_bench
+ * --filter table1-floorplan` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "pipeline/floorplan.hh"
-#include "util/units.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Table 1 - floorplan-derived forwarding wire",
-        "Unit areas from BOOM synthesis; the forwarding wire spans all "
-        "ALUs plus the register file.");
-
-    const Floorplan fp = Floorplan::skylakeLike();
-
-    Table t({"unit", "area (um^2)", "width (um)", "height (um)"});
-    t.addRow({"ALU", Table::num(fp.alu().area.value() * 1e12, 0),
-              Table::num(fp.alu().width.value() * 1e6, 0),
-              Table::num(fp.alu().height().value() * 1e6, 1)});
-    t.addRow({"Register file", Table::num(fp.regfile().area.value() * 1e12, 0),
-              Table::num(fp.regfile().width.value() * 1e6, 0),
-              Table::num(fp.regfile().height().value() * 1e6, 1)});
-    t.addRule();
-    t.addRow({"Forwarding wire (8*ALU + RF)", "paper: 1686 um", "",
-              Table::num(fp.forwardingWireLength().value() * 1e6, 1) + " um"});
-    t.addRow({"Writeback wire (8*ALU + RF/2)", "", "",
-              Table::num(fp.writebackWireLength().value() * 1e6, 1) + " um"});
-    t.print();
-
-    bench::printVerdict("Table 1 reproduced from the unit geometry.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("table1-floorplan")

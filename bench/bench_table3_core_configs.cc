@@ -1,56 +1,10 @@
 /**
  * @file
- * Table 3: the core-design ladder - frequencies, structures, IPC, and
- * power for 300K Baseline / 77K Superpipeline / +CryoCore / CryoSP /
- * CHP-core.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "table3-core-configs" (see src/exp/); run `cryowire_bench
+ * --filter table3-core-configs` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "pipeline/core_config.hh"
-#include "power/mcpat_lite.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-    using namespace cryo::pipeline;
-
-    bench::printHeader(
-        "Table 3 - pipeline specification ladder",
-        "Model-derived frequency and power next to the published "
-        "column values.");
-
-    auto technology = tech::Technology::freePdk45();
-    CoreDesigner designer{technology};
-    power::McpatLite mcpat{technology, /*iso_activity=*/false};
-    const auto base = designer.baseline300();
-
-    Table t({"design", "f model", "f paper", "depth", "width",
-             "IPC@4GHz", "Vdd/Vth", "P_core model", "P_core paper",
-             "P_total model", "P_total paper"});
-    for (const auto &c : designer.table3Ladder()) {
-        const auto p = mcpat.corePower(c, base);
-        t.addRow({c.name,
-                  Table::num(c.frequency / 1e9, 2) + " GHz",
-                  Table::num(c.paperFrequency / 1e9, 2) + " GHz",
-                  std::to_string(c.pipelineDepth),
-                  std::to_string(c.structures.width),
-                  Table::num(c.ipcFactor, 2),
-                  Table::num(c.voltage.vdd, 2) + "/" +
-                      Table::num(c.voltage.vth, 3),
-                  Table::num(p.device(), 3),
-                  Table::num(c.paperCorePower, 3),
-                  Table::num(p.total(), 2),
-                  Table::num(c.paperTotalPower, 2)});
-    }
-    t.print();
-
-    bench::printVerdict(
-        "Frequencies within ~4% of Table 3. Power follows C*V^2*f "
-        "consistently; the paper's CryoSP/CHP rows omit the final "
-        "frequency factor (0.093 = 0.3575 x Vdd-ratio^2 exactly), so "
-        "our totals for those two rows sit ~20% above its 1.00.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("table3-core-configs")

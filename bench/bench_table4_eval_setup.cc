@@ -1,66 +1,10 @@
 /**
  * @file
- * Table 4: the evaluation setup - the five system designs and the
- * NoC/memory specifications they are built from.
+ * Compatibility shim: this figure now lives in the experiment
+ * registry as "table4-eval-setup" (see src/exp/); run `cryowire_bench
+ * --filter table4-eval-setup` or this binary for the same output.
  */
 
-#include "bench_common.hh"
+#include "exp/shim.hh"
 
-#include "core/system_builder.hh"
-#include "tech/technology.hh"
-
-int
-main()
-{
-    using namespace cryo;
-
-    bench::printHeader(
-        "Table 4 - evaluation setup",
-        "The five evaluated systems, assembled by the SystemBuilder.");
-
-    auto technology = tech::Technology::freePdk45();
-    core::SystemBuilder builder{technology};
-
-    Table t({"design", "core", "f core", "# cores", "NoC",
-             "f NoC", "protocol", "memory"});
-    for (const auto &d : builder.table4Systems()) {
-        t.addRow({d.name, d.core.name,
-                  Table::num(d.core.frequency / 1e9, 2) + " GHz",
-                  std::to_string(d.noc.topology().cores()),
-                  d.noc.name(),
-                  Table::num(d.noc.clockFreq() / 1e9, 2) + " GHz",
-                  noc::protocolName(d.noc.protocol()),
-                  d.mem.dram > 30e-9 ? "300K memory" : "77K memory"});
-    }
-    t.print();
-
-    Table m({"memory", "L1", "L2", "L3", "DRAM"});
-    for (const auto *label : {"300K", "77K"}) {
-        const auto mem = std::string(label) == "300K"
-            ? mem::MemTiming::at300() : mem::MemTiming::at77();
-        m.addRow({label, Table::num(mem.l1 * 1e9, 2) + " ns",
-                  Table::num(mem.l2 * 1e9, 2) + " ns",
-                  Table::num(mem.l3 * 1e9, 2) + " ns",
-                  Table::num(mem.dram * 1e9, 2) + " ns"});
-    }
-    m.print();
-
-    Table n({"NoC spec", "Vdd/Vth", "hops/cycle", "router"});
-    noc::NocDesigner designer{technology};
-    for (const auto &cfg :
-         {designer.mesh300(), designer.mesh77(), designer.cryoBus()}) {
-        n.addRow({cfg.name(),
-                  Table::num(cfg.voltage().vdd, 2) + "V / " +
-                      Table::num(cfg.voltage().vth, 3) + "V",
-                  std::to_string(cfg.hopsPerCycle()),
-                  cfg.topology().isBus()
-                      ? "N/A"
-                      : std::to_string(
-                            cfg.routerSpec().pipelineCycles) +
-                            "-cycle, 4 VC"});
-    }
-    n.print();
-
-    bench::printVerdict("Setup matches Table 4 within model tolerance.");
-    return 0;
-}
+CRYO_EXPERIMENT_SHIM("table4-eval-setup")

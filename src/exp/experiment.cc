@@ -1,0 +1,90 @@
+#include "experiment.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace cryo::exp
+{
+
+Table &
+ExperimentResult::table(std::vector<std::string> header)
+{
+    tables_.emplace_back(std::move(header));
+    items_.push_back({Item::Kind::TableRef, tables_.size() - 1});
+    return tables_.back();
+}
+
+void
+ExperimentResult::note(std::string line)
+{
+    notes_.push_back(std::move(line));
+    items_.push_back({Item::Kind::Note, notes_.size() - 1});
+}
+
+double
+ExperimentResult::metric(std::string name, double value,
+                         std::string unit)
+{
+    Metric m;
+    m.name = std::move(name);
+    m.value = value;
+    m.unit = std::move(unit);
+    metrics_.push_back(std::move(m));
+    return value;
+}
+
+double
+ExperimentResult::anchored(std::string name, double value,
+                           double anchor, double rel_tol,
+                           std::string unit)
+{
+    fatalIf(std::isnan(anchor), "anchored() needs a real anchor");
+    fatalIf(rel_tol < 0.0, "negative anchor tolerance");
+    Metric m;
+    m.name = std::move(name);
+    m.value = value;
+    m.unit = std::move(unit);
+    m.anchor = anchor;
+    m.relTol = rel_tol;
+    metrics_.push_back(std::move(m));
+    return value;
+}
+
+std::size_t
+ExperimentResult::failedAnchors() const
+{
+    return static_cast<std::size_t>(std::count_if(
+        metrics_.begin(), metrics_.end(),
+        [](const Metric &m) { return !m.pass(); }));
+}
+
+Context::Context(std::uint64_t seed)
+    : seed_(seed), tech_(tech::Technology::freePdk45()),
+      builder_(tech_), evaluator_(tech_)
+{
+}
+
+netsim::TrafficSpec
+Context::traffic() const
+{
+    netsim::TrafficSpec tr;
+    tr.seed = seed_;
+    return tr;
+}
+
+netsim::TrafficSpec
+Context::directoryTraffic() const
+{
+    netsim::TrafficSpec tr = traffic();
+    tr.responseFlits = 5;
+    return tr;
+}
+
+bool
+Experiment::hasTag(const std::string &tag) const
+{
+    return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+} // namespace cryo::exp

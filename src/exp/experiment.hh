@@ -1,0 +1,184 @@
+/**
+ * @file
+ * The experiment data model: a registered figure/table reproduction
+ * fills an ExperimentResult with tables (the human rendering), notes,
+ * and named metrics. Metrics optionally carry a paper anchor plus a
+ * relative tolerance, which is what turns the whole evaluation into a
+ * machine-checkable regression gate.
+ *
+ * Experiments consume the model stack through a shared const Context
+ * (technology, SystemBuilder, Evaluator, seeded traffic) instead of
+ * each main() hand-wiring its own globals, so every experiment is a
+ * pure function of (Context, declaration) and can be dispatched on the
+ * thread pool with deterministic results.
+ */
+
+#ifndef CRYOWIRE_EXP_EXPERIMENT_HH
+#define CRYOWIRE_EXP_EXPERIMENT_HH
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/evaluation.hh"
+#include "core/system_builder.hh"
+#include "netsim/traffic.hh"
+#include "tech/technology.hh"
+#include "util/table.hh"
+
+namespace cryo::exp
+{
+
+/**
+ * One named measurement. When @p anchor is set (non-NaN) the metric
+ * participates in the regression gate: the run fails unless
+ * |value - anchor| <= relTol * |anchor| (equality required when the
+ * tolerance is zero, e.g. for structural integer anchors).
+ */
+struct Metric
+{
+    std::string name;
+    double value = 0.0;
+    std::string unit; ///< display tag ("GHz", "frac", "x", ...)
+    double anchor = std::numeric_limits<double>::quiet_NaN();
+    double relTol = 0.0;
+
+    bool hasAnchor() const { return !std::isnan(anchor); }
+
+    /** Gate verdict; metrics without an anchor always pass. */
+    bool pass() const
+    {
+        if (!hasAnchor())
+            return true;
+        if (!std::isfinite(value))
+            return false;
+        return std::abs(value - anchor) <= relTol * std::abs(anchor);
+    }
+
+    /** Signed relative deviation from the anchor (NaN without one). */
+    double deviation() const
+    {
+        if (!hasAnchor() || anchor == 0.0)
+            return std::numeric_limits<double>::quiet_NaN();
+        return value / anchor - 1.0;
+    }
+};
+
+/**
+ * Everything one experiment produced, in presentation order. The same
+ * object renders three ways (terminal Table text, JSON, CSV) through
+ * the sink layer - experiments never print.
+ */
+class ExperimentResult
+{
+  public:
+    /** Append a new table; the reference stays valid for the result's
+     * lifetime (tables live in a deque). */
+    Table &table(std::vector<std::string> header);
+
+    /** Append a free-text line between/around tables. */
+    void note(std::string line);
+
+    /** One-line closing verdict (the old printVerdict text). */
+    void verdict(std::string text) { verdict_ = std::move(text); }
+
+    /** Record an unanchored metric; returns @p value for chaining. */
+    double metric(std::string name, double value,
+                  std::string unit = {});
+
+    /**
+     * Record a metric gated against a paper anchor.
+     * @param rel_tol relative tolerance; 0 demands exact equality.
+     */
+    double anchored(std::string name, double value, double anchor,
+                    double rel_tol, std::string unit = {});
+
+    /** Ordered render items: which table/note comes next. */
+    struct Item
+    {
+        enum class Kind { TableRef, Note };
+        Kind kind;
+        std::size_t index; ///< into tables() or notes()
+    };
+
+    const std::vector<Item> &items() const { return items_; }
+    const std::deque<Table> &tables() const { return tables_; }
+    const std::vector<std::string> &notes() const { return notes_; }
+    const std::vector<Metric> &metrics() const { return metrics_; }
+    const std::string &verdict() const { return verdict_; }
+
+    /** Count of anchored metrics currently failing their tolerance. */
+    std::size_t failedAnchors() const;
+
+  private:
+    std::vector<Item> items_;
+    std::deque<Table> tables_;
+    std::vector<std::string> notes_;
+    std::vector<Metric> metrics_;
+    std::string verdict_;
+};
+
+/**
+ * Shared, immutable model stack handed to every experiment. One
+ * Context serves a whole run: Technology, SystemBuilder, Evaluator and
+ * IntervalSimulator are stateless after construction, so concurrent
+ * experiments may consume them freely.
+ */
+class Context
+{
+  public:
+    explicit Context(std::uint64_t seed = 1);
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    std::uint64_t seed() const { return seed_; }
+
+    const tech::Technology &technology() const { return tech_; }
+    const core::SystemBuilder &builder() const { return builder_; }
+    const core::Evaluator &evaluator() const { return evaluator_; }
+    const sys::IntervalSimulator &simulator() const
+    {
+        return evaluator_.simulator();
+    }
+
+    /** Base traffic spec carrying this run's seed. */
+    netsim::TrafficSpec traffic() const;
+
+    /** Directory-protocol traffic for router NoCs (5-flit replies). */
+    netsim::TrafficSpec directoryTraffic() const;
+
+  private:
+    std::uint64_t seed_;
+    tech::Technology tech_; // declared first: members below refer to it
+    core::SystemBuilder builder_;
+    core::Evaluator evaluator_;
+};
+
+/** An experiment's run hook. */
+using RunFn = void (*)(const Context &, ExperimentResult &);
+
+/**
+ * One registered figure/table reproduction.
+ *
+ * @p name is the stable CLI identity ("fig02-stage-breakdown");
+ * @p title and @p summary reproduce the old banner; @p tags select
+ * subsets ("pipeline", "netsim", "smoke", ...).
+ */
+struct Experiment
+{
+    std::string name;
+    std::string title;
+    std::string summary;
+    std::vector<std::string> tags;
+    RunFn run = nullptr;
+
+    bool hasTag(const std::string &tag) const;
+};
+
+} // namespace cryo::exp
+
+#endif // CRYOWIRE_EXP_EXPERIMENT_HH

@@ -1,20 +1,23 @@
 /**
  * @file
- * Shared netsim factories for the load-latency benches (Figs 18, 21,
- * 25, 26).
+ * Shared netsim factories for the load-latency experiments (Figs 18,
+ * 21, 25, 26) and the parallel-scaling bench: bind an analytic NoC
+ * design point to a cycle-accurate network factory, and size the
+ * measurement window for experiment runtime.
  */
 
-#ifndef CRYOWIRE_BENCH_BENCH_NETSIM_COMMON_HH
-#define CRYOWIRE_BENCH_BENCH_NETSIM_COMMON_HH
+#ifndef CRYOWIRE_EXP_NETSIM_SUPPORT_HH
+#define CRYOWIRE_EXP_NETSIM_SUPPORT_HH
 
 #include <memory>
+#include <vector>
 
 #include "netsim/bus_net.hh"
 #include "netsim/load_latency.hh"
 #include "netsim/router_net.hh"
 #include "noc/noc_config.hh"
 
-namespace cryo::bench
+namespace cryo::exp
 {
 
 /** Bus network factory bound to an analytic design point. */
@@ -40,27 +43,14 @@ routerFactory(const noc::NocConfig &cfg)
     };
 }
 
-/** Measurement window sized for bench runtime. */
+/** Measurement window sized for experiment runtime. */
 inline netsim::MeasureOpts
-benchOpts()
+measureOpts()
 {
     netsim::MeasureOpts o;
     o.warmupCycles = 1500;
     o.measureCycles = 5000;
     return o;
-}
-
-/**
- * Directory-protocol traffic for router NoCs: requests generate 5-flit
- * data responses on the same network, and latency is the round trip.
- * The split-transaction buses carry requests on the address plane.
- */
-inline netsim::TrafficSpec
-directoryTraffic()
-{
-    netsim::TrafficSpec tr;
-    tr.responseFlits = 5;
-    return tr;
 }
 
 /**
@@ -78,6 +68,6 @@ denseRates(double lo, double hi, std::size_t points)
     return rates;
 }
 
-} // namespace cryo::bench
+} // namespace cryo::exp
 
-#endif // CRYOWIRE_BENCH_BENCH_NETSIM_COMMON_HH
+#endif // CRYOWIRE_EXP_NETSIM_SUPPORT_HH

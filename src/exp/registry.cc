@@ -1,0 +1,97 @@
+#include "registry.hh"
+
+#include <algorithm>
+
+#include "util/log.hh"
+
+namespace cryo::exp
+{
+
+void
+Registry::add(Experiment e)
+{
+    fatalIf(e.name.empty(), "experiment needs a name");
+    fatalIf(e.run == nullptr, "experiment needs a run hook");
+    fatalIf(find(e.name) != nullptr,
+            "duplicate experiment name: " + e.name);
+    experiments_.push_back(std::move(e));
+}
+
+const Experiment *
+Registry::find(const std::string &name) const
+{
+    const auto it = std::find_if(
+        experiments_.begin(), experiments_.end(),
+        [&name](const Experiment &e) { return e.name == name; });
+    return it == experiments_.end() ? nullptr : &*it;
+}
+
+std::vector<const Experiment *>
+Registry::match(const std::vector<std::string> &filters) const
+{
+    std::vector<const Experiment *> out;
+    for (const Experiment &e : experiments_) {
+        const bool selected = filters.empty() ||
+            std::any_of(filters.begin(), filters.end(),
+                        [&e](const std::string &f) {
+                            return e.hasTag(f) || globMatch(f, e.name);
+                        });
+        if (selected)
+            out.push_back(&e);
+    }
+    return out;
+}
+
+bool
+Registry::globMatch(const std::string &pattern, const std::string &text)
+{
+    // Iterative glob with single-star backtracking: enough for the
+    // CLI's name filters, no pathological recursion.
+    std::size_t p = 0, t = 0;
+    std::size_t star = std::string::npos, mark = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            star = p++;
+            mark = t;
+        } else if (star != std::string::npos) {
+            p = star + 1;
+            t = ++mark;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+const Registry &
+Registry::builtins()
+{
+    static const Registry reg = [] {
+        Registry r;
+        registerAll(r);
+        return r;
+    }();
+    return reg;
+}
+
+void
+registerAll(Registry &reg)
+{
+    // Paper order: core pipeline story, wire/link validation, NoC
+    // analysis, cycle-accurate netsim, full systems, then the
+    // beyond-the-paper ablations.
+    registerPipelineExperiments(reg);
+    registerWireExperiments(reg);
+    registerNocExperiments(reg);
+    registerNetsimExperiments(reg);
+    registerSystemExperiments(reg);
+    registerAblationExperiments(reg);
+}
+
+} // namespace cryo::exp

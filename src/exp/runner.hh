@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The experiment runner: selects experiments from the registry, runs
+ * them (optionally in parallel on the shared thread pool, with
+ * deterministic registry-order results), feeds every sink, and applies
+ * the anchor gate.
+ *
+ * runMain() is the cryowire_bench CLI; runExperimentMain() is the
+ * 3-line per-figure shim entry that keeps the historical bench_*
+ * binaries working.
+ */
+
+#ifndef CRYOWIRE_EXP_RUNNER_HH
+#define CRYOWIRE_EXP_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hh"
+#include "exp/sinks.hh"
+
+namespace cryo::exp
+{
+
+/** Parsed CLI options (also usable programmatically / from tests). */
+struct RunOptions
+{
+    std::vector<std::string> filters; ///< tags or name globs; empty=all
+    std::uint64_t seed = 1;           ///< base seed for stochastic sims
+    int jobs = 1;          ///< concurrent experiments (1 = in order)
+    std::string jsonPath;  ///< write results JSON here when non-empty
+    std::string csvDir;    ///< write per-experiment CSVs when non-empty
+    bool list = false;     ///< print the selection and exit
+    bool quiet = false;    ///< suppress per-experiment text
+};
+
+/**
+ * Run @p selection against @p registry. Experiments are dispatched
+ * with up to opts.jobs in flight; records always come back in
+ * registration order, independent of the job count.
+ */
+std::vector<RunRecord> runExperiments(const Registry &registry,
+                                      const RunOptions &opts);
+
+/**
+ * The cryowire_bench entry point. Exit codes: 0 = all anchors within
+ * tolerance, 1 = at least one anchor miss, 2 = usage error.
+ */
+int runMain(int argc, const char *const *argv);
+
+/**
+ * Shim entry: run the single experiment @p name with default options,
+ * print its text, and gate its anchors (exit 1 on a miss).
+ */
+int runExperimentMain(const std::string &name);
+
+} // namespace cryo::exp
+
+#endif // CRYOWIRE_EXP_RUNNER_HH

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Entry-point macro for the historical per-figure bench binaries.
+ * Each bench_*.cc is a 3-line shim: include this header, expand the
+ * macro with the registered experiment name. Behaviour (banner,
+ * tables, verdict, exit code) comes from the registry.
+ */
+
+#ifndef CRYOWIRE_EXP_SHIM_HH
+#define CRYOWIRE_EXP_SHIM_HH
+
+#include "exp/runner.hh"
+
+#define CRYO_EXPERIMENT_SHIM(name)                                     \
+    int main()                                                         \
+    {                                                                  \
+        return cryo::exp::runExperimentMain(name);                     \
+    }
+
+#endif // CRYOWIRE_EXP_SHIM_HH

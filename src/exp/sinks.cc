@@ -1,0 +1,142 @@
+#include "sinks.hh"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/json.hh"
+#include "util/log.hh"
+#include "util/table.hh"
+
+namespace cryo::exp
+{
+
+std::string
+renderText(const Experiment &e, const ExperimentResult &r)
+{
+    std::ostringstream out;
+    out << "\n=== CryoWire reproduction: " << e.title << " ===\n"
+        << e.summary << "\n\n";
+    for (const ExperimentResult::Item &item : r.items()) {
+        if (item.kind == ExperimentResult::Item::Kind::TableRef)
+            out << r.tables()[item.index].str();
+        else
+            out << r.notes()[item.index] << '\n';
+    }
+    if (!r.verdict().empty())
+        out << r.verdict() << '\n';
+    return out.str();
+}
+
+void
+writeJson(std::ostream &out, const std::vector<RunRecord> &records,
+          std::uint64_t seed)
+{
+    std::size_t anchors = 0, failed = 0;
+    for (const RunRecord &rec : records) {
+        for (const Metric &m : rec.result.metrics()) {
+            if (!m.hasAnchor())
+                continue;
+            ++anchors;
+            if (!m.pass())
+                ++failed;
+        }
+    }
+
+    JsonWriter w{out};
+    w.beginObject();
+    w.key("schema").value("cryowire-results-v1");
+    w.key("seed").value(seed);
+    w.key("experiments").beginArray();
+    for (const RunRecord &rec : records) {
+        const Experiment &e = *rec.experiment;
+        w.beginObject();
+        w.key("name").value(e.name);
+        w.key("title").value(e.title);
+        w.key("tags").beginArray();
+        for (const std::string &tag : e.tags)
+            w.value(tag);
+        w.endArray();
+        w.key("metrics").beginArray();
+        for (const Metric &m : rec.result.metrics()) {
+            w.beginObject();
+            w.key("name").value(m.name);
+            w.key("value").value(m.value);
+            if (!m.unit.empty())
+                w.key("unit").value(m.unit);
+            if (m.hasAnchor()) {
+                w.key("anchor").value(m.anchor);
+                w.key("rel_tol").value(m.relTol);
+                w.key("pass").value(m.pass());
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.key("anchors").beginObject();
+    w.key("total").value(static_cast<std::uint64_t>(anchors));
+    w.key("failed").value(static_cast<std::uint64_t>(failed));
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeCsv(const std::string &dir, const Experiment &e,
+         const ExperimentResult &r)
+{
+    std::filesystem::create_directories(dir);
+
+    {
+        CsvWriter csv{dir + "/" + e.name + ".metrics.csv"};
+        csv.writeRow(std::vector<std::string>{
+            "metric", "value", "unit", "anchor", "rel_tol", "status"});
+        for (const Metric &m : r.metrics()) {
+            csv.writeRow(std::vector<std::string>{
+                m.name, formatDouble(m.value), m.unit,
+                m.hasAnchor() ? formatDouble(m.anchor) : std::string{},
+                m.hasAnchor() ? formatDouble(m.relTol) : std::string{},
+                m.hasAnchor() ? (m.pass() ? "pass" : "FAIL")
+                              : std::string{}});
+        }
+    }
+
+    std::size_t table_idx = 0;
+    for (const Table &t : r.tables()) {
+        ++table_idx;
+        CsvWriter csv{dir + "/" + e.name + ".table" +
+                      std::to_string(table_idx) + ".csv"};
+        csv.writeRow(t.header());
+        for (const auto &row : t.rows()) {
+            if (!Table::isRule(row))
+                csv.writeRow(row);
+        }
+    }
+}
+
+std::size_t
+renderAnchorSummary(std::ostream &out,
+                    const std::vector<RunRecord> &records)
+{
+    std::size_t anchors = 0, failed = 0;
+    for (const RunRecord &rec : records) {
+        for (const Metric &m : rec.result.metrics()) {
+            if (!m.hasAnchor())
+                continue;
+            ++anchors;
+            if (m.pass())
+                continue;
+            ++failed;
+            out << "ANCHOR MISS  " << rec.experiment->name << " / "
+                << m.name << ": measured " << formatDouble(m.value)
+                << ", paper " << formatDouble(m.anchor) << " (tol "
+                << Table::pct(m.relTol) << ")\n";
+        }
+    }
+    out << "anchors: " << anchors - failed << "/" << anchors
+        << " within tolerance\n";
+    return failed;
+}
+
+} // namespace cryo::exp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Result sinks: render every ExperimentResult three ways from the same
+ * data - the classic terminal/EXPERIMENTS.md Table text, a
+ * machine-readable JSON document, and per-experiment CSV files - plus
+ * the anchor-gate summary that turns a run into a pass/fail check.
+ */
+
+#ifndef CRYOWIRE_EXP_SINKS_HH
+#define CRYOWIRE_EXP_SINKS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+
+namespace cryo::exp
+{
+
+/** A finished (experiment, result) pair, in registry order. */
+struct RunRecord
+{
+    const Experiment *experiment = nullptr;
+    ExperimentResult result;
+};
+
+/**
+ * The classic per-figure text: banner, tables and notes in emission
+ * order, one-line verdict. Byte-for-byte the format the old bench_*
+ * binaries printed, so EXPERIMENTS.md snippets stay valid.
+ */
+std::string renderText(const Experiment &e, const ExperimentResult &r);
+
+/**
+ * Results document ("cryowire-results-v1"): run seed, then one entry
+ * per experiment with tags and all metrics (value / unit / anchor /
+ * rel_tol / pass), then the aggregate anchor counts. Output is
+ * deterministic - no timestamps, no job-count dependence - so two runs
+ * of the same build and seed are byte-identical.
+ */
+void writeJson(std::ostream &out, const std::vector<RunRecord> &records,
+               std::uint64_t seed);
+
+/**
+ * CSV rendering into @p dir (created if missing): per experiment a
+ * <name>.metrics.csv plus one <name>.tableK.csv per table, all through
+ * the lossless CsvWriter.
+ */
+void writeCsv(const std::string &dir, const Experiment &e,
+              const ExperimentResult &r);
+
+/**
+ * Print the gate verdict: every anchored metric outside tolerance as
+ * one line, then a one-line tally. Returns the failure count.
+ */
+std::size_t renderAnchorSummary(std::ostream &out,
+                                const std::vector<RunRecord> &records);
+
+} // namespace cryo::exp
+
+#endif // CRYOWIRE_EXP_SINKS_HH

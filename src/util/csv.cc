@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "json.hh"
 #include "log.hh"
 
 namespace cryo
@@ -26,10 +27,13 @@ CsvWriter::writeRow(const std::vector<std::string> &cells)
 void
 CsvWriter::writeRow(const std::vector<double> &cells)
 {
+    // Round-trip (max_digits10) formatting: default stream precision
+    // is 6 significant digits, which silently corrupts exported
+    // sweeps; formatDouble keeps every cell lossless.
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i)
             out_ << ',';
-        out_ << cells[i];
+        out_ << formatDouble(cells[i]);
     }
     out_ << '\n';
 }

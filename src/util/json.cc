@@ -1,0 +1,269 @@
+#include "json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "log.hh"
+
+namespace cryo
+{
+
+std::string
+formatDouble(double value)
+{
+    if (std::isnan(value))
+        return "nan";
+    if (std::isinf(value))
+        return value > 0.0 ? "inf" : "-inf";
+    // Shortest representation that survives the round trip: most
+    // doubles need 15-16 significant digits, the rest max_digits10
+    // (17), which always suffices.
+    char buf[40];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+        if (std::strtod(buf, nullptr) == value)
+            break;
+    }
+    return buf;
+}
+
+JsonWriter::JsonWriter(std::ostream &out, int indent)
+    : out_(out), indent_(indent)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    // Not fatal() in a destructor; unfinished documents are a bug the
+    // tests catch via the emitted text.
+    if (done_ && stack_.empty())
+        out_ << '\n';
+}
+
+void
+JsonWriter::raw(const std::string &text)
+{
+    out_ << text;
+}
+
+void
+JsonWriter::beforeValue(bool is_key)
+{
+    fatalIf(done_, "JSON document already complete");
+    if (stack_.empty()) {
+        fatalIf(is_key, "JSON key outside any object");
+        return; // the root value
+    }
+    Scope &top = stack_.back();
+    if (top.kind == '{') {
+        fatalIf(!is_key && !keyPending_,
+                "JSON value inside an object needs a key first");
+        fatalIf(is_key && keyPending_, "two JSON keys in a row");
+        if (keyPending_) {
+            keyPending_ = false;
+            return; // "key": was already emitted with its separators
+        }
+    } else {
+        fatalIf(is_key, "JSON key inside an array");
+    }
+    if (!top.first)
+        out_ << ',';
+    top.first = false;
+    if (indent_ > 0) {
+        out_ << '\n'
+             << std::string(stack_.size() *
+                                static_cast<std::size_t>(indent_),
+                            ' ');
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue(false);
+    out_ << '{';
+    stack_.push_back({'{', true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    fatalIf(stack_.empty() || stack_.back().kind != '{',
+            "endObject without a matching beginObject");
+    fatalIf(keyPending_, "JSON key without a value");
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty && indent_ > 0) {
+        out_ << '\n'
+             << std::string(stack_.size() *
+                                static_cast<std::size_t>(indent_),
+                            ' ');
+    }
+    out_ << '}';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue(false);
+    out_ << '[';
+    stack_.push_back({'[', true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    fatalIf(stack_.empty() || stack_.back().kind != '[',
+            "endArray without a matching beginArray");
+    const bool empty = stack_.back().first;
+    stack_.pop_back();
+    if (!empty && indent_ > 0) {
+        out_ << '\n'
+             << std::string(stack_.size() *
+                                static_cast<std::size_t>(indent_),
+                            ' ');
+    }
+    out_ << ']';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    fatalIf(stack_.empty() || stack_.back().kind != '{',
+            "JSON key outside any object");
+    beforeValue(true);
+    out_ << '"' << escape(name) << "\":";
+    if (indent_ > 0)
+        out_ << ' ';
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    beforeValue(false);
+    out_ << formatDouble(v);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    beforeValue(false);
+    out_ << '"' << escape(s) << '"';
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    beforeValue(false);
+    out_ << (b ? "true" : "false");
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue(false);
+    out_ << std::to_string(v);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue(false);
+    out_ << std::to_string(v);
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue(false);
+    out_ << "null";
+    if (stack_.empty())
+        done_ = true;
+    return *this;
+}
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cryo

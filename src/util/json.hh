@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dependency-free JSON emission for the experiment engine.
+ *
+ * JsonWriter is a streaming writer with explicit begin/end scopes so
+ * the results file is produced in one deterministic pass - no DOM, no
+ * allocation-ordering surprises, byte-identical output for identical
+ * inputs regardless of how the values were computed.
+ *
+ * JSON has no NaN or infinity literals; value(double) emits null for
+ * non-finite inputs (the schema documents this).
+ */
+
+#ifndef CRYOWIRE_UTIL_JSON_HH
+#define CRYOWIRE_UTIL_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cryo
+{
+
+/**
+ * Shortest decimal string that parses back to exactly @p value
+ * (round-trip / max_digits10 precision). Non-finite values render as
+ * "nan" / "inf" / "-inf"; callers that need strict JSON must handle
+ * those before formatting (JsonWriter does).
+ */
+std::string formatDouble(double value);
+
+/**
+ * Streaming JSON writer.
+ *
+ * Usage:
+ * @code
+ *   JsonWriter w{out};
+ *   w.beginObject();
+ *   w.key("name").value("fig02");
+ *   w.key("metrics").beginArray();
+ *   w.value(1.5);
+ *   w.endArray();
+ *   w.endObject();
+ * @endcode
+ *
+ * Scope misuse (ending the wrong scope, a key outside an object, two
+ * keys in a row) is fatal() - a programming error, not a data error.
+ */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level (0 = compact). */
+    explicit JsonWriter(std::ostream &out, int indent = 2);
+
+    /** Every scope must be closed before the writer is destroyed. */
+    ~JsonWriter();
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Member name inside an object; must precede exactly one value. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(double v);
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(bool b);
+    JsonWriter &value(int v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &null();
+
+    /** Escape @p s per RFC 8259 (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    /** Emit separators/indent before a value or key. */
+    void beforeValue(bool is_key);
+    void raw(const std::string &text);
+
+    struct Scope
+    {
+        char kind;  ///< '{' or '['
+        bool first; ///< no member written yet
+    };
+
+    std::ostream &out_;
+    int indent_;
+    std::vector<Scope> stack_;
+    bool keyPending_ = false;
+    bool done_ = false;
+};
+
+} // namespace cryo
+
+#endif // CRYOWIRE_UTIL_JSON_HH

@@ -41,6 +41,21 @@ class Table
     /** Render to stdout. */
     void print() const;
 
+    /** Column names, for structured (CSV/JSON) re-rendering. */
+    const std::vector<std::string> &header() const { return header_; }
+
+    /** All rows in insertion order, including rule markers. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
+    /** True when @p row is a rule marker from addRule(). */
+    static bool isRule(const std::vector<std::string> &row)
+    {
+        return row.size() == 1 && row[0] == kRuleMarker;
+    }
+
     /** Format a double with @p precision fractional digits. */
     static std::string num(double value, int precision = 3);
 

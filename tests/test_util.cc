@@ -7,9 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <vector>
 
 #include "util/csv.hh"
+#include "util/json.hh"
 #include "util/log.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
@@ -273,6 +279,126 @@ TEST(Log, FatalThrows)
     EXPECT_THROW(fatal("boom"), FatalError);
     EXPECT_THROW(fatalIf(true, "boom"), FatalError);
     EXPECT_NO_THROW(fatalIf(false, "fine"));
+}
+
+TEST(Table, FormattersEdgeCases)
+{
+    // Negative values keep the sign through every formatter.
+    EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+    EXPECT_EQ(Table::mult(-0.5, 2), "-0.50x");
+    EXPECT_EQ(Table::pct(-0.072, 1), "-7.2%");
+    // Zero precision truncates to a bare integer (round-half-even on
+    // exactly-representable halves, per printf).
+    EXPECT_EQ(Table::num(2.5, 0), "2");
+    EXPECT_EQ(Table::num(3.5, 0), "4");
+    EXPECT_EQ(Table::num(0.0, 0), "0");
+}
+
+TEST(Table, AccessorsExposeCellsAndRules)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    t.addRule();
+    t.addRow({"3", "4"});
+    ASSERT_EQ(t.header().size(), 2u);
+    ASSERT_EQ(t.rows().size(), 3u);
+    EXPECT_FALSE(Table::isRule(t.rows()[0]));
+    EXPECT_TRUE(Table::isRule(t.rows()[1]));
+    EXPECT_EQ(t.rows()[2][1], "4");
+}
+
+TEST(Json, FormatDoubleRoundTrips)
+{
+    for (double v : {1.0 / 3.0, 0.1, 1e-300, 1.7976931348623157e308,
+                     -0.0, 123456.789, 6.02214076e23}) {
+        const std::string s = formatDouble(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+    // Integral doubles print without an exponent or trailing zeros.
+    EXPECT_EQ(formatDouble(4.0), "4");
+    EXPECT_EQ(formatDouble(0.5), "0.5");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    std::ostringstream os;
+    JsonWriter w{os, 0};
+    w.beginArray();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
+    w.value(1.5);
+    w.endArray();
+    EXPECT_EQ(os.str(), "[null,null,null,1.5]");
+}
+
+TEST(Json, EscapesStrings)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+    EXPECT_EQ(JsonWriter::escape(std::string{"\x01"}), "\\u0001");
+}
+
+TEST(Json, NestedStructure)
+{
+    std::ostringstream os;
+    JsonWriter w{os, 0};
+    w.beginObject();
+    w.key("name");
+    w.value("cryo");
+    w.key("list");
+    w.beginArray();
+    w.value(1);
+    w.beginObject();
+    w.key("ok");
+    w.value(true);
+    w.endObject();
+    w.endArray();
+    w.key("none");
+    w.null();
+    w.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"name\":\"cryo\",\"list\":[1,{\"ok\":true}],"
+              "\"none\":null}");
+}
+
+TEST(Json, MisuseIsFatal)
+{
+    std::ostringstream os;
+    JsonWriter w{os, 0};
+    w.beginObject();
+    // A value inside an object requires a key first.
+    EXPECT_THROW(w.value(1.0), FatalError);
+}
+
+TEST(Csv, DoubleRowsRoundTrip)
+{
+    // Regression: writeRow(vector<double>) used to truncate to 6
+    // significant digits, destroying sweep output for plotting.
+    const std::string path = "/tmp/cryowire_test_csv_roundtrip.csv";
+    const std::vector<double> values = {1.0 / 3.0, 0.0054321012345678,
+                                        1e-300, 123456789.123456789};
+    {
+        CsvWriter csv{path};
+        csv.writeRow(values);
+    }
+    std::ifstream in{path};
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    std::stringstream ss{line};
+    std::string cell;
+    std::size_t i = 0;
+    while (std::getline(ss, cell, ',')) {
+        ASSERT_LT(i, values.size());
+        EXPECT_EQ(std::strtod(cell.c_str(), nullptr), values[i])
+            << cell;
+        ++i;
+    }
+    EXPECT_EQ(i, values.size());
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -47,6 +47,13 @@ echo "==> lint_units"
 python3 "$ROOT/tools/lint_units.py" --root "$ROOT"
 
 if [[ -z "$MODE" ]]; then
+    # The smoke subset covers every anchored metric except the four
+    # long netsim sweeps (those run in CI's experiments job); a miss
+    # exits non-zero and fails the gate.
+    echo "==> experiments (paper-anchor gate)"
+    "$BUILD_DIR/bench/cryowire_bench" --filter smoke --quiet \
+        --json "$BUILD_DIR/results.json"
+
     if command -v clang-tidy >/dev/null 2>&1; then
         echo "==> clang-tidy"
         cmake -S "$ROOT" -B "$BUILD_DIR" \

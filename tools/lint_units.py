@@ -3,8 +3,8 @@
 
 The dimensional-analysis layer (src/util/units.hh) makes the tech and
 power layers exchange typed quantities.  This checker keeps that
-boundary from eroding: any *new* function parameter in a src/tech or
-src/power header that is a plain ``double`` but named like a physical
+boundary from eroding: any *new* function parameter in a src/tech,
+src/power, or src/exp header that is a plain ``double`` but named like a physical
 quantity (``temp_k``, ``len_m``, ``freq_hz``, ``power_w``) is an error -
 it should be ``units::Kelvin``, ``units::Metre``, ``units::Hertz``, or
 ``units::Watt`` instead.
@@ -36,7 +36,7 @@ PARAM_RE = re.compile(
     + r"))\b"
 )
 
-CHECKED_DIRS = ("src/tech", "src/power")
+CHECKED_DIRS = ("src/tech", "src/power", "src/exp")
 
 
 def strip_comments(text: str) -> str:
@@ -85,7 +85,7 @@ def main() -> int:
     if offences:
         print(
             f"lint_units: {len(offences)} raw-double unit parameter(s) "
-            "in src/tech or src/power headers",
+            "in checked headers (src/tech, src/power, src/exp)",
             file=sys.stderr,
         )
         return 1
