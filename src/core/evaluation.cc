@@ -1,6 +1,6 @@
 #include "evaluation.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/parallel.hh"
 
 namespace cryo::core

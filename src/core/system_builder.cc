@@ -1,6 +1,6 @@
 #include "system_builder.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::core
 {

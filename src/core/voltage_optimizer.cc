@@ -2,8 +2,9 @@
 
 #include <cmath>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/parallel.hh"
+#include "util/validate.hh"
 
 namespace cryo::core
 {
@@ -33,6 +34,21 @@ gridPoints(double min, double max, double step)
 }
 
 } // namespace
+
+void
+VoltageConstraints::validate() const
+{
+    Validator v{"VoltageConstraints"};
+    v.positive("totalPowerBudget", totalPowerBudget)
+        .positive("minVdd", minVdd)
+        .positive("minVddVthRatio", minVddVthRatio)
+        .positive("vddStep", vddStep)
+        .positive("vthStep", vthStep)
+        .positive("vthMin", vthMin)
+        .require(vddMax >= minVdd, "vddMax must be >= minVdd")
+        .require(vthMax >= vthMin, "vthMax must be >= vthMin")
+        .done();
+}
 
 VoltageOptimizer::VoltageOptimizer(
     const tech::Technology &tech,
@@ -66,8 +82,8 @@ VoltageOptimizer::evaluate(const pipeline::CoreConfig &core,
     candidate.voltage = v;
     candidate.frequency = model_.frequency(core.stages, temp, v).value();
     const auto power = mcpat_.corePower(candidate, baseline);
-    p.frequency = candidate.frequency;
-    p.totalPower = power.total();
+    p.frequency = CRYO_CHECK_FINITE(candidate.frequency);
+    p.totalPower = CRYO_CHECK_FINITE(power.total());
     p.feasible = p.totalPower <= constraints.totalPowerBudget + 1e-9;
     return p;
 }
@@ -78,8 +94,8 @@ VoltageOptimizer::optimize(const pipeline::CoreConfig &core,
                            double temp_k, VoltageObjective objective,
                            VoltageConstraints constraints) const
 {
-    fatalIf(constraints.vddStep <= 0.0 || constraints.vthStep <= 0.0,
-            "voltage grid steps must be positive");
+    CRYO_CONTEXT("voltage optimize @ " + std::to_string(temp_k) + " K");
+    constraints.validate();
     fatalIf(core.stages.empty(), "core has no pipeline stages");
 
     const long n_vdd = gridPoints(constraints.minVdd,

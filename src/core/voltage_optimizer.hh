@@ -51,6 +51,13 @@ struct VoltageConstraints
     double vthMin = 0.10;
     double vthMax = 0.50;
     double vthStep = 0.005;
+
+    /**
+     * Range/consistency validation (positive finite steps and budget,
+     * ordered grid bounds); throws cryo::FatalError naming every
+     * offence. Called by VoltageOptimizer::optimize().
+     */
+    void validate() const;
 };
 
 /** Optimization outcome. */

@@ -1,12 +1,18 @@
 #include "runner.hh"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/parallel.hh"
 
 namespace cryo::exp
@@ -19,8 +25,8 @@ constexpr const char *kUsage =
     "usage: cryowire_bench [options]\n"
     "\n"
     "Run the registered figure/table experiments and gate their paper\n"
-    "anchors. Exit 0 = every anchor within tolerance, 1 = anchor miss,\n"
-    "2 = usage error.\n"
+    "anchors. Exit 0 = every anchor within tolerance, 1 = anchor miss\n"
+    "or failed experiment, 2 = usage error.\n"
     "\n"
     "  --list           print the selected experiments and exit\n"
     "  --filter F       select by tag or name glob (repeatable, also\n"
@@ -30,6 +36,8 @@ constexpr const char *kUsage =
     "  --seed N         base seed for stochastic simulations (default 1)\n"
     "  --jobs N         experiments run concurrently (default 1);\n"
     "                   results are byte-identical at any job count\n"
+    "  --watchdog N     flag experiments still running after N seconds\n"
+    "                   on stderr (default 600; 0 disables)\n"
     "  --quiet          suppress the per-experiment text report\n"
     "  --help           this text\n";
 
@@ -97,6 +105,17 @@ parseArgs(int argc, const char *const *argv, RunOptions &opts,
                              "cryowire_bench: --jobs must be >= 1\n");
                 return false;
             }
+        } else if (arg == "--watchdog") {
+            const char *v = next("--watchdog");
+            if (!v)
+                return false;
+            opts.watchdogSeconds = std::strtod(v, nullptr);
+            if (opts.watchdogSeconds < 0.0) {
+                std::fprintf(stderr,
+                             "cryowire_bench: --watchdog must be "
+                             ">= 0\n");
+                return false;
+            }
         } else {
             std::fprintf(stderr,
                          "cryowire_bench: unknown option '%s'\n",
@@ -124,6 +143,137 @@ printList(const std::vector<const Experiment *> &selection)
     std::printf("%zu experiment(s)\n", selection.size());
 }
 
+/**
+ * Run one experiment with failure isolation: a throw is captured into
+ * the record (error + context chain) instead of propagating, so
+ * sibling experiments keep running. The "experiment <name>" frame
+ * stays alive through the catch, so even exceptions that carry no
+ * chain of their own are attributed to the experiment.
+ */
+void
+runOne(const Experiment &e, const Context &ctx, RunRecord &rec)
+{
+    CRYO_CONTEXT("experiment " + e.name);
+    try {
+        e.run(ctx, rec.result);
+    } catch (const FatalError &err) {
+        rec.failed = true;
+        rec.error = err.message();
+        rec.errorContext = err.context();
+    } catch (const std::exception &err) {
+        rec.failed = true;
+        rec.error = err.what();
+        rec.errorContext = diag::contextStack();
+    } catch (...) {
+        rec.failed = true;
+        rec.error = "unknown exception";
+        rec.errorContext = diag::contextStack();
+    }
+}
+
+/**
+ * Wall-clock watchdog: a monitor thread flags (once, on stderr) every
+ * experiment still running past the budget. Purely observational - the
+ * experiment is not killed and no record field changes, keeping the
+ * sinks deterministic.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(const std::vector<const Experiment *> &selection,
+             double budget_seconds)
+        : selection_(selection), budgetSeconds_(budget_seconds)
+    {
+        if (budgetSeconds_ <= 0.0)
+            return;
+        states_ = std::make_unique<State[]>(selection.size());
+        monitor_ = std::thread([this] { watch(); });
+    }
+
+    ~Watchdog()
+    {
+        if (!monitor_.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        monitor_.join();
+    }
+
+    void
+    started(std::size_t i)
+    {
+        if (states_)
+            states_[i].startNs.store(nowNs(), std::memory_order_release);
+    }
+
+    void
+    finished(std::size_t i)
+    {
+        if (states_)
+            states_[i].done.store(true, std::memory_order_release);
+    }
+
+  private:
+    struct State
+    {
+        std::atomic<std::int64_t> startNs{0}; ///< 0 = not started
+        std::atomic<bool> done{false};
+        bool flagged = false; ///< monitor-thread only
+    };
+
+    static std::int64_t
+    nowNs()
+    {
+        return std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    }
+
+    void
+    watch()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!stop_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(200));
+            if (stop_)
+                return;
+            const std::int64_t now = nowNs();
+            for (std::size_t i = 0; i < selection_.size(); ++i) {
+                State &s = states_[i];
+                if (s.flagged ||
+                    s.done.load(std::memory_order_acquire))
+                    continue;
+                const std::int64_t start =
+                    s.startNs.load(std::memory_order_acquire);
+                if (start == 0)
+                    continue;
+                const double elapsed =
+                    static_cast<double>(now - start) * 1e-9;
+                if (elapsed <= budgetSeconds_)
+                    continue;
+                s.flagged = true;
+                std::fprintf(stderr,
+                             "cryowire warn: experiment %s still "
+                             "running after %.0f s (watchdog budget "
+                             "%.0f s)\n",
+                             selection_[i]->name.c_str(), elapsed,
+                             budgetSeconds_);
+            }
+        }
+    }
+
+    const std::vector<const Experiment *> &selection_;
+    double budgetSeconds_;
+    std::unique_ptr<State[]> states_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread monitor_;
+};
+
 } // namespace
 
 std::vector<RunRecord>
@@ -136,6 +286,7 @@ runExperiments(const Registry &registry, const RunOptions &opts)
         records[i].experiment = selection[i];
 
     const Context ctx{opts.seed};
+    Watchdog watchdog{selection, opts.watchdogSeconds};
     // chunk=1 so each experiment is one schedulable unit; results are
     // stored by index, so the record order never depends on timing.
     ParallelOptions popts;
@@ -144,7 +295,9 @@ runExperiments(const Registry &registry, const RunOptions &opts)
     parallelFor(
         selection.size(),
         [&](std::size_t i) {
-            selection[i]->run(ctx, records[i].result);
+            watchdog.started(i);
+            runOne(*selection[i], ctx, records[i]);
+            watchdog.finished(i);
         },
         popts);
     return records;
@@ -183,21 +336,24 @@ runMain(int argc, const char *const *argv)
 
     if (!opts.quiet) {
         for (const RunRecord &rec : records)
-            std::fputs(
-                renderText(*rec.experiment, rec.result).c_str(),
-                stdout);
+            std::fputs(renderText(rec).c_str(), stdout);
         std::fputs("\n", stdout);
     }
 
-    if (!opts.jsonPath.empty()) {
-        std::ofstream out{opts.jsonPath};
-        fatalIf(!out.is_open(),
-                "cannot open JSON output file: " + opts.jsonPath);
-        writeJson(out, records, opts.seed);
-    }
-    if (!opts.csvDir.empty()) {
-        for (const RunRecord &rec : records)
-            writeCsv(opts.csvDir, *rec.experiment, rec.result);
+    try {
+        if (!opts.jsonPath.empty()) {
+            std::ofstream out{opts.jsonPath};
+            fatalIf(!out.is_open(),
+                    "cannot open JSON output file: " + opts.jsonPath);
+            writeJson(out, records, opts.seed);
+        }
+        if (!opts.csvDir.empty()) {
+            for (const RunRecord &rec : records)
+                writeCsv(opts.csvDir, rec);
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
     }
 
     const std::size_t failed = renderAnchorSummary(std::cout, records);
@@ -215,8 +371,8 @@ runExperimentMain(const std::string &name)
     const Context ctx;
     RunRecord rec;
     rec.experiment = e;
-    e->run(ctx, rec.result);
-    std::fputs(renderText(*e, rec.result).c_str(), stdout);
+    runOne(*e, ctx, rec);
+    std::fputs(renderText(rec).c_str(), stdout);
     std::vector<RunRecord> records;
     records.push_back(std::move(rec));
     const std::size_t failed = renderAnchorSummary(std::cout, records);

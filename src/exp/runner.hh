@@ -33,19 +33,36 @@ struct RunOptions
     std::string csvDir;    ///< write per-experiment CSVs when non-empty
     bool list = false;     ///< print the selection and exit
     bool quiet = false;    ///< suppress per-experiment text
+
+    /**
+     * Per-experiment wall-clock budget [s]; an experiment still
+     * running past it is flagged on stderr (once) but not killed, so
+     * hangs are diagnosable without perturbing the deterministic
+     * sinks. 0 disables the watchdog. The default sits well above the
+     * slowest registered experiment (the cycle-accurate netsim sweeps
+     * take a few minutes each) so it only fires on genuine hangs.
+     */
+    double watchdogSeconds = 600.0;
 };
 
 /**
  * Run @p selection against @p registry. Experiments are dispatched
  * with up to opts.jobs in flight; records always come back in
  * registration order, independent of the job count.
+ *
+ * Each experiment is isolated: one that throws is captured in its
+ * RunRecord (failed / error / errorContext) and the remaining
+ * experiments still run. Watchdog flags go to stderr only - never
+ * into the records - so JSON/CSV output stays byte-identical across
+ * job counts and machine speeds.
  */
 std::vector<RunRecord> runExperiments(const Registry &registry,
                                       const RunOptions &opts);
 
 /**
  * The cryowire_bench entry point. Exit codes: 0 = all anchors within
- * tolerance, 1 = at least one anchor miss, 2 = usage error.
+ * tolerance, 1 = at least one anchor miss or failed experiment,
+ * 2 = usage error.
  */
 int runMain(int argc, const char *const *argv);
 

@@ -5,7 +5,7 @@
 
 #include "util/csv.hh"
 #include "util/json.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/table.hh"
 
 namespace cryo::exp
@@ -28,12 +28,30 @@ renderText(const Experiment &e, const ExperimentResult &r)
     return out.str();
 }
 
+std::string
+renderText(const RunRecord &rec)
+{
+    const Experiment &e = *rec.experiment;
+    if (!rec.failed)
+        return renderText(e, rec.result);
+    std::ostringstream out;
+    out << "\n=== CryoWire reproduction: " << e.title << " ===\n"
+        << "EXPERIMENT FAILED: " << rec.error << '\n';
+    for (const std::string &frame : rec.errorContext)
+        out << "  context: " << frame << '\n';
+    return out.str();
+}
+
 void
 writeJson(std::ostream &out, const std::vector<RunRecord> &records,
           std::uint64_t seed)
 {
-    std::size_t anchors = 0, failed = 0;
+    std::size_t anchors = 0, failed = 0, experiments_failed = 0;
     for (const RunRecord &rec : records) {
+        if (rec.failed) {
+            ++experiments_failed;
+            continue;
+        }
         for (const Metric &m : rec.result.metrics()) {
             if (!m.hasAnchor())
                 continue;
@@ -45,7 +63,7 @@ writeJson(std::ostream &out, const std::vector<RunRecord> &records,
 
     JsonWriter w{out};
     w.beginObject();
-    w.key("schema").value("cryowire-results-v1");
+    w.key("schema").value("cryowire-results-v2");
     w.key("seed").value(seed);
     w.key("experiments").beginArray();
     for (const RunRecord &rec : records) {
@@ -57,6 +75,14 @@ writeJson(std::ostream &out, const std::vector<RunRecord> &records,
         for (const std::string &tag : e.tags)
             w.value(tag);
         w.endArray();
+        w.key("status").value(rec.failed ? "failed" : "ok");
+        if (rec.failed) {
+            w.key("error").value(rec.error);
+            w.key("context").beginArray();
+            for (const std::string &frame : rec.errorContext)
+                w.value(frame);
+            w.endArray();
+        }
         w.key("metrics").beginArray();
         for (const Metric &m : rec.result.metrics()) {
             w.beginObject();
@@ -79,6 +105,8 @@ writeJson(std::ostream &out, const std::vector<RunRecord> &records,
     w.key("total").value(static_cast<std::uint64_t>(anchors));
     w.key("failed").value(static_cast<std::uint64_t>(failed));
     w.endObject();
+    w.key("experiments_failed")
+        .value(static_cast<std::uint64_t>(experiments_failed));
     w.endObject();
 }
 
@@ -115,12 +143,34 @@ writeCsv(const std::string &dir, const Experiment &e,
     }
 }
 
+void
+writeCsv(const std::string &dir, const RunRecord &rec)
+{
+    writeCsv(dir, *rec.experiment, rec.result);
+    if (!rec.failed)
+        return;
+    std::filesystem::create_directories(dir);
+    CsvWriter csv{dir + "/" + rec.experiment->name + ".error.csv"};
+    csv.writeRow(std::vector<std::string>{"field", "value"});
+    csv.writeRow(std::vector<std::string>{"error", rec.error});
+    for (const std::string &frame : rec.errorContext)
+        csv.writeRow(std::vector<std::string>{"context", frame});
+}
+
 std::size_t
 renderAnchorSummary(std::ostream &out,
                     const std::vector<RunRecord> &records)
 {
-    std::size_t anchors = 0, failed = 0;
+    std::size_t anchors = 0, failed = 0, experiments_failed = 0;
     for (const RunRecord &rec : records) {
+        if (rec.failed) {
+            ++experiments_failed;
+            out << "EXPERIMENT FAILED  " << rec.experiment->name
+                << ": " << rec.error << "\n";
+            for (const std::string &frame : rec.errorContext)
+                out << "    context: " << frame << "\n";
+            continue;
+        }
         for (const Metric &m : rec.result.metrics()) {
             if (!m.hasAnchor())
                 continue;
@@ -136,7 +186,9 @@ renderAnchorSummary(std::ostream &out,
     }
     out << "anchors: " << anchors - failed << "/" << anchors
         << " within tolerance\n";
-    return failed;
+    if (experiments_failed > 0)
+        out << "experiments failed: " << experiments_failed << "\n";
+    return failed + experiments_failed;
 }
 
 } // namespace cryo::exp

@@ -19,11 +19,19 @@
 namespace cryo::exp
 {
 
-/** A finished (experiment, result) pair, in registry order. */
+/**
+ * A finished (experiment, result) pair, in registry order. A record
+ * whose run threw carries failed = true plus the error message and the
+ * CRYO_CONTEXT chain captured at the throw; its result holds whatever
+ * the experiment recorded before dying.
+ */
 struct RunRecord
 {
     const Experiment *experiment = nullptr;
     ExperimentResult result;
+    bool failed = false;
+    std::string error;
+    std::vector<std::string> errorContext;
 };
 
 /**
@@ -34,11 +42,21 @@ struct RunRecord
 std::string renderText(const Experiment &e, const ExperimentResult &r);
 
 /**
- * Results document ("cryowire-results-v1"): run seed, then one entry
- * per experiment with tags and all metrics (value / unit / anchor /
- * rel_tol / pass), then the aggregate anchor counts. Output is
- * deterministic - no timestamps, no job-count dependence - so two runs
- * of the same build and seed are byte-identical.
+ * Failure-aware rendering: the classic text for a healthy record, or
+ * the banner plus an EXPERIMENT FAILED block (error + context chain)
+ * for a failed one.
+ */
+std::string renderText(const RunRecord &rec);
+
+/**
+ * Results document ("cryowire-results-v2"): run seed, then one entry
+ * per experiment with tags, a status ("ok" or "failed", failed entries
+ * also carry error + context), and all metrics (value / unit / anchor /
+ * rel_tol / pass), then the aggregate anchor counts and the failed-
+ * experiment count. Metrics of failed experiments are whatever was
+ * recorded before the failure and are excluded from the anchor tally.
+ * Output is deterministic - no timestamps, no job-count dependence -
+ * so two runs of the same build and seed are byte-identical.
  */
 void writeJson(std::ostream &out, const std::vector<RunRecord> &records,
                std::uint64_t seed);
@@ -52,8 +70,16 @@ void writeCsv(const std::string &dir, const Experiment &e,
               const ExperimentResult &r);
 
 /**
- * Print the gate verdict: every anchored metric outside tolerance as
- * one line, then a one-line tally. Returns the failure count.
+ * Failure-aware CSV rendering: the usual files for a healthy record,
+ * plus a <name>.error.csv (error + context chain) for a failed one.
+ */
+void writeCsv(const std::string &dir, const RunRecord &rec);
+
+/**
+ * Print the gate verdict: one line per failed experiment (error +
+ * context chain) and per anchored metric outside tolerance, then a
+ * one-line tally. Returns failed anchors + failed experiments; the
+ * anchors of a failed experiment are excluded from the tally.
  */
 std::size_t renderAnchorSummary(std::ostream &out,
                                 const std::vector<RunRecord> &records);

@@ -1,7 +1,8 @@
 #include "memory_system.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
+#include "util/validate.hh"
 
 namespace cryo::mem
 {
@@ -48,9 +49,23 @@ MemTiming::atTemperature(double temp_k)
     return t;
 }
 
+void
+MemTiming::validate() const
+{
+    Validator v{"MemTiming"};
+    v.positive("l1", l1)
+        .positive("l2", l2)
+        .positive("l3", l3)
+        .positive("dram", dram)
+        .require(l1 <= l2 && l2 <= l3 && l3 <= dram,
+                 "latency ladder must be ordered l1 <= l2 <= l3 <= dram")
+        .done();
+}
+
 MemorySystem::MemorySystem(MemTiming timing, const noc::NocConfig &noc)
     : timing_(timing), noc_(noc)
 {
+    timing_.validate();
 }
 
 double

@@ -35,6 +35,13 @@ struct MemTiming
      * used by the Fig. 27 temperature sweep.
      */
     static MemTiming atTemperature(double temp_k);
+
+    /**
+     * Range/consistency validation (finite positive latencies, ladder
+     * ordering l1 <= l2 <= l3 <= dram); throws cryo::FatalError naming
+     * every offence. Called by the MemorySystem constructor.
+     */
+    void validate() const;
 };
 
 /** One L3 transaction's latency decomposition (Fig. 16 stacks). */

@@ -1,6 +1,6 @@
 #include "arbiter.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::netsim
 {

@@ -1,11 +1,14 @@
 #include "load_latency.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 #include <unordered_map>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
+#include "util/validate.hh"
 
 namespace cryo::netsim
 {
@@ -14,6 +17,16 @@ LoadPoint
 measureLoadPoint(const NetworkFactory &factory, TrafficSpec traffic,
                  MeasureOpts opts)
 {
+    CRYO_CONTEXT("load_latency @ rate=" +
+                 std::to_string(traffic.injectionRate));
+    {
+        Validator v{"MeasureOpts"};
+        v.atLeast("measureCycles",
+                  static_cast<long>(opts.measureCycles), 1)
+            .positive("saturationLatency", opts.saturationLatency)
+            .positive("backlogFactor", opts.backlogFactor)
+            .done();
+    }
     auto net = factory();
     fatalIf(!net, "network factory returned null");
     TrafficGenerator gen(net->nodes(), traffic);
@@ -78,11 +91,12 @@ measureLoadPoint(const NetworkFactory &factory, TrafficSpec traffic,
 
     LoadPoint pt;
     pt.injectionRate = traffic.injectionRate;
-    pt.avgLatency = lat.mean();
-    pt.p99Latency = hist.percentile(0.99);
-    pt.throughput = static_cast<double>(delivered_count)
+    pt.avgLatency = CRYO_CHECK_FINITE(lat.mean());
+    pt.p99Latency = CRYO_CHECK_FINITE(hist.percentile(0.99));
+    pt.throughput = CRYO_CHECK_FINITE(
+        static_cast<double>(delivered_count)
         / static_cast<double>(opts.measureCycles)
-        / static_cast<double>(net->nodes());
+        / static_cast<double>(net->nodes()));
     const std::size_t backlog_end = net->inFlight();
     // Three saturation signatures: latency blow-up, unbounded backlog
     // growth, and accepted throughput falling behind the offered load
@@ -102,6 +116,15 @@ sweepLoadLatency(const NetworkFactory &factory, TrafficSpec traffic,
                  const std::vector<double> &rates, MeasureOpts opts,
                  ParallelOptions par)
 {
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        if (!(std::isfinite(rates[i]) && rates[i] >= 0.0 &&
+              rates[i] < 1.0)) {
+            CRYO_CONTEXT("sweepLoadLatency");
+            fatal("rates[" + std::to_string(i) + "] = " +
+                  std::to_string(rates[i]) +
+                  " outside [0, 1) packets/node/cycle");
+        }
+    }
     // Each offered-load point is an independent cycle-accurate
     // simulation on its own network instance, with an RNG stream
     // derived from (base seed, point index) — never from a shared
@@ -122,15 +145,42 @@ double
 saturationRate(const NetworkFactory &factory, TrafficSpec traffic,
                double hi, double tolerance, MeasureOpts opts)
 {
+    {
+        Validator v{"saturationRate"};
+        v.positive("hi", hi)
+            .positive("tolerance", tolerance)
+            .require(hi < 1.0,
+                     "hi must be below 1 packet/node/cycle")
+            .done();
+    }
     double lo = 0.0;
-    // Ensure hi is actually saturated; if not, report hi.
+    // Ensure hi is actually saturated; if not, the true saturation
+    // point lies outside the bracket — report hi rather than bisecting
+    // a bracket that contains no crossing.
     {
         TrafficSpec spec = traffic;
         spec.injectionRate = hi;
-        if (!measureLoadPoint(factory, spec, opts).saturated)
+        if (!measureLoadPoint(factory, spec, opts).saturated) {
+            warn("saturationRate: network not saturated at hi=" +
+                 std::to_string(hi) +
+                 "; returning hi (raise the bracket)");
             return hi;
+        }
     }
+    // A bisection over a monotone saturation predicate halves the
+    // bracket each step, so ~60 iterations exhaust double precision;
+    // the cap only trips on floating-point stagnation (mid == lo or
+    // mid == hi), which would otherwise spin forever.
+    constexpr int kMaxBisections = 200;
+    int it = 0;
     while (hi - lo > tolerance) {
+        if (++it > kMaxBisections) {
+            CRYO_CONTEXT("saturationRate bisection");
+            fatal("no convergence after " +
+                  std::to_string(kMaxBisections) + " bisections (lo=" +
+                  std::to_string(lo) + ", hi=" + std::to_string(hi) +
+                  ", tolerance=" + std::to_string(tolerance) + ")");
+        }
         const double mid = 0.5 * (lo + hi);
         TrafficSpec spec = traffic;
         spec.injectionRate = mid;
@@ -138,6 +188,13 @@ saturationRate(const NetworkFactory &factory, TrafficSpec traffic,
             hi = mid;
         else
             lo = mid;
+    }
+    // lo never advanced: every probed rate saturated, i.e. the network
+    // cannot sustain any offered load under this traffic. Flag it and
+    // report zero instead of a misleading near-zero tolerance artifact.
+    if (lo == 0.0) {
+        warn("saturationRate: saturated at every probed rate; "
+             "reporting 0 packets/node/cycle");
     }
     return lo;
 }

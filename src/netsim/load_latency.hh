@@ -66,9 +66,15 @@ std::vector<LoadPoint> sweepLoadLatency(const NetworkFactory &factory,
 /**
  * Binary-search the saturation throughput (packets/node/cycle) of a
  * network under @p traffic, to @p tolerance.
+ *
+ * Requires 0 < @p hi < 1 and @p tolerance > 0 (throws cryo::FatalError
+ * otherwise). Two degenerate bracket shapes resolve gracefully rather
+ * than hanging or aborting: a @p hi that never saturates returns
+ * @p hi itself, and a network already saturated at every probed rate
+ * returns 0.0; both emit a (deduplicated) warning.
  */
 double saturationRate(const NetworkFactory &factory, TrafficSpec traffic,
-                      double hi = 1.0, double tolerance = 0.005,
+                      double hi = 0.995, double tolerance = 0.005,
                       MeasureOpts opts = {});
 
 /** Zero-load latency: the latency at a vanishing injection rate. */

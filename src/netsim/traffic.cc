@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "util/log.hh"
+#include "util/diag.hh"
+#include "util/validate.hh"
 
 namespace cryo::netsim
 {
@@ -25,15 +26,29 @@ trafficPatternName(TrafficPattern p)
     return "unknown";
 }
 
+void
+TrafficSpec::validate(int nodes) const
+{
+    Validator v{"TrafficSpec"};
+    v.atLeast("nodes", nodes, 2)
+        .inRightOpen("injectionRate", injectionRate, 0.0, 1.0)
+        .atLeast("flitsPerPacket", flitsPerPacket, 1)
+        .atLeast("responseFlits", responseFlits, 0)
+        .inRange("hotspotFraction", hotspotFraction, 0.0, 1.0)
+        .inRange("burstOnProb", burstOnProb, 0.0, 1.0)
+        .inRange("burstOffProb", burstOffProb, 0.0, 1.0)
+        .require(hotspotNode >= 0 && hotspotNode < nodes,
+                 "hotspotNode out of range");
+    if (pattern == TrafficPattern::Burst)
+        v.positive("burstOnProb", burstOnProb);
+    v.done();
+}
+
 TrafficGenerator::TrafficGenerator(int nodes, TrafficSpec spec)
     : nodes_(nodes), spec_(spec), rng_(spec.seed),
       burstOn_(static_cast<std::size_t>(nodes), false)
 {
-    fatalIf(nodes < 2, "traffic needs at least two nodes");
-    fatalIf(spec_.injectionRate < 0.0, "injection rate must be >= 0");
-    fatalIf(spec_.flitsPerPacket < 1, "packets need at least one flit");
-    fatalIf(spec_.hotspotNode < 0 || spec_.hotspotNode >= nodes,
-            "hotspot node out of range");
+    spec_.validate(nodes);
     gridSide_ = static_cast<int>(std::lround(std::sqrt(nodes)));
     if (gridSide_ * gridSide_ != nodes)
         gridSide_ = 0; // non-square networks lack transpose

@@ -48,6 +48,13 @@ struct TrafficSpec
     double burstOnProb = 0.25;    ///< P(off -> on) per cycle
     double burstOffProb = 0.25;   ///< P(on -> off) per cycle
     std::uint64_t seed = 1;
+
+    /**
+     * Range/consistency validation against a @p nodes-sized network;
+     * throws cryo::FatalError naming every offending field. Called by
+     * TrafficGenerator at construction.
+     */
+    void validate(int nodes) const;
 };
 
 /**

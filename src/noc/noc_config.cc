@@ -2,8 +2,9 @@
 
 #include <cmath>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
+#include "util/validate.hh"
 
 namespace cryo::noc
 {
@@ -29,8 +30,14 @@ NocConfig::NocConfig(std::string name, Topology topology, Protocol protocol,
       clockFreq_(clock_freq), routerSpec_(router_spec),
       hopsPerCycle_(hops_per_cycle), dynamicLinks_(dynamic_links)
 {
-    fatalIf(clock_freq <= 0.0, "NoC clock must be positive");
-    fatalIf(hops_per_cycle < 1, "need at least one hop per cycle");
+    Validator v{"NocConfig " + name_};
+    v.temperature("tempK", tempK_)
+        .positive("voltage.vdd", voltage_.vdd)
+        .positive("voltage.vth", voltage_.vth)
+        .require(voltage_.vdd > voltage_.vth, "Vdd must exceed Vth")
+        .positive("clockFreq", clockFreq_)
+        .atLeast("hopsPerCycle", hopsPerCycle_, 1)
+        .done();
 }
 
 int

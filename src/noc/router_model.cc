@@ -1,6 +1,6 @@
 #include "router_model.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
 
 namespace cryo::noc

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::noc
 {

@@ -2,8 +2,9 @@
 
 #include "pipeline/stage_library.hh"
 #include "pipeline/superpipeline.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
+#include "util/validate.hh"
 
 namespace cryo::pipeline
 {
@@ -17,6 +18,36 @@ constexpr tech::VoltagePoint kCryoSpV{0.64, 0.25};
 constexpr tech::VoltagePoint kChpV{0.75, 0.25};
 
 } // namespace
+
+void
+CoreStructures::validate() const
+{
+    Validator v{"CoreStructures"};
+    v.atLeast("width", width, 1)
+        .atLeast("loadQueue", loadQueue, 1)
+        .atLeast("storeQueue", storeQueue, 1)
+        .atLeast("issueQueue", issueQueue, 1)
+        .atLeast("reorderBuffer", reorderBuffer, 1)
+        .atLeast("intRegisters", intRegisters, 1)
+        .atLeast("fpRegisters", fpRegisters, 1)
+        .done();
+}
+
+void
+CoreConfig::validate() const
+{
+    structures.validate();
+    Validator v{"CoreConfig " + name};
+    v.temperature("tempK", tempK)
+        .positive("voltage.vdd", voltage.vdd)
+        .positive("voltage.vth", voltage.vth)
+        .require(voltage.vdd > voltage.vth, "Vdd must exceed Vth")
+        .atLeast("pipelineDepth", pipelineDepth, 1)
+        .positive("frequency", frequency)
+        .positive("paperFrequency", paperFrequency)
+        .positive("ipcFactor", ipcFactor)
+        .done();
+}
 
 CoreDesigner::CoreDesigner(const tech::Technology &tech)
     : tech_(tech), floorplan_(Floorplan::skylakeLike()),

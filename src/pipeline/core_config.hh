@@ -27,6 +27,9 @@ struct CoreStructures
     int reorderBuffer = 224;
     int intRegisters = 180;
     int fpRegisters = 168;
+
+    /** All structure sizes must be at least one entry/lane. */
+    void validate() const;
 };
 
 /** One fully-specified core design point. */
@@ -55,6 +58,15 @@ struct CoreConfig
 
     /** Paper's relative total (device + cooling) power (Table 3). */
     double paperTotalPower = 1.0;
+
+    /**
+     * Range/consistency validation (temperature within the model
+     * window, Vdd > Vth, positive frequency and IPC factor, sane
+     * structures); throws cryo::FatalError naming every offence.
+     * Consumers (interval simulator, power models, voltage optimizer)
+     * call this before trusting the design point.
+     */
+    void validate() const;
 };
 
 /**

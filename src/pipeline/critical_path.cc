@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
 
 namespace cryo::pipeline

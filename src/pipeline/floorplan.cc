@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "util/log.hh"
+#include "util/diag.hh"
+#include "util/validate.hh"
 #include "util/units.hh"
 
 namespace cryo::pipeline
@@ -24,11 +25,13 @@ Floorplan::Floorplan(UnitGeometry alu, UnitGeometry regfile, int alu_count)
     : alu_(std::move(alu)), regfile_(std::move(regfile)),
       aluCount_(alu_count)
 {
-    fatalIf(aluCount_ < 1, "floorplan needs at least one ALU");
-    fatalIf(alu_.area.value() <= 0.0 || alu_.width.value() <= 0.0,
-            "ALU geometry must be positive");
-    fatalIf(regfile_.area.value() <= 0.0 || regfile_.width.value() <= 0.0,
-            "register-file geometry must be positive");
+    Validator v{"Floorplan"};
+    v.atLeast("aluCount", aluCount_, 1)
+        .positive("alu.area", alu_.area.value())
+        .positive("alu.width", alu_.width.value())
+        .positive("regfile.area", regfile_.area.value())
+        .positive("regfile.width", regfile_.width.value())
+        .done();
 }
 
 units::Metre

@@ -1,6 +1,6 @@
 #include "ipc_model.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::pipeline
 {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::pipeline
 {

@@ -1,6 +1,7 @@
 #include "cooling.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
+#include "util/validate.hh"
 
 namespace cryo::power
 {
@@ -10,16 +11,16 @@ using units::Kelvin;
 CoolingModel::CoolingModel(double carnot_efficiency, Kelvin hot_side)
     : efficiency_(carnot_efficiency), hotSide_(hot_side)
 {
-    fatalIf(carnot_efficiency <= 0.0 || carnot_efficiency > 1.0,
-            "Carnot efficiency must be in (0, 1]");
-    fatalIf(hot_side.value() <= 0.0,
-            "hot-side temperature must be positive");
+    Validator v{"CoolingModel"};
+    v.inRange("carnot_efficiency", carnot_efficiency, 1e-6, 1.0)
+        .positive("hot_side", hot_side.value())
+        .done();
 }
 
 double
 CoolingModel::overhead(Kelvin temp) const
 {
-    fatalIf(temp.value() <= 0.0, "temperature must be positive");
+    checkedModelTemp(temp.value(), "cooling overhead");
     if (temp >= hotSide_)
         return 0.0; // no refrigeration needed at/above the hot side
     // Ideal COP = T_cold / (T_hot - T_cold); the real cooler achieves

@@ -1,6 +1,6 @@
 #include "orion_lite.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::power
 {

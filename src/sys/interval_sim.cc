@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/parallel.hh"
+#include "util/validate.hh"
 
 namespace cryo::sys
 {
@@ -23,6 +24,16 @@ constexpr int kTxFlits =
     mem::MemorySystem::kRequestFlits + mem::MemorySystem::kDataFlits;
 
 } // namespace
+
+void
+SystemDesign::validate() const
+{
+    CRYO_CONTEXT("validate SystemDesign " + name);
+    core.validate();
+    mem.validate();
+    Validator v{"SystemDesign " + name};
+    v.atLeast("busWays", busWays, 1).done();
+}
 
 double
 IntervalSimulator::saturationTxRate(const noc::NocConfig &noc,
@@ -76,10 +87,11 @@ IntervalSimulator::syncOpCost(const SystemDesign &design)
 SimResult
 IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
 {
+    CRYO_CONTEXT("interval_sim: design=" + design.name +
+                 " workload=" + w.name);
+    design.validate();
+    w.validate();
     const auto &core = design.core;
-    fatalIf(core.frequency <= 0.0, "core frequency must be positive");
-    fatalIf(core.ipcFactor <= 0.0, "IPC factor must be positive");
-    fatalIf(w.mlp <= 0.0, "MLP must be positive");
 
     mem::MemorySystem ms{design.mem, design.noc};
     const bool snooping = design.idealNoc ||
@@ -121,6 +133,7 @@ IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
     // throughput bound after convergence.
     constexpr double rho_cap = 0.90;
 
+    bool converged = false;
     for (int it = 0; it < kMaxIterations; ++it) {
         const double instr_rate = 1.0 / t; // per second, per core
         const double tx_per_node_cycle = tx_pki / 1000.0 * instr_rate
@@ -156,9 +169,16 @@ IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
         const double t_next = 0.5 * t + 0.5 * t_new;
         if (std::abs(t_next - t) / t < 1e-9) {
             t = t_next;
+            converged = true;
             break;
         }
-        t = t_next;
+        t = CRYO_CHECK_FINITE(t_next);
+    }
+    if (!converged) {
+        warn("interval_sim fixed point did not converge within " +
+             std::to_string(kMaxIterations) + " iterations (design=" +
+             design.name + " workload=" + w.name +
+             "); using last damped iterate");
     }
 
     // Throughput bound: the interconnect cannot accept transactions
@@ -177,10 +197,11 @@ IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
             rho = 1.0;
         }
     }
-    r.timePerInstr = t;
+    r.timePerInstr = CRYO_CHECK_FINITE(t);
     r.stack = s;
     r.utilization = std::min(rho, 1.0);
     r.saturated = saturated || rho >= kRhoMax;
+    r.converged = converged;
     return r;
 }
 

@@ -37,6 +37,14 @@ struct SystemDesign
     mem::MemTiming mem;
     bool idealNoc = false; ///< Fig. 17's zero-latency snooping NoC
     int busWays = 1;       ///< address-interleaving ways (Section 7.1)
+
+    /**
+     * Validates the composed design: delegates to the core/memory
+     * validators and checks busWays >= 1. Throws cryo::FatalError
+     * naming every offence. Called at the top of
+     * IntervalSimulator::run().
+     */
+    void validate() const;
 };
 
 /** Time-per-instruction decomposition [s] (the Fig. 3 CPI stack). */
@@ -72,6 +80,14 @@ struct SimResult
     CpiStack stack;
     double utilization = 0.0;  ///< interconnect rho
     bool saturated = false;
+
+    /**
+     * False when the fixed-point iteration exhausted kMaxIterations
+     * without meeting the relative tolerance. The result is still the
+     * last (damped) iterate and remains finite; callers that need
+     * converged numbers can branch on this flag.
+     */
+    bool converged = true;
 
     /** Performance = inverse execution time. */
     double perf() const { return 1.0 / timePerInstr; }

@@ -1,9 +1,26 @@
 #include "workload.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
+#include "util/validate.hh"
 
 namespace cryo::sys
 {
+
+void
+Workload::validate() const
+{
+    Validator v{"Workload " + name};
+    v.positive("cpiCore", cpiCore)
+        .nonNegative("l2Apki", l2Apki)
+        .nonNegative("l3Apki", l3Apki)
+        .nonNegative("cohPki", cohPki)
+        .nonNegative("dramApki", dramApki)
+        .positive("mlp", mlp)
+        .nonNegative("syncPki", syncPki)
+        .nonNegative("branchMpki", branchMpki)
+        .nonNegative("prefetchApki", prefetchApki)
+        .done();
+}
 
 /*
  * PARSEC 2.1 parameters, calibrated so the 300 K baseline CPI stacks

@@ -63,6 +63,14 @@ struct Workload
      * but do not stall the core).
      */
     double prefetchApki = 0.0;
+
+    /**
+     * Range validation (positive CPI and MLP, non-negative finite
+     * per-kilo-instruction rates); throws cryo::FatalError naming
+     * every offending field. The interval simulator calls this before
+     * trusting the characterization.
+     */
+    void validate() const;
 };
 
 /** The PARSEC 2.1 suite (Fig. 3 / Fig. 17 / Fig. 23). */

@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "util/log.hh"
+#include "util/diag.hh"
+#include "util/validate.hh"
 
 namespace cryo::tech
 {
@@ -64,23 +65,28 @@ BlochGruneisen::phononFactor(Kelvin temp) const
 Conductor::Conductor(OhmMetre rho_300k, OhmMetre rho_77k, Kelvin debye_temp)
     : bg_(debye_temp)
 {
-    fatalIf(rho_300k.value() <= 0.0, "rho(300K) must be positive");
-    fatalIf(rho_77k.value() <= 0.0, "rho(77K) must be positive");
-    fatalIf(rho_77k >= rho_300k,
-            "rho(77K) must be below rho(300K) for a metal");
+    Validator v{"Conductor"};
+    v.positive("rho_300k", rho_300k.value())
+        .positive("rho_77k", rho_77k.value())
+        .require(!(rho_77k >= rho_300k),
+                 "rho(77K) must be below rho(300K) for a metal")
+        .done();
 
     const double f77 = bg_.phononFactor(constants::ln2Temp);
     // Solve [rho_res + f77 * rho_ph = rho77; rho_res + rho_ph = rho300].
     rhoPhonon300_ = (rho_300k - rho_77k) / (1.0 - f77);
     rhoResidual_ = rho_300k - rhoPhonon300_;
-    fatalIf(rhoResidual_.value() < 0.0,
-            "anchors imply negative residual resistivity; "
-            "rho(77K) is below the pure-phonon limit");
+    if (rhoResidual_.value() < 0.0) {
+        CRYO_CONTEXT("validate Conductor");
+        fatal("anchors imply negative residual resistivity; "
+              "rho(77K) is below the pure-phonon limit");
+    }
 }
 
 OhmMetre
 Conductor::resistivity(Kelvin temp) const
 {
+    checkedModelTemp(temp.value(), "conductor resistivity");
     return rhoResidual_ + rhoPhonon300_ * bg_.phononFactor(temp);
 }
 

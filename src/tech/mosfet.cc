@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
-#include "util/log.hh"
+#include "util/diag.hh"
+#include "util/validate.hh"
 
 namespace cryo::tech
 {
@@ -14,24 +16,46 @@ using units::Ohm;
 using units::Second;
 using units::Volt;
 
+void
+MosfetParams::validate() const
+{
+    Validator v{"MosfetParams"};
+    v.positive("nominal.vdd", nominal.vdd)
+        .positive("nominal.vth", nominal.vth)
+        .require(nominal.vdd > nominal.vth,
+                 "nominal Vdd must exceed nominal Vth")
+        .inRightOpen("alpha", alpha, 0.0, 2.0)
+        .inRange("subthresholdN", subthresholdN, 1.0, 3.0)
+        .inRightOpen("dibl", dibl, 0.0, 1.0)
+        .positive("unitResistance300", unitResistance300.value())
+        .positive("unitGateCap", unitGateCap.value())
+        .positive("unitParasiticCap", unitParasiticCap.value())
+        .require(driveGainAnchors.size() >= 2,
+                 "need at least two drive-gain anchors")
+        .require(std::is_sorted(driveGainAnchors.begin(),
+                                driveGainAnchors.end(),
+                                [](const auto &a, const auto &b) {
+                                    return a.first < b.first;
+                                }),
+                 "drive-gain anchors must be sorted by temperature");
+    for (const auto &[anchor_temp, gain] : driveGainAnchors) {
+        v.require(std::isfinite(anchor_temp) && anchor_temp > 0.0,
+                  "anchor temperatures must be finite and positive");
+        v.require(std::isfinite(gain) && gain > 0.0,
+                  "anchor drive gains must be finite and positive");
+    }
+    v.done();
+}
+
 Mosfet::Mosfet(MosfetParams params) : params_(std::move(params))
 {
-    fatalIf(params_.nominal.vdd <= params_.nominal.vth,
-            "nominal Vdd must exceed nominal Vth");
-    fatalIf(params_.driveGainAnchors.size() < 2,
-            "need at least two drive-gain anchors");
-    fatalIf(!std::is_sorted(params_.driveGainAnchors.begin(),
-                            params_.driveGainAnchors.end(),
-                            [](const auto &a, const auto &b) {
-                                return a.first < b.first;
-                            }),
-            "drive-gain anchors must be sorted by temperature");
+    params_.validate();
 }
 
 double
 Mosfet::driveGain(Kelvin temp) const
 {
-    const double temp_k = temp.value();
+    const double temp_k = checkedModelTemp(temp.value(), "mosfet drive gain");
     const auto &a = params_.driveGainAnchors;
     if (temp_k <= a.front().first)
         return a.front().second;
@@ -67,7 +91,13 @@ Mosfet::voltageSpeed(Kelvin temp, const VoltagePoint &v) const
     // only appears explicitly in the leakage model); the exponent was
     // fitted against the paper's Vdd/Vth-scaled frequency anchors.
     const double overdrive = v.vdd - v.vth;
-    fatalIf(overdrive <= 0.0, "Vdd must exceed Vth");
+    if (!(std::isfinite(overdrive) && overdrive > 0.0 && v.vdd > 0.0)) {
+        CRYO_CONTEXT("mosfet voltage speed");
+        std::ostringstream os;
+        os << "Vdd must exceed Vth and both be finite (vdd=" << v.vdd
+           << ", vth=" << v.vth << ")";
+        fatal(os.str());
+    }
     return std::pow(overdrive, alpha(temp)) / v.vdd;
 }
 

@@ -87,6 +87,14 @@ struct MosfetParams
         {4.0, 1.100}, {50.0, 1.088}, {77.0, 1.080}, {100.0, 1.078},
         {135.0, 1.075}, {200.0, 1.050}, {250.0, 1.020}, {300.0, 1.000},
     };
+
+    /**
+     * Range/consistency validation (finite positive voltages with
+     * Vdd > Vth, physical exponents, sorted positive-gain anchors);
+     * throws cryo::FatalError naming every offending field. Called by
+     * the Mosfet constructor.
+     */
+    void validate() const;
 };
 
 /**

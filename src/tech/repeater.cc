@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::tech
 {

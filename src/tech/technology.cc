@@ -3,7 +3,7 @@
 #include <cmath>
 #include <vector>
 
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
 
 namespace cryo::tech

@@ -1,6 +1,7 @@
 #include "wire_geometry.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
+#include "util/validate.hh"
 
 namespace cryo::tech
 {
@@ -25,9 +26,11 @@ WireSpec::WireSpec(WireLayer layer, units::Metre width,
     : layer_(layer), width_(width), thickness_(thickness),
       capPerM_(cap_per_m), conductor_(conductor)
 {
-    fatalIf(width.value() <= 0.0, "wire width must be positive");
-    fatalIf(thickness.value() <= 0.0, "wire thickness must be positive");
-    fatalIf(cap_per_m.value() <= 0.0, "wire capacitance must be positive");
+    Validator v{"WireSpec"};
+    v.positive("width", width.value())
+        .positive("thickness", thickness.value())
+        .positive("cap_per_m", cap_per_m.value())
+        .done();
 }
 
 units::OhmPerMetre

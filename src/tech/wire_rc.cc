@@ -1,6 +1,6 @@
 #include "wire_rc.hh"
 
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::tech
 {

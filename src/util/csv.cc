@@ -3,7 +3,7 @@
 #include <sstream>
 
 #include "json.hh"
-#include "log.hh"
+#include "diag.hh"
 
 namespace cryo
 {

@@ -5,7 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
-#include "log.hh"
+#include "diag.hh"
 
 namespace cryo
 {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "log.hh"
+#include "diag.hh"
 
 namespace cryo
 {

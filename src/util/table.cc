@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
-#include "log.hh"
+#include "diag.hh"
 
 namespace cryo
 {

@@ -3,7 +3,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "log.hh"
+#include "diag.hh"
 
 namespace cryo
 {

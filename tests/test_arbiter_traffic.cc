@@ -10,7 +10,7 @@
 
 #include "netsim/arbiter.hh"
 #include "netsim/traffic.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {

@@ -9,7 +9,7 @@
 #include "netsim/bus_net.hh"
 #include "netsim/load_latency.hh"
 #include "noc/noc_config.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {

@@ -16,7 +16,7 @@
 #include "exp/registry.hh"
 #include "exp/runner.hh"
 #include "exp/sinks.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace cryo::exp
 {
@@ -199,8 +199,119 @@ TEST(Runner, ParallelJsonIsByteIdenticalToSerial)
 
     const std::string serial = render(1);
     EXPECT_EQ(serial, render(4));
-    EXPECT_NE(serial.find("cryowire-results-v1"), std::string::npos);
+    EXPECT_NE(serial.find("cryowire-results-v2"), std::string::npos);
     EXPECT_NE(serial.find("fig05-wire-speedup"), std::string::npos);
+}
+
+// --- Runner failure isolation -----------------------------------------
+
+void
+healthyRun(const Context &, ExperimentResult &r)
+{
+    r.anchored("healthy-metric", 1.0, 1.0, 0.0);
+    r.verdict("healthy sibling ran to completion");
+}
+
+void
+throwingRun(const Context &, ExperimentResult &r)
+{
+    r.metric("partial-metric", 42.0);
+    CRYO_CONTEXT("inner model step");
+    fatal("injected failure");
+}
+
+Registry
+syntheticRegistry()
+{
+    Registry reg;
+    reg.add({"exp-healthy", "Healthy experiment", "always passes",
+             {"synthetic"}, &healthyRun});
+    reg.add({"exp-throwing", "Throwing experiment", "always throws",
+             {"synthetic"}, &throwingRun});
+    return reg;
+}
+
+TEST(Runner, ThrowingExperimentIsIsolated)
+{
+    const Registry reg = syntheticRegistry();
+    RunOptions opts;
+    opts.quiet = true;
+    const auto records = runExperiments(reg, opts);
+    ASSERT_EQ(records.size(), 2u);
+
+    // The sibling ran to completion despite the throw.
+    EXPECT_FALSE(records[0].failed);
+    EXPECT_EQ(records[0].result.failedAnchors(), 0u);
+    EXPECT_EQ(records[0].result.verdict(),
+              "healthy sibling ran to completion");
+
+    // The throw was captured, not propagated.
+    EXPECT_TRUE(records[1].failed);
+    EXPECT_EQ(records[1].error, "injected failure");
+    ASSERT_EQ(records[1].errorContext.size(), 2u);
+    EXPECT_EQ(records[1].errorContext[0], "experiment exp-throwing");
+    EXPECT_EQ(records[1].errorContext[1], "inner model step");
+    // Whatever the experiment recorded before dying is preserved.
+    ASSERT_EQ(records[1].result.metrics().size(), 1u);
+    EXPECT_EQ(records[1].result.metrics()[0].name, "partial-metric");
+}
+
+TEST(Runner, FailedExperimentLandsInJsonAsFailedStatus)
+{
+    const Registry reg = syntheticRegistry();
+    RunOptions opts;
+    opts.quiet = true;
+    const auto records = runExperiments(reg, opts);
+
+    std::ostringstream os;
+    writeJson(os, records, opts.seed);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("cryowire-results-v2"), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(json.find("\"status\": \"failed\""), std::string::npos);
+    EXPECT_NE(json.find("injected failure"), std::string::npos);
+    EXPECT_NE(json.find("experiment exp-throwing"), std::string::npos);
+    EXPECT_NE(json.find("\"experiments_failed\": 1"),
+              std::string::npos);
+    // The healthy sibling's anchor still counts; the dead one's
+    // partial metrics do not.
+    EXPECT_NE(json.find("\"total\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"failed\": 0"), std::string::npos);
+}
+
+TEST(Runner, FailedExperimentFailsTheGate)
+{
+    const Registry reg = syntheticRegistry();
+    RunOptions opts;
+    opts.quiet = true;
+    const auto records = runExperiments(reg, opts);
+
+    std::ostringstream sum;
+    EXPECT_EQ(renderAnchorSummary(sum, records), 1u);
+    EXPECT_NE(sum.str().find("EXPERIMENT FAILED  exp-throwing"),
+              std::string::npos);
+    EXPECT_NE(sum.str().find("inner model step"), std::string::npos);
+    EXPECT_NE(sum.str().find("experiments failed: 1"),
+              std::string::npos);
+
+    const std::string text = renderText(records[1]);
+    EXPECT_NE(text.find("EXPERIMENT FAILED"), std::string::npos);
+    EXPECT_NE(text.find("injected failure"), std::string::npos);
+}
+
+TEST(Runner, ParallelFailureIsDeterministic)
+{
+    const Registry reg = syntheticRegistry();
+    const auto render = [&](int jobs) {
+        RunOptions o;
+        o.quiet = true;
+        o.jobs = jobs;
+        const auto records = runExperiments(reg, o);
+        std::ostringstream os;
+        writeJson(os, records, o.seed);
+        return os.str();
+    };
+    EXPECT_EQ(render(1), render(4));
 }
 
 TEST(Runner, AnchorSummaryReportsMisses)

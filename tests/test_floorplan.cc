@@ -8,7 +8,7 @@
 #include <cmath>
 
 #include "pipeline/floorplan.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
 
 namespace

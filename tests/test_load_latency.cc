@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "netsim/bus_net.hh"
@@ -12,7 +13,7 @@
 #include "netsim/load_latency.hh"
 #include "netsim/router_net.hh"
 #include "noc/noc_config.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {
@@ -76,6 +77,70 @@ TEST(LoadLatency, SaturationRateMatchesOccupancy)
     const double sat =
         saturationRate(cryoBusFactory(), tr, 0.05, 0.002, fastOpts());
     EXPECT_NEAR(sat, 1.0 / 64.0, 0.003);
+}
+
+TEST(LoadLatency, SaturationRateRejectsBadBracketOrTolerance)
+{
+    TrafficSpec tr;
+    // hi must be a valid injection rate: finite, positive, below 1.
+    EXPECT_THROW(
+        saturationRate(cryoBusFactory(), tr, -0.1, 0.002, fastOpts()),
+        FatalError);
+    EXPECT_THROW(
+        saturationRate(cryoBusFactory(), tr, 0.0, 0.002, fastOpts()),
+        FatalError);
+    EXPECT_THROW(
+        saturationRate(cryoBusFactory(), tr, 1.0, 0.002, fastOpts()),
+        FatalError);
+    EXPECT_THROW(
+        saturationRate(cryoBusFactory(), tr, 0.05, 0.0, fastOpts()),
+        FatalError);
+    EXPECT_THROW(
+        saturationRate(cryoBusFactory(), tr, 0.05, -0.01, fastOpts()),
+        FatalError);
+}
+
+TEST(LoadLatency, SaturationRateReturnsHiWhenBracketNeverSaturates)
+{
+    // hi = 0.005 is well below the 1/64 grant bound: the bracket holds
+    // no saturation crossing, so the bisection reports hi itself
+    // instead of bisecting toward a fiction.
+    TrafficSpec tr;
+    const double sat = saturationRate(cryoBusFactory(), tr, 0.005,
+                                      0.002, fastOpts());
+    EXPECT_DOUBLE_EQ(sat, 0.005);
+}
+
+TEST(LoadLatency, SaturationRateAlwaysSaturatedReturnsZero)
+{
+    // A bus whose broadcast occupies the medium for 10^5 cycles
+    // delivers essentially nothing inside the window, so every probed
+    // rate starves; the bisection must degrade to 0, not hang or
+    // return a tolerance-sized artifact as a real bandwidth.
+    BusTiming t;
+    t.broadcastCycles = 100000;
+    auto factory = [t]() -> std::unique_ptr<Network> {
+        return std::make_unique<BusNetwork>(64, t);
+    };
+    TrafficSpec tr;
+    const double sat = saturationRate(factory, tr, 0.5, 0.01,
+                                      fastOpts());
+    EXPECT_DOUBLE_EQ(sat, 0.0);
+}
+
+TEST(LoadLatency, SweepRejectsInvalidRates)
+{
+    TrafficSpec tr;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(
+        sweepLoadLatency(cryoBusFactory(), tr, {0.001, nan}, fastOpts()),
+        FatalError);
+    EXPECT_THROW(
+        sweepLoadLatency(cryoBusFactory(), tr, {-0.2}, fastOpts()),
+        FatalError);
+    EXPECT_THROW(
+        sweepLoadLatency(cryoBusFactory(), tr, {1.0}, fastOpts()),
+        FatalError);
 }
 
 TEST(LoadLatency, InterleavingDoublesSaturation)

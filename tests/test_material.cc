@@ -7,7 +7,7 @@
 
 #include "tech/material.hh"
 #include "util/units.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {

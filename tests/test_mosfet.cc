@@ -8,7 +8,7 @@
 
 #include "tech/mosfet.hh"
 #include "util/units.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {
@@ -42,10 +42,15 @@ TEST_F(MosfetTest, DriveGainMonotoneOnCooling)
     }
 }
 
-TEST_F(MosfetTest, DriveGainClampedOutsideAnchors)
+TEST_F(MosfetTest, DriveGainClampedAboveAnchorsWithinDomain)
 {
+    // Above the 300 K anchor the gain clamps at 1.0 up to the model
+    // validity ceiling; outside the calibrated window [4, 400] K the
+    // query is a domain error, not an extrapolation.
     EXPECT_DOUBLE_EQ(m.driveGain(400.0_K), 1.0);
-    EXPECT_DOUBLE_EQ(m.driveGain(1.0_K), m.driveGain(4.0_K));
+    EXPECT_DOUBLE_EQ(m.driveGain(4.0_K), m.driveGain(4.0_K));
+    EXPECT_THROW(m.driveGain(1.0_K), cryo::FatalError);
+    EXPECT_THROW(m.driveGain(450.0_K), cryo::FatalError);
 }
 
 TEST_F(MosfetTest, NominalDelayIsInverseGain)

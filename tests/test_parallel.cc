@@ -17,7 +17,7 @@
 #include "netsim/load_latency.hh"
 #include "noc/noc_config.hh"
 #include "tech/technology.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"

@@ -10,7 +10,7 @@
 #include "power/cooling.hh"
 #include "power/mcpat_lite.hh"
 #include "power/orion_lite.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {

@@ -11,7 +11,7 @@
 #include "netsim/load_latency.hh"
 #include "netsim/router_net.hh"
 #include "noc/noc_config.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/rng.hh"
 
 namespace
@@ -214,7 +214,7 @@ TEST(RouterNet, SaturationOrderingAcrossTopologies)
                 return std::make_unique<RouterNetwork>(
                     RouterNetConfig::fromConfig(cfg));
             },
-            tr, 1.0, 0.01, fast);
+            tr, 0.995, 0.01, fast);
     };
     const double mesh = sat(designer.mesh(77.0, 1));
     const double cmesh = sat(designer.cmesh(77.0, 1));

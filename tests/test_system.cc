@@ -14,7 +14,7 @@
 #include "pipeline/stage_library.hh"
 #include "pipeline/superpipeline.hh"
 #include "sys/workload.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {

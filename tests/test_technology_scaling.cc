@@ -8,7 +8,7 @@
 #include "pipeline/stage_library.hh"
 #include "pipeline/superpipeline.hh"
 #include "tech/technology.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
 
 namespace

@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "noc/topology.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {

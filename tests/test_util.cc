@@ -16,11 +16,13 @@
 
 #include "util/csv.hh"
 #include "util/json.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
 #include "util/units.hh"
+#include "util/validate.hh"
 
 namespace
 {
@@ -279,6 +281,132 @@ TEST(Log, FatalThrows)
     EXPECT_THROW(fatal("boom"), FatalError);
     EXPECT_THROW(fatalIf(true, "boom"), FatalError);
     EXPECT_NO_THROW(fatalIf(false, "fine"));
+}
+
+TEST(Diag, FatalCarriesContextChain)
+{
+    try {
+        CRYO_CONTEXT("outer frame");
+        CRYO_CONTEXT("inner frame");
+        fatal("with context");
+        FAIL() << "fatal must throw";
+    } catch (const FatalError &e) {
+        EXPECT_EQ(e.message(), "with context");
+        ASSERT_EQ(e.context().size(), 2u);
+        EXPECT_EQ(e.context()[0], "outer frame");
+        EXPECT_EQ(e.context()[1], "inner frame");
+        // what() renders message + chain for uncaught-exception dumps.
+        const std::string what = e.what();
+        EXPECT_NE(what.find("with context"), std::string::npos);
+        EXPECT_NE(what.find("inner frame"), std::string::npos);
+    }
+    // The scopes unwound with the throw: a later error is clean.
+    try {
+        fatal("no frames");
+    } catch (const FatalError &e) {
+        EXPECT_TRUE(e.context().empty());
+    }
+}
+
+TEST(Diag, WarnDedupsPerCallSite)
+{
+    diag::resetWarnings();
+    for (int i = 0; i < 5; ++i)
+        warn("repeated diagnostic (dedup test)");
+    auto s = diag::warnStats();
+    EXPECT_EQ(s.emitted, 1u);
+    EXPECT_EQ(s.suppressed, 4u);
+
+    warn("distinct call site (dedup test)");
+    s = diag::warnStats();
+    EXPECT_EQ(s.emitted, 2u);
+    EXPECT_EQ(s.suppressed, 4u);
+    diag::resetWarnings();
+}
+
+TEST(Diag, WarnIsThreadSafe)
+{
+    diag::resetWarnings();
+    ParallelOptions par;
+    par.jobs = 8;
+    par.chunk = 1;
+    parallelFor(
+        64, [](std::size_t) { warn("hammered from the pool"); }, par);
+    const auto s = diag::warnStats();
+    EXPECT_EQ(s.emitted, 1u);
+    EXPECT_EQ(s.suppressed, 63u);
+    diag::resetWarnings();
+}
+
+TEST(Diag, CheckFiniteReturnsValueOrThrows)
+{
+    EXPECT_DOUBLE_EQ(CRYO_CHECK_FINITE(2.5), 2.5);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(CRYO_CHECK_FINITE(nan), FatalError);
+    EXPECT_THROW(CRYO_CHECK_FINITE(inf), FatalError);
+    try {
+        CRYO_CONTEXT("finite-check frame");
+        CRYO_CHECK_FINITE(nan * 2.0);
+        FAIL() << "must throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(e.message().find("non-finite model output"),
+                  std::string::npos);
+        ASSERT_FALSE(e.context().empty());
+        EXPECT_EQ(e.context().back(), "finite-check frame");
+    }
+}
+
+TEST(Validate, AccumulatesEveryOffence)
+{
+    Validator v{"Widget"};
+    v.positive("a", -1.0)
+        .inRange("b", 5.0, 0.0, 1.0)
+        .inRightOpen("c", 1.0, 0.0, 1.0)
+        .atLeast("n", 0, 1)
+        .temperature("tempK", 1000.0)
+        .require(false, "cross-field rule violated");
+    EXPECT_FALSE(v.ok());
+    EXPECT_EQ(v.errors().size(), 6u);
+    try {
+        v.done();
+        FAIL() << "done() must throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(e.message().find("invalid Widget"),
+                  std::string::npos);
+        EXPECT_NE(e.message().find("cross-field rule violated"),
+                  std::string::npos);
+        ASSERT_FALSE(e.context().empty());
+        EXPECT_EQ(e.context().back(), "validate Widget");
+    }
+}
+
+TEST(Validate, CleanValidatorIsSilent)
+{
+    Validator v{"Widget"};
+    v.positive("a", 1.0)
+        .nonNegative("b", 0.0)
+        .inRange("c", 0.5, 0.0, 1.0)
+        .inRightOpen("d", 0.0, 0.0, 1.0)
+        .atLeast("n", 1, 1)
+        .finite("e", -3.0)
+        .temperature("tempK", 77.0)
+        .require(true, "holds");
+    EXPECT_TRUE(v.ok());
+    EXPECT_NO_THROW(v.done());
+}
+
+TEST(Validate, CheckedModelTempGuardsTheWindow)
+{
+    EXPECT_DOUBLE_EQ(checkedModelTemp(77.0, "test query"), 77.0);
+    EXPECT_DOUBLE_EQ(checkedModelTemp(kMinModelTempK, "edge"),
+                     kMinModelTempK);
+    EXPECT_DOUBLE_EQ(checkedModelTemp(kMaxModelTempK, "edge"),
+                     kMaxModelTempK);
+    EXPECT_THROW(checkedModelTemp(1.0, "too cold"), FatalError);
+    EXPECT_THROW(checkedModelTemp(500.0, "too hot"), FatalError);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(checkedModelTemp(nan, "not a number"), FatalError);
 }
 
 TEST(Table, FormattersEdgeCases)

@@ -9,7 +9,7 @@
 #include "core/system_builder.hh"
 #include "core/voltage_optimizer.hh"
 #include "tech/technology.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 
 namespace
 {

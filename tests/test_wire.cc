@@ -11,7 +11,7 @@
 #include "tech/repeater.hh"
 #include "tech/technology.hh"
 #include "tech/wire_rc.hh"
-#include "util/log.hh"
+#include "util/diag.hh"
 #include "util/units.hh"
 
 namespace

@@ -5,6 +5,7 @@
 #                            + unit-parameter lint (+ clang-tidy and
 #                            clang-format when installed)
 #   tools/check.sh --asan    the same build/tests under ASan+UBSan
+#   tools/check.sh --ubsan   the same build/tests under UBSan alone
 #   tools/check.sh --tsan    the same build/tests under TSan
 #
 # clang-tidy and clang-format are optional: when absent the step is
@@ -23,13 +24,17 @@ case "$MODE" in
         BUILD_DIR="$ROOT/build-check-asan"
         CMAKE_ARGS+=(-DCRYOWIRE_ASAN=ON)
         ;;
+    --ubsan)
+        BUILD_DIR="$ROOT/build-check-ubsan"
+        CMAKE_ARGS+=(-DCRYOWIRE_UBSAN=ON)
+        ;;
     --tsan)
         BUILD_DIR="$ROOT/build-check-tsan"
         CMAKE_ARGS+=(-DCRYOWIRE_TSAN=ON)
         ;;
     "") ;;
     *)
-        echo "usage: $0 [--asan|--tsan]" >&2
+        echo "usage: $0 [--asan|--ubsan|--tsan]" >&2
         exit 2
         ;;
 esac

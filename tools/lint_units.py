@@ -1,13 +1,25 @@
 #!/usr/bin/env python3
-"""Flag raw-double unit parameters in the typed model layers.
+"""Static checks for the typed model layers.
 
-The dimensional-analysis layer (src/util/units.hh) makes the tech and
-power layers exchange typed quantities.  This checker keeps that
-boundary from eroding: any *new* function parameter in a src/tech,
-src/power, or src/exp header that is a plain ``double`` but named like a physical
-quantity (``temp_k``, ``len_m``, ``freq_hz``, ``power_w``) is an error -
-it should be ``units::Kelvin``, ``units::Metre``, ``units::Hertz``, or
-``units::Watt`` instead.
+Two checkers run over the source tree:
+
+1. Raw-double unit parameters.  The dimensional-analysis layer
+   (src/util/units.hh) makes the tech and power layers exchange typed
+   quantities.  This checker keeps that boundary from eroding: any
+   *new* function parameter in a src/tech, src/power, or src/exp
+   header that is a plain ``double`` but named like a physical
+   quantity (``temp_k``, ``len_m``, ``freq_hz``, ``power_w``) is an
+   error - it should be ``units::Kelvin``, ``units::Metre``,
+   ``units::Hertz``, or ``units::Watt`` instead.
+
+2. Untyped error handling.  Model code reports invalid inputs through
+   the typed diagnostics in src/util/diag.hh (``fatal`` throws a
+   ``cryo::FatalError`` carrying the CRYO_CONTEXT chain; ``panic``
+   aborts on internal invariant breaks).  Calling ``std::abort``,
+   ``std::exit``, or throwing a raw ``std::runtime_error`` /
+   ``std::logic_error`` from src/ bypasses both the fault-tolerant
+   runner and the fault-injection harness, so any such call outside
+   diag.{hh,cc} itself is an error.
 
 Usage: tools/lint_units.py [--root DIR]
 
@@ -38,6 +50,24 @@ PARAM_RE = re.compile(
 
 CHECKED_DIRS = ("src/tech", "src/power", "src/exp")
 
+# Error-handling escapes that bypass the typed diagnostics layer.  The
+# model must throw cryo::FatalError (via fatal/fatalIf) for bad input
+# and cryo::panic for broken invariants; anything below kills the
+# fault-tolerant runner or loses the CRYO_CONTEXT chain.
+ESCAPE_RES = {
+    re.compile(r"\bstd::abort\s*\("): "use cryo::panic() instead of "
+    "std::abort()",
+    re.compile(r"\b(?:std::)?exit\s*\("): "model code must not call "
+    "exit(); throw via cryo::fatal() and let the runner decide",
+    re.compile(
+        r"\bthrow\s+std::(?:runtime_error|logic_error)\b"
+    ): "throw cryo::FatalError via cryo::fatal() so the context "
+    "chain and runner isolation work",
+}
+
+# panic()'s abort lives in the diagnostics layer itself.
+ESCAPE_EXEMPT = ("src/util/diag.hh", "src/util/diag.cc")
+
 
 def strip_comments(text: str) -> str:
     """Blank out // and /* */ comments, preserving line numbers."""
@@ -64,6 +94,16 @@ def check_file(path: pathlib.Path) -> list[str]:
     return offences
 
 
+def check_error_escapes(path: pathlib.Path) -> list[str]:
+    offences = []
+    lines = strip_comments(path.read_text()).splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        for pattern, fix in ESCAPE_RES.items():
+            if pattern.search(line):
+                offences.append(f"{path}:{lineno}: {fix}")
+    return offences
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -80,12 +120,19 @@ def main() -> int:
         for path in sorted((args.root / rel).rglob("*.hh")):
             offences.extend(check_file(path))
 
+    for ext in ("*.hh", "*.cc"):
+        for path in sorted((args.root / "src").rglob(ext)):
+            rel = path.relative_to(args.root).as_posix()
+            if rel in ESCAPE_EXEMPT:
+                continue
+            offences.extend(check_error_escapes(path))
+
     for offence in offences:
         print(offence)
     if offences:
         print(
-            f"lint_units: {len(offences)} raw-double unit parameter(s) "
-            "in checked headers (src/tech, src/power, src/exp)",
+            f"lint_units: {len(offences)} offence(s): raw-double unit "
+            "parameters or untyped error-handling escapes in src/",
             file=sys.stderr,
         )
         return 1
