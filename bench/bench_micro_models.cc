@@ -1,24 +1,31 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the analytic model kernels:
- * repeater optimization, critical-path evaluation, superpipelining,
- * and a full interval-simulation run.
+ * Microbenchmarks of the analytic model kernels, scalar vs batched:
+ * drive delay factors, distributed-RC wire delay, the repeater
+ * search, the critical-path voltage sweep, and conductor resistivity,
+ * plus a full interval-simulation run for scale.  Emits the
+ * cryowire-bench/1 JSON consumed by tools/bench_gate.py.
  */
 
-#include <benchmark/benchmark.h>
+#include <vector>
 
 #include "core/system_builder.hh"
 #include "pipeline/stage_library.hh"
-#include "pipeline/superpipeline.hh"
 #include "sys/interval_sim.hh"
 #include "sys/workload.hh"
+#include "tech/material.hh"
+#include "tech/repeater.hh"
 #include "tech/technology.hh"
+#include "tech/wire_rc.hh"
 #include "util/units.hh"
+
+#include "micro_common.hh"
 
 namespace
 {
 
 using namespace cryo;
+using micro::keep;
 
 const tech::Technology &
 technology()
@@ -27,77 +34,137 @@ technology()
     return t;
 }
 
-void
-BM_RepeaterOptimize(benchmark::State &state)
+/** A margin-feasible (vdd, vth) grid, the voltage-optimizer shape. */
+std::vector<tech::VoltagePoint>
+voltageGrid(std::size_t n)
 {
-    using namespace units;
-    const Metre len = static_cast<double>(state.range(0)) * mm;
-    tech::RepeateredWire rep{
-        technology().wire(tech::WireLayer::Global),
-        technology().mosfet()};
-    for (auto _ : state)
-        benchmark::DoNotOptimize(rep.optimize(len, constants::ln2Temp));
-}
-BENCHMARK(BM_RepeaterOptimize)->Arg(2)->Arg(6)->Arg(20);
-
-void
-BM_CriticalPath(benchmark::State &state)
-{
-    pipeline::CriticalPathModel model{technology(),
-                                      pipeline::Floorplan::skylakeLike()};
-    const auto stages = pipeline::boomSkylakeStages();
-    for (auto _ : state)
-        benchmark::DoNotOptimize(model.maxDelay(stages, constants::ln2Temp));
-}
-BENCHMARK(BM_CriticalPath);
-
-void
-BM_SuperpipelinePlan(benchmark::State &state)
-{
-    pipeline::CriticalPathModel model{technology(),
-                                      pipeline::Floorplan::skylakeLike()};
-    pipeline::Superpipeliner sp{model};
-    const auto stages = pipeline::boomSkylakeStages();
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sp.plan(stages, constants::ln2Temp));
-}
-BENCHMARK(BM_SuperpipelinePlan);
-
-void
-BM_IntervalSimRun(benchmark::State &state)
-{
-    core::SystemBuilder builder{technology()};
-    sys::IntervalSimulator sim;
-    const auto design = builder.cryoSpCryoBus77();
-    const auto suite = sys::parsec21();
-    std::size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            sim.run(design, suite[i % suite.size()]));
-        ++i;
+    std::vector<tech::VoltagePoint> vs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u =
+            static_cast<double>(i) / static_cast<double>(n - 1);
+        vs[i].vdd = 0.65 + 0.65 * u;
+        vs[i].vth = 0.15 + 0.30 * static_cast<double>(i % 16) / 15.0;
     }
-    state.SetItemsProcessed(state.iterations());
+    return vs;
 }
-BENCHMARK(BM_IntervalSimRun);
-
-void
-BM_FullParsecEvaluation(benchmark::State &state)
-{
-    core::SystemBuilder builder{technology()};
-    sys::IntervalSimulator sim;
-    const auto designs = builder.table4Systems();
-    const auto suite = sys::parsec21();
-    for (auto _ : state) {
-        double acc = 0.0;
-        for (const auto &d : designs) {
-            for (const auto &w : suite)
-                acc += sim.run(d, w).timePerInstr;
-        }
-        benchmark::DoNotOptimize(acc);
-    }
-}
-BENCHMARK(BM_FullParsecEvaluation);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    using namespace units;
+    micro::Harness h{"micro_models", argc, argv};
+    const Kelvin temp = constants::ln2Temp;
+    const auto &mosfet = technology().mosfet();
+
+    {
+        const auto vs = voltageGrid(512);
+        std::vector<double> out(vs.size());
+        const double scalar = h.time(vs.size(), [&] {
+            for (std::size_t i = 0; i < vs.size(); ++i)
+                out[i] = mosfet.delayFactor(temp, vs[i]);
+            keep(out);
+        });
+        const double batch = h.time(vs.size(), [&] {
+            mosfet.delayFactorBatch({&temp, 1}, vs, out);
+            keep(out);
+        });
+        h.record("mosfet_delay_factor", vs.size(), scalar, batch);
+    }
+
+    {
+        tech::WireRC rc{technology().wire(tech::WireLayer::SemiGlobal),
+                        mosfet};
+        const tech::VoltagePoint v = mosfet.params().nominal;
+        std::vector<Metre> lengths(512);
+        for (std::size_t i = 0; i < lengths.size(); ++i)
+            lengths[i] = (50.0 + 10.0 * static_cast<double>(i)) * um;
+        std::vector<Second> out(lengths.size());
+        const double scalar = h.time(lengths.size(), [&] {
+            for (std::size_t i = 0; i < lengths.size(); ++i)
+                out[i] = rc.delay(lengths[i], temp, v);
+            keep(out);
+        });
+        const double batch = h.time(lengths.size(), [&] {
+            rc.delayBatch(lengths, temp, v, out);
+            keep(out);
+        });
+        h.record("wire_rc_delay", lengths.size(), scalar, batch);
+    }
+
+    {
+        tech::RepeateredWire rep{technology().wire(tech::WireLayer::Global),
+                                 mosfet};
+        const tech::VoltagePoint v = mosfet.params().nominal;
+        std::vector<Metre> lengths(64);
+        for (std::size_t i = 0; i < lengths.size(); ++i)
+            lengths[i] = (1.0 + 0.3 * static_cast<double>(i)) * mm;
+        std::vector<tech::RepeaterDesign> out(lengths.size());
+        const double scalar = h.time(lengths.size(), [&] {
+            for (std::size_t i = 0; i < lengths.size(); ++i)
+                out[i] = rep.optimize(lengths[i], temp, v);
+            keep(out);
+        });
+        const double batch = h.time(lengths.size(), [&] {
+            rep.optimizeBatch(lengths, temp, v, out);
+            keep(out);
+        });
+        h.record("repeater_optimize", lengths.size(), scalar, batch);
+    }
+
+    {
+        pipeline::CriticalPathModel model{
+            technology(), pipeline::Floorplan::skylakeLike()};
+        const auto stages = pipeline::boomSkylakeStages();
+        const auto vs = voltageGrid(256);
+        std::vector<double> out(vs.size());
+        const double scalar = h.time(vs.size(), [&] {
+            for (std::size_t i = 0; i < vs.size(); ++i)
+                out[i] = model.maxDelay(stages, temp, vs[i]);
+            keep(out);
+        });
+        const double batch = h.time(vs.size(), [&] {
+            model.maxDelayBatch(stages, temp, vs, out);
+            keep(out);
+        });
+        h.record("critical_path_max_delay", vs.size(), scalar, batch);
+    }
+
+    {
+        tech::Conductor cu(OhmMetre{2.8e-8}, OhmMetre{0.759e-8},
+                           Kelvin{343.0});
+        std::vector<Kelvin> temps(512);
+        for (std::size_t i = 0; i < temps.size(); ++i)
+            temps[i] =
+                Kelvin{4.0 + 0.7 * static_cast<double>(i)};
+        std::vector<OhmMetre> out(temps.size());
+        const double scalar = h.time(temps.size(), [&] {
+            for (std::size_t i = 0; i < temps.size(); ++i)
+                out[i] = cu.resistivity(temps[i]);
+            keep(out);
+        });
+        const double batch = h.time(temps.size(), [&] {
+            cu.resistivityBatch(temps, out);
+            keep(out);
+        });
+        h.record("conductor_resistivity", temps.size(), scalar, batch);
+    }
+
+    {
+        core::SystemBuilder builder{technology()};
+        sys::IntervalSimulator sim;
+        const auto design = builder.cryoSpCryoBus77();
+        const auto suite = sys::parsec21();
+        const double scalar = h.time(suite.size(), [&] {
+            for (const auto &w : suite)
+                keep(sim.run(design, w));
+        });
+        const double batch = h.time(suite.size(), [&] {
+            keep(sim.runSuite(design, suite));
+        });
+        h.record("interval_sim_parsec", suite.size(), scalar, batch);
+    }
+
+    return h.finish();
+}

@@ -1,10 +1,14 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the cycle-accurate simulator
- * kernels: bus stepping, router stepping, and arbitration.
+ * Microbenchmarks of the cycle-accurate simulator kernels: bus
+ * stepping, router stepping, arbitration, and traffic generation.
+ * These exercise the arena-backed queue paths; there is no separate
+ * batch variant, so the gate tracks scalar ns/op only.  Emits the
+ * cryowire-bench/1 JSON consumed by tools/bench_gate.py.
  */
 
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
 #include "netsim/arbiter.hh"
 #include "netsim/bus_net.hh"
@@ -13,11 +17,14 @@
 #include "noc/noc_config.hh"
 #include "tech/technology.hh"
 
+#include "micro_common.hh"
+
 namespace
 {
 
 using namespace cryo;
 using namespace cryo::netsim;
+using micro::keep;
 
 const noc::NocDesigner &
 designer()
@@ -28,67 +35,76 @@ designer()
 }
 
 void
-BM_BusStep(benchmark::State &state)
+benchBusStep(micro::Harness &h, double rate)
 {
-    const double rate = static_cast<double>(state.range(0)) / 1000.0;
     BusNetwork net(64, BusTiming::fromConfig(designer().cryoBus(), 1));
     TrafficSpec tr;
     tr.injectionRate = rate;
     TrafficGenerator gen(64, tr);
-    for (auto _ : state) {
+    const double ns = h.time(64, [&] {
         for (const Packet &p : gen.tick(net.now()))
             net.inject(p);
         net.step();
         net.delivered().clear();
-    }
-    state.SetItemsProcessed(state.iterations() * 64);
+        keep(net);
+    });
+    h.record("bus_step/rate=" + std::to_string(rate).substr(0, 5), 64,
+             ns);
 }
-BENCHMARK(BM_BusStep)->Arg(1)->Arg(10)->Arg(15);
 
 void
-BM_MeshStep(benchmark::State &state)
+benchMeshStep(micro::Harness &h, double rate)
 {
-    const double rate = static_cast<double>(state.range(0)) / 1000.0;
     RouterNetwork net(
         RouterNetConfig::fromConfig(designer().mesh(77.0, 1)));
     TrafficSpec tr;
     tr.injectionRate = rate;
     TrafficGenerator gen(64, tr);
-    for (auto _ : state) {
+    const double ns = h.time(64, [&] {
         for (const Packet &p : gen.tick(net.now()))
             net.inject(p);
         net.step();
         net.delivered().clear();
-    }
-    state.SetItemsProcessed(state.iterations() * 64);
+        keep(net);
+    });
+    h.record("mesh_step/rate=" + std::to_string(rate).substr(0, 5), 64,
+             ns);
 }
-BENCHMARK(BM_MeshStep)->Arg(10)->Arg(100)->Arg(300);
 
 void
-BM_MatrixArbiter(benchmark::State &state)
+benchArbiter(micro::Harness &h, int n)
 {
-    const int n = static_cast<int>(state.range(0));
     MatrixArbiter arb(n);
     std::vector<bool> req(static_cast<std::size_t>(n), true);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(arb.arbitrate(req));
-    state.SetItemsProcessed(state.iterations());
+    const double ns = h.time(1, [&] { keep(arb.arbitrate(req)); });
+    h.record("matrix_arbiter/n=" + std::to_string(n), 1, ns);
 }
-BENCHMARK(BM_MatrixArbiter)->Arg(16)->Arg(64)->Arg(256);
-
-void
-BM_TrafficTick(benchmark::State &state)
-{
-    TrafficSpec tr;
-    tr.injectionRate = 0.05;
-    TrafficGenerator gen(64, tr);
-    Cycle c = 0;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(gen.tick(c++));
-    state.SetItemsProcessed(state.iterations() * 64);
-}
-BENCHMARK(BM_TrafficTick);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    micro::Harness h{"micro_netsim", argc, argv};
+
+    benchBusStep(h, 0.001);
+    benchBusStep(h, 0.010);
+    benchBusStep(h, 0.015);
+    benchMeshStep(h, 0.010);
+    benchMeshStep(h, 0.100);
+    benchMeshStep(h, 0.300);
+    benchArbiter(h, 16);
+    benchArbiter(h, 64);
+    benchArbiter(h, 256);
+
+    {
+        TrafficSpec tr;
+        tr.injectionRate = 0.05;
+        TrafficGenerator gen(64, tr);
+        Cycle c = 0;
+        const double ns = h.time(64, [&] { keep(gen.tick(c++)); });
+        h.record("traffic_tick", 64, ns);
+    }
+
+    return h.finish();
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Minimal timing harness for the kernel micro benchmarks.
+ *
+ * Replaces the external google-benchmark dependency with a
+ * fixed-schema JSON emitter the perf-regression gate
+ * (tools/bench_gate.py) can diff: one entry per kernel, best-of-reps
+ * ns/op (the minimum is the standard noise-robust statistic - any
+ * slower sample only measures interference), scalar and (where the
+ * kernel has one) batch variants side by side.
+ *
+ * Schema ("cryowire-bench/1"):
+ * @code
+ *   {
+ *     "schema": "cryowire-bench/1",
+ *     "suite": "micro_models",
+ *     "unit": "ns/op",
+ *     "kernels": [
+ *       {"name": "wire_rc_delay", "ops": 512,
+ *        "scalar_ns_op": 41.2, "batch_ns_op": 3.9, "speedup": 10.5},
+ *       {"name": "interval_sim_run", "ops": 21,
+ *        "scalar_ns_op": 8123.0, "batch_ns_op": null, "speedup": null}
+ *     ]
+ *   }
+ * @endcode
+ */
+
+#ifndef CRYOWIRE_BENCH_MICRO_COMMON_HH
+#define CRYOWIRE_BENCH_MICRO_COMMON_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace cryo::micro
+{
+
+/** Keep @p value (and everything it points to) alive past -O2. */
+template <class T>
+inline void
+keep(const T &value)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : : "g"(&value) : "memory");
+#else
+    static volatile const void *sink;
+    sink = &value;
+#endif
+}
+
+/** One measured kernel: scalar ns/op and the optional batch ns/op. */
+struct KernelRow
+{
+    std::string name;
+    std::uint64_t ops;
+    double scalarNsOp;
+    std::optional<double> batchNsOp;
+};
+
+/**
+ * Suite driver: parses the common CLI, times kernel bodies, renders a
+ * table to stdout, and writes the gate's JSON on request.
+ *
+ * Options: --json PATH, --reps N (default 5), --min-time-ms N
+ * (default 100), --quiet.
+ */
+class Harness
+{
+  public:
+    Harness(std::string suite, int argc, char **argv) : suite_(std::move(suite))
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc) {
+                    std::cerr << suite_ << ": " << arg
+                              << " needs an argument\n";
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (arg == "--json") {
+                jsonPath_ = next();
+            } else if (arg == "--reps") {
+                reps_ = std::max(1, std::stoi(next()));
+            } else if (arg == "--min-time-ms") {
+                minTimeNs_ = std::stod(next()) * 1e6;
+            } else if (arg == "--quiet") {
+                quiet_ = true;
+            } else {
+                std::cerr << suite_ << ": unknown option " << arg
+                          << "\nusage: " << suite_
+                          << " [--json PATH] [--reps N]"
+                             " [--min-time-ms N] [--quiet]\n";
+                std::exit(2);
+            }
+        }
+    }
+
+    /**
+     * Best-case ns per op of @p body, which performs @p ops_per_call
+     * ops per invocation.  Calibrates an iteration count to
+     * ~min-time, then takes the minimum over --reps timed samples.
+     */
+    template <class F>
+    double
+    time(std::uint64_t ops_per_call, F &&body)
+    {
+        using clock = std::chrono::steady_clock;
+        auto sample = [&](std::uint64_t iters) {
+            const auto t0 = clock::now();
+            for (std::uint64_t i = 0; i < iters; ++i)
+                body();
+            const auto t1 = clock::now();
+            return std::chrono::duration<double, std::nano>(t1 - t0)
+                .count();
+        };
+        std::uint64_t iters = 1;
+        double ns = sample(iters);
+        while (ns < minTimeNs_ && iters < (std::uint64_t{1} << 28)) {
+            iters *= 2;
+            ns = sample(iters);
+        }
+        double best = std::numeric_limits<double>::infinity();
+        for (int r = 0; r < reps_; ++r) {
+            best = std::min(best,
+                            sample(iters) /
+                                (static_cast<double>(iters) *
+                                 static_cast<double>(ops_per_call)));
+        }
+        return best;
+    }
+
+    /** Record a kernel with no batch variant. */
+    void
+    record(const std::string &name, std::uint64_t ops, double scalar_ns)
+    {
+        rows_.push_back({name, ops, scalar_ns, std::nullopt});
+    }
+
+    /** Record a scalar/batch pair. */
+    void
+    record(const std::string &name, std::uint64_t ops, double scalar_ns,
+           double batch_ns)
+    {
+        rows_.push_back({name, ops, scalar_ns, batch_ns});
+    }
+
+    /** Render the table, write the JSON, return the exit code. */
+    int
+    finish() const
+    {
+        if (!quiet_) {
+            std::printf("%-28s %12s %12s %8s\n", "kernel",
+                        "scalar ns/op", "batch ns/op", "speedup");
+            for (const auto &r : rows_) {
+                if (r.batchNsOp) {
+                    std::printf("%-28s %12.2f %12.2f %7.2fx\n",
+                                r.name.c_str(), r.scalarNsOp,
+                                *r.batchNsOp,
+                                r.scalarNsOp / *r.batchNsOp);
+                } else {
+                    std::printf("%-28s %12.2f %12s %8s\n",
+                                r.name.c_str(), r.scalarNsOp, "-", "-");
+                }
+            }
+        }
+        if (jsonPath_.empty())
+            return 0;
+        std::ofstream out{jsonPath_};
+        if (!out) {
+            std::cerr << suite_ << ": cannot write " << jsonPath_
+                      << "\n";
+            return 1;
+        }
+        JsonWriter w{out};
+        w.beginObject();
+        w.key("schema").value("cryowire-bench/1");
+        w.key("suite").value(suite_);
+        w.key("unit").value("ns/op");
+        w.key("kernels").beginArray();
+        for (const auto &r : rows_) {
+            w.beginObject();
+            w.key("name").value(r.name);
+            w.key("ops").value(static_cast<std::uint64_t>(r.ops));
+            w.key("scalar_ns_op").value(r.scalarNsOp);
+            w.key("batch_ns_op");
+            if (r.batchNsOp)
+                w.value(*r.batchNsOp);
+            else
+                w.null();
+            w.key("speedup");
+            if (r.batchNsOp)
+                w.value(r.scalarNsOp / *r.batchNsOp);
+            else
+                w.null();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        out << "\n";
+        return out.good() ? 0 : 1;
+    }
+
+  private:
+    std::string suite_;
+    std::string jsonPath_;
+    int reps_ = 5;
+    double minTimeNs_ = 100e6;
+    bool quiet_ = false;
+    std::vector<KernelRow> rows_;
+};
+
+} // namespace cryo::micro
+
+#endif // CRYOWIRE_BENCH_MICRO_COMMON_HH

@@ -58,10 +58,11 @@ VoltageOptimizer::VoltageOptimizer(
 }
 
 VoltagePlanPoint
-VoltageOptimizer::evaluate(const pipeline::CoreConfig &core,
-                           const pipeline::CoreConfig &baseline,
-                           double temp_k, tech::VoltagePoint v,
-                           VoltageConstraints constraints) const
+VoltageOptimizer::evaluateWithFrequency(
+    const pipeline::CoreConfig &core,
+    const pipeline::CoreConfig &baseline, double temp_k,
+    tech::VoltagePoint v, const VoltageConstraints &constraints,
+    std::optional<double> frequency_hz) const
 {
     VoltagePlanPoint p;
     p.voltage = v;
@@ -80,12 +81,24 @@ VoltageOptimizer::evaluate(const pipeline::CoreConfig &core,
     pipeline::CoreConfig candidate = core;
     candidate.tempK = temp_k;
     candidate.voltage = v;
-    candidate.frequency = model_.frequency(core.stages, temp, v).value();
+    candidate.frequency = frequency_hz
+        ? *frequency_hz
+        : model_.frequency(core.stages, temp, v).value();
     const auto power = mcpat_.corePower(candidate, baseline);
     p.frequency = CRYO_CHECK_FINITE(candidate.frequency);
     p.totalPower = CRYO_CHECK_FINITE(power.total());
     p.feasible = p.totalPower <= constraints.totalPowerBudget + 1e-9;
     return p;
+}
+
+VoltagePlanPoint
+VoltageOptimizer::evaluate(const pipeline::CoreConfig &core,
+                           const pipeline::CoreConfig &baseline,
+                           double temp_k, tech::VoltagePoint v,
+                           VoltageConstraints constraints) const
+{
+    return evaluateWithFrequency(core, baseline, temp_k, v, constraints,
+                                 std::nullopt);
 }
 
 VoltagePlanPoint
@@ -107,18 +120,48 @@ VoltageOptimizer::optimize(const pipeline::CoreConfig &core,
     const auto total =
         static_cast<std::size_t>(n_vdd) * static_cast<std::size_t>(n_vth);
 
+    // Precompute the frequency plane for every point that will reach
+    // the frequency model (margins satisfied and leakage-feasible) in
+    // one batched sweep: the critical-path kernel hoists all
+    // per-stage wire terms and drive factors once for the whole grid
+    // instead of re-deriving them per point, and its results are
+    // bit-identical to the scalar frequency().
+    const units::Kelvin temp{temp_k};
+    const auto &mosfet = tech_.mosfet();
+    constexpr std::size_t kNoFreq = static_cast<std::size_t>(-1);
+    std::vector<tech::VoltagePoint> grid(total);
+    std::vector<std::size_t> freq_slot(total, kNoFreq);
+    std::vector<tech::VoltagePoint> batch_vs;
+    batch_vs.reserve(total);
+    for (std::size_t k = 0; k < total; ++k) {
+        const auto i = static_cast<long>(k) / n_vth;
+        const auto j = static_cast<long>(k) % n_vth;
+        grid[k].vdd = constraints.minVdd +
+            static_cast<double>(i) * constraints.vddStep;
+        grid[k].vth = constraints.vthMin +
+            static_cast<double>(j) * constraints.vthStep;
+        const bool margins_ok =
+            !(grid[k].vdd < constraints.minVdd ||
+              grid[k].vdd < constraints.minVddVthRatio * grid[k].vth ||
+              grid[k].vdd <= grid[k].vth);
+        if (margins_ok && mosfet.voltageScalingFeasible(temp, grid[k])) {
+            freq_slot[k] = batch_vs.size();
+            batch_vs.push_back(grid[k]);
+        }
+    }
+    std::vector<units::Hertz> freqs(batch_vs.size());
+    if (!batch_vs.empty())
+        model_.frequencyBatch(core.stages, temp, batch_vs, freqs);
+
     // Evaluate the grid in parallel; results land in row-major index
     // order, so the serial argmax below resolves score ties exactly
     // like the original nested serial scan (first point wins).
     const auto points = parallelMap(total, [&](std::size_t k) {
-        const auto i = static_cast<long>(k) / n_vth;
-        const auto j = static_cast<long>(k) % n_vth;
-        const double vdd = constraints.minVdd +
-            static_cast<double>(i) * constraints.vddStep;
-        const double vth = constraints.vthMin +
-            static_cast<double>(j) * constraints.vthStep;
-        return evaluate(core, baseline, temp_k, {vdd, vth},
-                        constraints);
+        const auto f = freq_slot[k] == kNoFreq
+            ? std::optional<double>{}
+            : std::optional<double>{freqs[freq_slot[k]].value()};
+        return evaluateWithFrequency(core, baseline, temp_k, grid[k],
+                                     constraints, f);
     });
 
     VoltagePlanPoint best;

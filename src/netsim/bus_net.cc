@@ -31,7 +31,7 @@ BusNetwork::BusNetwork(int nodes, BusTiming timing)
             "bus timing cycles must be >= 1");
     ways_.reserve(static_cast<std::size_t>(timing_.ways));
     for (int w = 0; w < timing_.ways; ++w)
-        ways_.emplace_back(nodes);
+        ways_.emplace_back(nodes, arena_);
 }
 
 int
@@ -61,17 +61,20 @@ BusNetwork::inject(const Packet &p)
 void
 BusNetwork::step()
 {
-    // Complete transactions whose tail finished this cycle.
-    for (auto it = completing_.begin(); it != completing_.end();) {
-        if (it->first <= now_) {
-            it->second.delivered = it->first;
-            delivered_.push_back(it->second);
+    // Complete transactions whose tail finished this cycle: one
+    // stable in-place compaction pass (order-preserving) instead of
+    // repeated O(n) mid-scan erases.
+    std::size_t keep = 0;
+    for (auto &entry : completing_) {
+        if (entry.first <= now_) {
+            entry.second.delivered = entry.first;
+            delivered_.push_back(entry.second);
             --inFlight_;
-            it = completing_.erase(it);
         } else {
-            ++it;
+            completing_[keep++] = entry;
         }
     }
+    completing_.resize(keep);
 
     for (Way &way : ways_) {
         while (!way.busyWindows.empty() &&
@@ -86,8 +89,8 @@ BusNetwork::step()
         if (way.nextFree > now_ + 1 + timing_.grantCycles)
             continue;
 
-        std::vector<bool> requests(static_cast<std::size_t>(nodes_),
-                                   false);
+        std::vector<bool> &requests = requestScratch_;
+        requests.assign(static_cast<std::size_t>(nodes_), false);
         for (int n = 0; n < nodes_; ++n) {
             auto &q = way.queues[static_cast<std::size_t>(n)];
             if (q.empty())

@@ -57,17 +57,19 @@ HybridNetwork::inject(const Packet &p)
 void
 HybridNetwork::step()
 {
-    // 1. Land mesh crossings into gateway queues.
-    for (auto it = crossing_.begin(); it != crossing_.end();) {
-        if (it->first <= now_) {
+    // 1. Land mesh crossings into gateway queues (stable in-place
+    //    compaction, order-preserving).
+    std::size_t keep = 0;
+    for (auto &entry : crossing_) {
+        if (entry.first <= now_) {
             gatewayQueues_[static_cast<std::size_t>(
-                               clusterOf(it->second.dst))]
-                .push_back(it->second);
-            it = crossing_.erase(it);
+                               clusterOf(entry.second.dst))]
+                .push_back(entry.second);
         } else {
-            ++it;
+            crossing_[keep++] = entry;
         }
     }
+    crossing_.resize(keep);
 
     // 2. Gateways inject into their cluster bus (bounded bandwidth).
     for (int c = 0; c < cfg_.clusters; ++c) {

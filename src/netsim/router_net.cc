@@ -66,7 +66,7 @@ RouterNetwork::RouterNetwork(RouterNetConfig cfg) : cfg_(cfg)
     for (int n = 0; n < cfg_.cores; ++n) {
         const int r = routerOf(n);
         const int qid = static_cast<int>(queues_.size());
-        queues_.emplace_back();
+        queues_.emplace_back(arena_);
         queues_.back().capacity = 0;
         inQueueIds_[static_cast<std::size_t>(r)].push_back(qid);
         injectQueueId_[static_cast<std::size_t>(n)] = qid;
@@ -107,7 +107,7 @@ RouterNetwork::addLink(int from, int to, int cycles)
     // One buffered queue per VC at the downstream input.
     l.toQueueBase = static_cast<int>(queues_.size());
     for (int v = 0; v < cfg_.virtualChannels; ++v) {
-        queues_.emplace_back();
+        queues_.emplace_back(arena_);
         queues_.back().capacity = cfg_.vcBufferFlits;
         inQueueIds_[static_cast<std::size_t>(to)].push_back(
             l.toQueueBase + v);
@@ -292,8 +292,8 @@ RouterNetwork::serviceEjection(int r)
     // One ejection port per router-local node; each can sink one flit
     // per cycle.
     auto &in_ids = inQueueIds_[static_cast<std::size_t>(r)];
-    std::vector<bool> port_used(
-        static_cast<std::size_t>(cfg_.concentration), false);
+    std::vector<bool> &port_used = ejectScratch_;
+    port_used.assign(static_cast<std::size_t>(cfg_.concentration), false);
     for (int qid : in_ids) {
         InQueue &q = queues_[static_cast<std::size_t>(qid)];
         if (q.q.empty())
@@ -323,16 +323,18 @@ RouterNetwork::step()
 {
     // 1. Land in-flight flits that arrive this cycle. Per-VC queues
     //    are each fed by one link at one flit per cycle, so order is
-    //    preserved.
-    for (auto it = inFlight_.begin(); it != inFlight_.end();) {
-        if (it->at <= now_) {
-            queues_[static_cast<std::size_t>(it->queue)].q.push_back(
-                it->flit);
-            it = inFlight_.erase(it);
+    //    preserved; one stable compaction pass (order-preserving)
+    //    replaces repeated O(n) mid-scan erases.
+    std::size_t keep = 0;
+    for (auto &arrival : inFlight_) {
+        if (arrival.at <= now_) {
+            queues_[static_cast<std::size_t>(arrival.queue)].q.push_back(
+                arrival.flit);
         } else {
-            ++it;
+            inFlight_[keep++] = arrival;
         }
     }
+    inFlight_.resize(keep);
 
     // 2. Eject before switching so freshly freed slots are usable next
     //    cycle (not this one), matching a real credit round-trip.

@@ -18,12 +18,12 @@
 #ifndef CRYOWIRE_NETSIM_ROUTER_NET_HH
 #define CRYOWIRE_NETSIM_ROUTER_NET_HH
 
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
 #include "netsim/network.hh"
 #include "noc/noc_config.hh"
+#include "util/arena.hh"
 
 namespace cryo::netsim
 {
@@ -78,9 +78,11 @@ class RouterNetwork : public Network
 
     struct InQueue
     {
-        std::deque<FlitEntry> q;
-        int reserved = 0; ///< occupied + in-flight slots
-        int capacity = 0; ///< 0 = unbounded (NI source queues)
+        SlidingQueue<FlitEntry> q; ///< contiguous, arena-backed
+        int reserved = 0;          ///< occupied + in-flight slots
+        int capacity = 0;          ///< 0 = unbounded (NI source queues)
+
+        explicit InQueue(MonotonicArena &arena) : q(arena) {}
     };
 
     struct Link
@@ -126,6 +128,12 @@ class RouterNetwork : public Network
     int gridSide_;
     Cycle now_ = 0;
 
+    /**
+     * Per-simulation arena backing the flit queues and the in-flight
+     * event list; declared before every container that allocates from
+     * it so destruction runs in the safe order.
+     */
+    MonotonicArena arena_;
     std::vector<Link> links_;
     std::vector<std::vector<int>> outLinks_;     ///< per router
     std::vector<std::vector<int>> inQueueIds_;   ///< per router
@@ -135,7 +143,10 @@ class RouterNetwork : public Network
     std::unordered_map<std::uint64_t, Packet> active_;
     /** adjacency: (from, to) -> link id. */
     std::unordered_map<std::uint64_t, int> linkIndex_;
-    std::vector<Arrival> inFlight_;
+    std::vector<Arrival, ArenaAllocator<Arrival>> inFlight_{
+        ArenaAllocator<Arrival>(arena_)};
+    /** Per-cycle ejection-port mask, reused across cycles. */
+    std::vector<bool> ejectScratch_;
 };
 
 } // namespace cryo::netsim

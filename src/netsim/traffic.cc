@@ -92,10 +92,11 @@ TrafficGenerator::patternDestination(int src) const
     }
 }
 
-std::vector<Packet>
+const std::vector<Packet> &
 TrafficGenerator::tick(Cycle now)
 {
-    std::vector<Packet> out;
+    std::vector<Packet> &out = tickBuf_;
+    out.clear();
     for (int src = 0; src < nodes_; ++src) {
         double rate = spec_.injectionRate;
         if (spec_.pattern == TrafficPattern::Burst) {

@@ -70,8 +70,13 @@ class TrafficGenerator
      * Packets to inject this cycle (destinations resolved); sources
      * with src == dst re-draw (uniform) or drop (deterministic
      * patterns mapping a node to itself).
+     *
+     * Returns a reference to an internal buffer reused across cycles
+     * (the per-tick allocation was the hottest churn in the injection
+     * path); it is valid until the next tick() call - copy it if you
+     * need to keep it.
      */
-    std::vector<Packet> tick(Cycle now);
+    const std::vector<Packet> &tick(Cycle now);
 
     /** Deterministic destination of @p src under the pattern. */
     int patternDestination(int src) const;
@@ -88,6 +93,7 @@ class TrafficGenerator
     Rng rng_;
     std::vector<bool> burstOn_;
     std::uint64_t nextId_ = 1;
+    std::vector<Packet> tickBuf_; ///< reused per-cycle output buffer
 };
 
 } // namespace cryo::netsim

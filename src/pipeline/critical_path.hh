@@ -14,6 +14,7 @@
 #ifndef CRYOWIRE_PIPELINE_CRITICAL_PATH_HH
 #define CRYOWIRE_PIPELINE_CRITICAL_PATH_HH
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,18 @@ class CriticalPathModel
 
     double maxDelay(const StageList &stages, units::Kelvin temp) const;
 
+    /**
+     * Batched maxDelay over a voltage grid at one temperature:
+     * out[i] = maxDelay(stages, temp, vs[i]) bit-for-bit.  Computes
+     * the drive delay factors once for the whole grid (they are shared
+     * by every stage) and hoists each stage's (T, L)-only wire terms
+     * and 300 K reference delay out of the per-point loop; the scalar
+     * path re-derives all of them per (stage, point).
+     */
+    void maxDelayBatch(const StageList &stages, units::Kelvin temp,
+                       std::span<const tech::VoltagePoint> vs,
+                       std::span<double> out) const;
+
     /** Name of the limiting stage. */
     std::string criticalStage(const StageList &stages, units::Kelvin temp,
                               const tech::VoltagePoint &v) const;
@@ -90,6 +103,16 @@ class CriticalPathModel
 
     units::Hertz frequency(const StageList &stages,
                            units::Kelvin temp) const;
+
+    /**
+     * Batched frequency over a voltage grid: out[i] =
+     * frequency(stages, temp, vs[i]) bit-for-bit (refFreq / batched
+     * maxDelay).  This is the inner kernel of the voltage-optimizer
+     * sweep.
+     */
+    void frequencyBatch(const StageList &stages, units::Kelvin temp,
+                        std::span<const tech::VoltagePoint> vs,
+                        std::span<units::Hertz> out) const;
 
     /**
      * Wire-delay multiplier of @p wc at (T, V) versus 300 K nominal

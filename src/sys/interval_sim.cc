@@ -84,30 +84,73 @@ IntervalSimulator::syncOpCost(const SystemDesign &design)
     return ms.nocTransactionLatency() + design.mem.l3;
 }
 
+namespace
+{
+
+/**
+ * Design-only inputs to the per-workload fixed point, derived once
+ * per design (run()) or once per suite (runSuite()).  Every field is
+ * computed by the same expressions the per-call path used, so hoisting
+ * them does not change a single bit of the results.
+ */
+struct DesignInvariants
+{
+    bool snooping;
+    double nocZeroLoad;
+    double sat;
+    double opCost0;
+    double service; ///< M/D/1 service time of the interconnect [s]
+};
+
+DesignInvariants
+deriveInvariants(const SystemDesign &design)
+{
+    mem::MemorySystem ms{design.mem, design.noc};
+    DesignInvariants inv;
+    inv.snooping = design.idealNoc ||
+        design.noc.protocol() == noc::Protocol::SnoopBased;
+    inv.nocZeroLoad =
+        design.idealNoc ? 0.0 : ms.nocTransactionLatency();
+    inv.sat = design.idealNoc
+        ? 1.0
+        : IntervalSimulator::saturationTxRate(design.noc,
+                                              design.busWays);
+    inv.opCost0 = IntervalSimulator::syncOpCost(design);
+    // M/D/1-shaped wait. For the bus the service time is the
+    // broadcast occupancy; for a distributed router network the
+    // queueing delay accumulates hop by hop, so the wait scales
+    // with the traversal itself (the standard load-latency curve).
+    if (design.idealNoc) {
+        inv.service = 0.0;
+    } else if (design.noc.topology().isBus()) {
+        inv.service = design.noc.busOccupancyCycles(
+                          mem::MemorySystem::kRequestFlits)
+            / design.noc.clockFreq();
+    } else {
+        inv.service = inv.nocZeroLoad;
+    }
+    return inv;
+}
+
 SimResult
-IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
+simulateOne(const SystemDesign &design, const Workload &w,
+            const DesignInvariants &inv)
 {
     CRYO_CONTEXT("interval_sim: design=" + design.name +
                  " workload=" + w.name);
-    design.validate();
     w.validate();
     const auto &core = design.core;
-
-    mem::MemorySystem ms{design.mem, design.noc};
-    const bool snooping = design.idealNoc ||
-        design.noc.protocol() == noc::Protocol::SnoopBased;
 
     // Interconnect transactions per kilo-instruction: data plus (for
     // directories) explicit coherence, plus prefetch traffic; sync ops
     // ride the same medium.
     const double tx_pki = w.l3Apki + w.prefetchApki + w.syncPki
-        + (snooping ? 0.0 : w.cohPki);
+        + (inv.snooping ? 0.0 : w.cohPki);
     // Latency-critical interconnect transactions (prefetches excluded).
     const double critical_pki =
-        w.l3Apki + (snooping ? 0.0 : w.cohPki);
+        w.l3Apki + (inv.snooping ? 0.0 : w.cohPki);
 
-    const double noc_zero_load =
-        design.idealNoc ? 0.0 : ms.nocTransactionLatency();
+    const double noc_zero_load = inv.nocZeroLoad;
 
     CpiStack s;
     s.core = w.cpiCore / core.ipcFactor / core.frequency;
@@ -115,9 +158,8 @@ IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
     s.l3Cache = w.l3Apki / 1000.0 * design.mem.l3 / kNocMlp;
     s.dram = w.dramApki / 1000.0 * design.mem.dram / w.mlp;
 
-    const double sat = design.idealNoc
-        ? 1.0 : saturationTxRate(design.noc, design.busWays);
-    const double op_cost0 = syncOpCost(design);
+    const double sat = inv.sat;
+    const double op_cost0 = inv.opCost0;
 
     // Misses traverse the interconnect twice (home slice + memory
     // controller); the extra leg counts toward the NoC portion.
@@ -134,28 +176,15 @@ IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
     constexpr double rho_cap = 0.90;
 
     bool converged = false;
-    for (int it = 0; it < kMaxIterations; ++it) {
+    for (int it = 0; it < IntervalSimulator::kMaxIterations; ++it) {
         const double instr_rate = 1.0 / t; // per second, per core
         const double tx_per_node_cycle = tx_pki / 1000.0 * instr_rate
             / design.noc.clockFreq();
         rho = design.idealNoc ? 0.0 : tx_per_node_cycle / sat;
         const double rho_eff = std::min(rho, rho_cap);
 
-        // M/D/1-shaped wait. For the bus the service time is the
-        // broadcast occupancy; for a distributed router network the
-        // queueing delay accumulates hop by hop, so the wait scales
-        // with the traversal itself (the standard load-latency curve).
-        double service;
-        if (design.idealNoc) {
-            service = 0.0;
-        } else if (design.noc.topology().isBus()) {
-            service = design.noc.busOccupancyCycles(
-                          mem::MemorySystem::kRequestFlits)
-                / design.noc.clockFreq();
-        } else {
-            service = noc_zero_load;
-        }
-        const double wait = service * rho_eff / (2.0 * (1.0 - rho_eff));
+        const double wait =
+            inv.service * rho_eff / (2.0 * (1.0 - rho_eff));
 
         s.l3Noc = (critical_pki + mc_pki) / 1000.0 * noc_zero_load
             / kNocMlp;
@@ -176,7 +205,8 @@ IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
     }
     if (!converged) {
         warn("interval_sim fixed point did not converge within " +
-             std::to_string(kMaxIterations) + " iterations (design=" +
+             std::to_string(IntervalSimulator::kMaxIterations) +
+             " iterations (design=" +
              design.name + " workload=" + w.name +
              "); using last damped iterate");
     }
@@ -200,9 +230,32 @@ IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
     r.timePerInstr = CRYO_CHECK_FINITE(t);
     r.stack = s;
     r.utilization = std::min(rho, 1.0);
-    r.saturated = saturated || rho >= kRhoMax;
+    r.saturated = saturated || rho >= IntervalSimulator::kRhoMax;
     r.converged = converged;
     return r;
+}
+
+} // namespace
+
+SimResult
+IntervalSimulator::run(const SystemDesign &design, const Workload &w) const
+{
+    design.validate();
+    return simulateOne(design, w, deriveInvariants(design));
+}
+
+std::vector<SimResult>
+IntervalSimulator::runSuite(const SystemDesign &design,
+                            const std::vector<Workload> &suite) const
+{
+    CRYO_CONTEXT("interval_sim suite: design=" + design.name);
+    design.validate();
+    const DesignInvariants inv = deriveInvariants(design);
+    // Independent simulations; index-ordered results keep downstream
+    // reductions bitwise-stable across job counts.
+    return parallelMap(suite.size(), [&](std::size_t i) {
+        return simulateOne(design, suite[i], inv);
+    });
 }
 
 double
@@ -219,16 +272,15 @@ IntervalSimulator::meanSpeedup(const SystemDesign &design,
                                const std::vector<Workload> &suite) const
 {
     fatalIf(suite.empty(), "suite has no workloads");
-    // Per-workload speedups are independent simulations; summing the
-    // index-ordered results keeps the mean bitwise-stable across job
-    // counts.
-    const auto speedups =
-        parallelMap(suite.size(), [&](std::size_t i) {
-            return speedup(design, baseline, suite[i]);
-        });
+    // One runSuite per design point validates and derives the design
+    // invariants once for the whole suite; the per-index ratios and
+    // ordered sum are the same arithmetic as per-workload speedup()
+    // calls, so the mean is bitwise-stable across job counts.
+    const auto base = runSuite(baseline, suite);
+    const auto opt = runSuite(design, suite);
     double sum = 0.0;
-    for (double s : speedups)
-        sum += s;
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        sum += base[i].timePerInstr / opt[i].timePerInstr;
     return sum / static_cast<double>(suite.size());
 }
 

@@ -104,6 +104,18 @@ class IntervalSimulator
     /** Simulate one workload on one design. */
     SimResult run(const SystemDesign &design, const Workload &w) const;
 
+    /**
+     * Simulate a whole workload suite on one design.  Validates the
+     * design and derives its interconnect invariants (memory-system
+     * latency, saturation bandwidth, sync-op cost, queueing service
+     * time) once instead of once per workload; the independent fixed
+     * points then run in parallel.  Results are index-aligned with
+     * @p suite and bit-identical to per-workload run() calls.
+     */
+    std::vector<SimResult> runSuite(const SystemDesign &design,
+                                    const std::vector<Workload> &suite)
+        const;
+
     /** Speed-up of @p design over @p baseline on @p w. */
     double speedup(const SystemDesign &design,
                    const SystemDesign &baseline, const Workload &w) const;

@@ -1,6 +1,9 @@
 #include "material.hh"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
+#include <limits>
 
 #include "util/diag.hh"
 #include "util/validate.hh"
@@ -13,6 +16,18 @@ using units::OhmMetre;
 
 namespace
 {
+
+/**
+ * Upper integration limit for J5.  The integrand decays as t^5 e^-t,
+ * so the tail beyond t = 40 contributes < 1e-9 absolute against
+ * J5(inf) = 124.43 - far below the quadrature error.  Clamping keeps
+ * the panel density constant in the cryogenic regime: at 4 K the
+ * argument x = Theta_D/T reaches ~86-120, and spreading a fixed panel
+ * count over [0, x] starves the t < 30 region that carries all the
+ * mass (clamping at 30 would leave a ~3e-6 tail, worse than the
+ * quadrature itself, hence 40).
+ */
+constexpr double kJ5ClampX = 40.0;
 
 /** Integrand of the Bloch-Grüneisen J5 integral. */
 double
@@ -27,6 +42,78 @@ j5Integrand(double t)
     return std::pow(t, 5) / den;
 }
 
+/**
+ * Cumulative table of J5 over [0, kJ5ClampX].
+ *
+ * J5 depends only on its argument - not on the Debye temperature - so
+ * one process-wide table serves every BlochGruneisen instance; the
+ * per-conductor state is just the 300 K normalization scalar.  Node
+ * values come from per-interval Simpson accumulation (~1e-10 error);
+ * between nodes a cubic Hermite with the *exact* end-point
+ * derivatives (the integrand itself) keeps the absolute error under
+ * ~5e-9, invisible at the 1e-12 absolute level the resistivity
+ * anchors are tested to once scaled by rho_ph300 ~ 2e-8 Ohm*m, and
+ * ~3 orders of magnitude cheaper than the direct quadrature.
+ */
+struct J5Table
+{
+    static constexpr int kIntervals = 4096;
+    static constexpr double kStep = kJ5ClampX / kIntervals;
+
+    std::array<double, kIntervals + 1> value{};
+    std::array<double, kIntervals + 1> slope{};
+
+    J5Table()
+    {
+        value[0] = 0.0;
+        slope[0] = j5Integrand(0.0);
+        for (int i = 1; i <= kIntervals; ++i) {
+            const double a = kStep * (i - 1);
+            const double mid = a + 0.5 * kStep;
+            slope[static_cast<std::size_t>(i)] = j5Integrand(kStep * i);
+            value[static_cast<std::size_t>(i)] =
+                value[static_cast<std::size_t>(i - 1)]
+                + kStep / 6.0
+                    * (slope[static_cast<std::size_t>(i - 1)]
+                       + 4.0 * j5Integrand(mid)
+                       + slope[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    double eval(double x) const
+    {
+        if (x <= 0.0)
+            return 0.0;
+        if (x >= kJ5ClampX)
+            return value[kIntervals]; // tail < 1e-9: same clamp as integralJ5
+        const auto i = std::min(static_cast<std::size_t>(x / kStep),
+                                static_cast<std::size_t>(kIntervals - 1));
+        const double u = (x - kStep * static_cast<double>(i)) / kStep;
+        const double d0 = slope[i] * kStep;
+        const double d1 = slope[i + 1] * kStep;
+        const double u2 = u * u;
+        const double u3 = u2 * u;
+        return (2.0 * u3 - 3.0 * u2 + 1.0) * value[i]
+            + (u3 - 2.0 * u2 + u) * d0 + (-2.0 * u3 + 3.0 * u2) * value[i + 1]
+            + (u3 - u2) * d1;
+    }
+};
+
+const J5Table &
+j5Table()
+{
+    static const J5Table table; // built once per process, thread-safe
+    return table;
+}
+
+/** r^5 by multiplication: measurably cheaper than libm pow on the hot path. */
+double
+fifthPower(double r)
+{
+    const double r2 = r * r;
+    return r2 * r2 * r;
+}
+
 } // namespace
 
 double
@@ -34,11 +121,16 @@ BlochGruneisen::integralJ5(double x)
 {
     if (x <= 0.0)
         return 0.0;
-    // Composite Simpson with enough panels for <1e-8 relative error in
-    // the range of interest (x in [1, 10]).
-    constexpr int panels = 512;
-    const double h = x / (2 * panels);
-    double sum = j5Integrand(0.0) + j5Integrand(x);
+    // Composite Simpson over [0, min(x, kJ5ClampX)].  The clamp is the
+    // cryogenic-argument fix: the old fixed-panel rule over [0, x] was
+    // documented for x in [1, 10] but phononFactor at 4 K evaluates
+    // x ~ 86-120, where the panels dilute across an exponentially dead
+    // tail and the t < 30 mass is undersampled.  1024 panels hold the
+    // quadrature error near 1e-8 absolute over the clamped range.
+    const double upper = std::min(x, kJ5ClampX);
+    constexpr int panels = 1024;
+    const double h = upper / (2 * panels);
+    double sum = j5Integrand(0.0) + j5Integrand(upper);
     for (int i = 1; i < 2 * panels; ++i) {
         const double t = h * i;
         sum += j5Integrand(t) * ((i % 2) ? 4.0 : 2.0);
@@ -50,7 +142,7 @@ BlochGruneisen::BlochGruneisen(Kelvin debye_temp) : debyeTemp_(debye_temp)
 {
     fatalIf(debye_temp.value() <= 0.0, "Debye temperature must be positive");
     const double ratio = constants::roomTemp / debyeTemp_;
-    norm300_ = std::pow(ratio, 5) * integralJ5(1.0 / ratio);
+    norm300_ = fifthPower(ratio) * j5Table().eval(1.0 / ratio);
 }
 
 double
@@ -58,7 +150,7 @@ BlochGruneisen::phononFactor(Kelvin temp) const
 {
     fatalIf(temp.value() <= 0.0, "temperature must be positive");
     const double ratio = temp / debyeTemp_;
-    const double value = std::pow(ratio, 5) * integralJ5(1.0 / ratio);
+    const double value = fifthPower(ratio) * j5Table().eval(1.0 / ratio);
     return value / norm300_;
 }
 
@@ -88,6 +180,29 @@ Conductor::resistivity(Kelvin temp) const
 {
     checkedModelTemp(temp.value(), "conductor resistivity");
     return rhoResidual_ + rhoPhonon300_ * bg_.phononFactor(temp);
+}
+
+void
+Conductor::resistivityBatch(std::span<const Kelvin> temps,
+                            std::span<OhmMetre> out) const
+{
+    fatalIf(temps.size() != out.size(),
+            "resistivityBatch: temps/out size mismatch");
+    // Sweeps commonly hold temperature over long runs (one T, many
+    // voltage/length points); reuse the phonon factor across equal
+    // consecutive temperatures.  Results are bit-identical to the
+    // scalar path either way.
+    double last_t = std::numeric_limits<double>::quiet_NaN();
+    double factor = 0.0;
+    for (std::size_t i = 0; i < temps.size(); ++i) {
+        const double t =
+            checkedModelTemp(temps[i].value(), "conductor resistivity");
+        if (t != last_t) {
+            factor = bg_.phononFactor(temps[i]);
+            last_t = t;
+        }
+        out[i] = rhoResidual_ + rhoPhonon300_ * factor;
+    }
 }
 
 double

@@ -19,6 +19,8 @@
 #ifndef CRYOWIRE_TECH_MATERIAL_HH
 #define CRYOWIRE_TECH_MATERIAL_HH
 
+#include <span>
+
 #include "util/units.hh"
 
 namespace cryo::tech
@@ -27,6 +29,12 @@ namespace cryo::tech
 /**
  * Bloch-Grüneisen phonon-resistivity curve, normalized so that
  * phononFactor(300 K) == 1.
+ *
+ * phononFactor runs off a process-wide cumulative interpolation table
+ * of J5 (values plus exact integrand derivatives, cubic Hermite in
+ * between) instead of re-running the quadrature per call; the table
+ * is built once on first use and shared by every instance, since J5
+ * is independent of the Debye temperature.
  */
 class BlochGruneisen
 {
@@ -41,7 +49,12 @@ class BlochGruneisen
 
     /**
      * The raw Bloch-Grüneisen integral J5(x) = int_0^x t^5 /
-     * ((e^t - 1)(1 - e^-t)) dt, evaluated numerically.
+     * ((e^t - 1)(1 - e^-t)) dt, evaluated numerically.  The
+     * integration range is clamped to min(x, 40): the integrand decays
+     * as t^5 e^-t, so the discarded tail is < 1e-9 absolute while the
+     * clamp keeps the Simpson panels dense where the mass is even for
+     * the cryogenic arguments (x = Theta_D/T ~ 86-120 at 4 K) that the
+     * old fixed-panel rule over the full [0, x] handled poorly.
      */
     static double integralJ5(double x);
 
@@ -71,6 +84,14 @@ class Conductor
 
     /** Total resistivity at @p temp. */
     units::OhmMetre resistivity(units::Kelvin temp) const;
+
+    /**
+     * Batched resistivity: out[i] = resistivity(temps[i]) bit-for-bit,
+     * with the phonon factor reused across runs of equal consecutive
+     * temperatures (the shape dense sweeps produce).
+     */
+    void resistivityBatch(std::span<const units::Kelvin> temps,
+                          std::span<units::OhmMetre> out) const;
 
     /** rho(T) / rho(300 K): < 1 below room temperature. */
     double resistivityRatio(units::Kelvin temp) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "util/diag.hh"
@@ -32,12 +33,17 @@ MosfetParams::validate() const
         .positive("unitParasiticCap", unitParasiticCap.value())
         .require(driveGainAnchors.size() >= 2,
                  "need at least two drive-gain anchors")
-        .require(std::is_sorted(driveGainAnchors.begin(),
-                                driveGainAnchors.end(),
-                                [](const auto &a, const auto &b) {
-                                    return a.first < b.first;
-                                }),
-                 "drive-gain anchors must be sorted by temperature");
+        // Strictly increasing, not merely sorted: a duplicated anchor
+        // temperature would make the piecewise-linear interpolant
+        // ambiguous (two gains at one T) and its segment width zero.
+        .require(std::adjacent_find(driveGainAnchors.begin(),
+                                    driveGainAnchors.end(),
+                                    [](const auto &a, const auto &b) {
+                                        return a.first >= b.first;
+                                    })
+                     == driveGainAnchors.end(),
+                 "drive-gain anchor temperatures must be strictly "
+                 "increasing");
     for (const auto &[anchor_temp, gain] : driveGainAnchors) {
         v.require(std::isfinite(anchor_temp) && anchor_temp > 0.0,
                   "anchor temperatures must be finite and positive");
@@ -57,6 +63,10 @@ Mosfet::driveGain(Kelvin temp) const
 {
     const double temp_k = checkedModelTemp(temp.value(), "mosfet drive gain");
     const auto &a = params_.driveGainAnchors;
+    // Explicit clamp outside the anchor span: the default card ends at
+    // 300 K while the model window admits 400 K, and extrapolating the
+    // last segment would invent gains the card never measured (see the
+    // driveGain contract in the header).
     if (temp_k <= a.front().first)
         return a.front().second;
     if (temp_k >= a.back().first)
@@ -113,6 +123,32 @@ double
 Mosfet::delayFactor(Kelvin temp) const
 {
     return delayFactor(temp, params_.nominal);
+}
+
+void
+Mosfet::delayFactorBatch(std::span<const Kelvin> temps,
+                         std::span<const VoltagePoint> vs,
+                         std::span<double> out) const
+{
+    fatalIf(vs.size() != out.size(), "delayFactorBatch: vs/out size mismatch");
+    fatalIf(temps.size() != vs.size() && temps.size() != 1,
+            "delayFactorBatch: temps must match vs or broadcast (size 1)");
+    if (vs.empty())
+        return;
+    // alpha() is temperature-independent, so the nominal-voltage speed
+    // term - one of the scalar call's two pow() evaluations - is a
+    // single hoisted value for the whole batch.
+    const double nominal_speed = voltageSpeed(temps[0], params_.nominal);
+    double last_t = std::numeric_limits<double>::quiet_NaN();
+    double gain = 1.0;
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+        const Kelvin t = temps[temps.size() == 1 ? 0 : i];
+        if (t.value() != last_t) {
+            gain = driveGain(t);
+            last_t = t.value();
+        }
+        out[i] = nominal_speed / (voltageSpeed(t, vs[i]) * gain);
+    }
 }
 
 Volt

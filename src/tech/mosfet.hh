@@ -22,6 +22,7 @@
 #ifndef CRYOWIRE_TECH_MOSFET_HH
 #define CRYOWIRE_TECH_MOSFET_HH
 
+#include <span>
 #include <vector>
 
 #include "util/units.hh"
@@ -90,9 +91,10 @@ struct MosfetParams
 
     /**
      * Range/consistency validation (finite positive voltages with
-     * Vdd > Vth, physical exponents, sorted positive-gain anchors);
-     * throws cryo::FatalError naming every offending field. Called by
-     * the Mosfet constructor.
+     * Vdd > Vth, physical exponents, strictly-increasing positive-gain
+     * anchor temperatures - duplicates would make the interpolant
+     * ambiguous); throws cryo::FatalError naming every offending
+     * field. Called by the Mosfet constructor.
      */
     void validate() const;
 };
@@ -107,7 +109,17 @@ class Mosfet
 
     const MosfetParams &params() const { return params_; }
 
-    /** Ion(T)/Ion(300 K) at nominal voltage (>= 1 below 300 K). */
+    /**
+     * Ion(T)/Ion(300 K) at nominal voltage (>= 1 below 300 K).
+     *
+     * Piecewise-linear between the anchors; outside the anchor span
+     * the curve is an explicit clamp to the boundary anchors, not an
+     * extrapolation.  This matters above the last anchor: the default
+     * card ends at 300 K while checkedModelTemp admits up to 400 K,
+     * and extending the final segment would claim Ion keeps falling
+     * past the calibration data.  Queries outside the [4, 400] K model
+     * window are a domain error (cryo::FatalError).
+     */
     double driveGain(units::Kelvin temp) const;
 
     /** Alpha-power exponent at @p temp (linear between anchors). */
@@ -122,6 +134,20 @@ class Mosfet
 
     /** delayFactor at the nominal voltage point. */
     double delayFactor(units::Kelvin temp) const;
+
+    /**
+     * Batched delayFactor over struct-of-arrays inputs: out[i] =
+     * delayFactor(temps[i], vs[i]) bit-for-bit.  @p temps may hold a
+     * single element, broadcast across all of @p vs - the DSE sweep
+     * shape (one temperature, a grid of voltage points).  The batch
+     * entry hoists what the scalar call re-derives per point: the
+     * nominal-voltage alpha-power term (one pow instead of two) and,
+     * across runs of equal consecutive temperature, the drive-gain
+     * interpolation.
+     */
+    void delayFactorBatch(std::span<const units::Kelvin> temps,
+                          std::span<const VoltagePoint> vs,
+                          std::span<double> out) const;
 
     /**
      * Subthreshold leakage current multiplier relative to

@@ -15,6 +15,8 @@
 #ifndef CRYOWIRE_TECH_WIRE_RC_HH
 #define CRYOWIRE_TECH_WIRE_RC_HH
 
+#include <span>
+
 #include "tech/mosfet.hh"
 #include "tech/wire_geometry.hh"
 #include "util/units.hh"
@@ -43,6 +45,31 @@ class WireRC
 
     /** Delay at the nominal voltage point. */
     units::Second delay(units::Metre length, units::Kelvin temp) const;
+
+    /**
+     * Batched delay over many lengths at one (T, V): out[i] =
+     * delay(lengths[i], temp, v) bit-for-bit.  Hoists the per-call
+     * invariants - driver resistance (two pow() in the scalar path),
+     * per-metre wire R/C, and the load/parasitic caps - out of the
+     * per-length loop.
+     */
+    void delayBatch(std::span<const units::Metre> lengths,
+                    units::Kelvin temp, const VoltagePoint &v,
+                    std::span<units::Second> out) const;
+
+    /**
+     * Batched delay over voltage points at one (L, T): out[i] =
+     * delay(length, temp, vs[i]) bit-for-bit, given the points'
+     * precomputed driver delay factors (from
+     * Mosfet::delayFactorBatch, which must have been called with the
+     * same @p temp and @p vs).  This is the voltage-grid sweep shape:
+     * the wire terms depend only on (L, T) and are hoisted, leaving
+     * one multiply-add chain per point.
+     */
+    void delayBatchV(units::Metre length, units::Kelvin temp,
+                     std::span<const VoltagePoint> vs,
+                     std::span<const double> delay_factors,
+                     std::span<units::Second> out) const;
 
     /** delay(L, 300 K) / delay(L, T): > 1 below room temperature. */
     double speedup(units::Metre length, units::Kelvin temp) const;

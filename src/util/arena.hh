@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Monotonic (bump-pointer) arena for per-simulation allocation.
+ *
+ * The network simulators allocate packet queues, flit entries, and
+ * event lists every cycle; going through the general-purpose heap for
+ * those puts malloc/free on the hottest path and scatters entries
+ * across memory. A MonotonicArena instead hands out bump-pointer
+ * slices of a few large blocks: allocation is a pointer add,
+ * deallocation is a no-op, and everything is reclaimed at once with
+ * reset() between simulations.
+ *
+ * Ownership rules (see DESIGN.md §"Batch kernels and arenas"):
+ *  - the simulation object owns its arena and declares it *before*
+ *    every container that allocates from it, so destruction runs in
+ *    the safe order;
+ *  - arena memory is only reclaimed by reset(); containers backed by
+ *    an ArenaAllocator must be cleared (not just destroyed) before
+ *    the arena is reset if they will be used again;
+ *  - an arena is single-threaded by design - one simulation, one
+ *    arena - which is exactly the netsim replication model used by
+ *    parallelMap.
+ */
+
+#ifndef CRYOWIRE_UTIL_ARENA_HH
+#define CRYOWIRE_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/diag.hh"
+
+namespace cryo
+{
+
+/**
+ * Bump allocator over a chain of geometrically growing blocks.
+ *
+ * reset() makes the memory reusable without returning it to the
+ * system: if the previous epoch spilled into multiple blocks they are
+ * coalesced into one block of the combined size, so a steady-state
+ * simulation settles on a single block and never grows again.
+ */
+class MonotonicArena
+{
+  public:
+    /** @param initial_bytes size of the first block (grows 2x after). */
+    explicit MonotonicArena(std::size_t initial_bytes = 4096)
+        : initialBytes_(initial_bytes == 0 ? 1 : initial_bytes)
+    {
+    }
+
+    MonotonicArena(const MonotonicArena &) = delete;
+    MonotonicArena &operator=(const MonotonicArena &) = delete;
+
+    /** Raw allocation: @p alignment must be a power of two. */
+    void *allocate(std::size_t bytes, std::size_t alignment)
+    {
+        fatalIf(alignment == 0 || (alignment & (alignment - 1)) != 0,
+                "arena alignment must be a power of two");
+        if (bytes == 0)
+            bytes = 1;
+        auto p = reinterpret_cast<std::uintptr_t>(cursor_);
+        const auto mask = static_cast<std::uintptr_t>(alignment - 1);
+        std::uintptr_t aligned = (p + mask) & ~mask;
+        if (cursor_ == nullptr
+            || aligned + bytes > reinterpret_cast<std::uintptr_t>(limit_)) {
+            grow(bytes + alignment - 1);
+            p = reinterpret_cast<std::uintptr_t>(cursor_);
+            aligned = (p + mask) & ~mask;
+        }
+        cursor_ = reinterpret_cast<std::byte *>(aligned + bytes);
+        bytesAllocated_ += bytes;
+        return reinterpret_cast<void *>(aligned);
+    }
+
+    /** Typed allocation of @p n default-alignment objects (no ctor run). */
+    template <class T> T *allocate(std::size_t n = 1)
+    {
+        return static_cast<T *>(allocate(n * sizeof(T), alignof(T)));
+    }
+
+    /**
+     * Reclaim everything at once, retaining capacity. A multi-block
+     * chain is coalesced into one block sized for the whole previous
+     * epoch so the next epoch runs grow-free.
+     */
+    void reset()
+    {
+        if (blocks_.size() > 1) {
+            const std::size_t total = capacity_;
+            blocks_.clear();
+            blockSizes_.clear();
+            capacity_ = 0;
+            cursor_ = nullptr;
+            limit_ = nullptr;
+            grow(total);
+        } else if (!blocks_.empty()) {
+            cursor_ = blocks_.front().get();
+            limit_ = cursor_ + blockSizes_.front();
+        }
+        bytesAllocated_ = 0;
+    }
+
+    /** Total bytes owned across all blocks. */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Bytes handed out since construction or the last reset(). */
+    std::size_t bytesAllocated() const { return bytesAllocated_; }
+
+  private:
+    void grow(std::size_t need)
+    {
+        std::size_t size =
+            blocks_.empty() ? initialBytes_ : blockSizes_.back() * 2;
+        if (size < need)
+            size = need;
+        blocks_.push_back(std::make_unique<std::byte[]>(size));
+        blockSizes_.push_back(size);
+        cursor_ = blocks_.back().get();
+        limit_ = cursor_ + size;
+        capacity_ += size;
+    }
+
+    std::size_t initialBytes_;
+    std::vector<std::unique_ptr<std::byte[]>> blocks_;
+    std::vector<std::size_t> blockSizes_;
+    std::byte *cursor_ = nullptr;
+    std::byte *limit_ = nullptr;
+    std::size_t capacity_ = 0;
+    std::size_t bytesAllocated_ = 0;
+};
+
+/**
+ * Standard-allocator shim over a MonotonicArena, for std containers.
+ * deallocate() is a no-op: memory comes back only via arena.reset().
+ * The arena must outlive every container using it.
+ */
+template <class T> class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(MonotonicArena &arena) noexcept : arena_(&arena)
+    {
+    }
+
+    template <class U>
+    ArenaAllocator(const ArenaAllocator<U> &other) noexcept
+        : arena_(other.arena())
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        return static_cast<T *>(arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+
+    void deallocate(T *, std::size_t) noexcept {}
+
+    MonotonicArena *arena() const noexcept { return arena_; }
+
+  private:
+    MonotonicArena *arena_;
+};
+
+template <class T, class U>
+bool
+operator==(const ArenaAllocator<T> &a, const ArenaAllocator<U> &b) noexcept
+{
+    return a.arena() == b.arena();
+}
+
+template <class T, class U>
+bool
+operator!=(const ArenaAllocator<T> &a, const ArenaAllocator<U> &b) noexcept
+{
+    return !(a == b);
+}
+
+/**
+ * FIFO queue on contiguous arena-backed storage.
+ *
+ * pop_front() is an index bump; the dead prefix is compacted away once
+ * it exceeds half the buffer (amortized O(1)), so memory stays
+ * proportional to the live backlog. Unlike std::deque the storage is
+ * one contiguous run, which is what the per-cycle queue scans in the
+ * network models iterate.
+ */
+template <class T> class SlidingQueue
+{
+  public:
+    explicit SlidingQueue(MonotonicArena &arena)
+        : data_(ArenaAllocator<T>(arena))
+    {
+    }
+
+    bool empty() const { return head_ == data_.size(); }
+    std::size_t size() const { return data_.size() - head_; }
+
+    T &front() { return data_[head_]; }
+    const T &front() const { return data_[head_]; }
+    T &back() { return data_.back(); }
+    const T &back() const { return data_.back(); }
+
+    void push_back(const T &value) { data_.push_back(value); }
+    void push_back(T &&value) { data_.push_back(std::move(value)); }
+    template <class... Args> T &emplace_back(Args &&...args)
+    {
+        return data_.emplace_back(std::forward<Args>(args)...);
+    }
+
+    void pop_front()
+    {
+        ++head_;
+        if (head_ == data_.size()) {
+            data_.clear();
+            head_ = 0;
+        } else if (head_ >= kCompactMin && head_ > data_.size() / 2) {
+            data_.erase(data_.begin(),
+                        data_.begin() + static_cast<std::ptrdiff_t>(head_));
+            head_ = 0;
+        }
+    }
+
+    void clear()
+    {
+        data_.clear();
+        head_ = 0;
+    }
+
+    auto begin() { return data_.begin() + static_cast<std::ptrdiff_t>(head_); }
+    auto end() { return data_.end(); }
+    auto begin() const
+    {
+        return data_.begin() + static_cast<std::ptrdiff_t>(head_);
+    }
+    auto end() const { return data_.end(); }
+
+  private:
+    static constexpr std::size_t kCompactMin = 32;
+
+    std::vector<T, ArenaAllocator<T>> data_;
+    std::size_t head_ = 0;
+};
+
+} // namespace cryo
+
+#endif // CRYOWIRE_UTIL_ARENA_HH

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "tech/material.hh"
 #include "util/units.hh"
 #include "util/diag.hh"
@@ -27,6 +29,45 @@ TEST(BlochGruneisen, IntegralBasics)
                 1e-11);
     // Large-x limit: J5(inf) = 124.43.
     EXPECT_NEAR(BlochGruneisen::integralJ5(50.0), 124.43, 0.1);
+}
+
+TEST(BlochGruneisen, IntegralCryogenicArguments)
+{
+    // Regression for the fixed-panel quadrature: phononFactor at 4 K
+    // evaluates x = Theta_D/T ~ 86-120, where spreading 512 panels
+    // over [0, x] starved the t < 30 region carrying all the mass
+    // (1.6e-6 absolute error at x = 85.75, and near-total loss for
+    // very large x). The clamped rule must sit on the analytic limit
+    // J5(inf) = 124.4313306172...
+    const double j5inf = 124.4313306172;
+    EXPECT_NEAR(BlochGruneisen::integralJ5(85.75), j5inf, 1e-7);
+    EXPECT_NEAR(BlochGruneisen::integralJ5(120.0), j5inf, 1e-7);
+    EXPECT_NEAR(BlochGruneisen::integralJ5(1e6), j5inf, 1e-6);
+}
+
+TEST(BlochGruneisen, IntegralTightMidpoint)
+{
+    // High-accuracy reference at x = 10, inside the originally
+    // calibrated window - guards against the clamp disturbing the
+    // well-resolved regime.
+    EXPECT_NEAR(BlochGruneisen::integralJ5(10.0), 116.380745402, 1e-6);
+}
+
+TEST(BlochGruneisen, TableMatchesQuadrature)
+{
+    // phononFactor runs off the shared interpolation table; pin it to
+    // the direct quadrature across the whole model window.
+    BlochGruneisen bg(343.0_K);
+    const double r300 = 300.0 / 343.0;
+    const double norm = std::pow(r300, 5)
+        * BlochGruneisen::integralJ5(1.0 / r300);
+    for (double t = 4.0; t <= 400.0; t += 4.0) {
+        const double r = t / 343.0;
+        const double direct =
+            std::pow(r, 5) * BlochGruneisen::integralJ5(1.0 / r) / norm;
+        EXPECT_NEAR(bg.phononFactor(Kelvin{t}), direct, 1e-6)
+            << "T = " << t;
+    }
 }
 
 TEST(BlochGruneisen, IntegralMonotone)

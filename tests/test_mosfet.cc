@@ -155,6 +155,37 @@ TEST(MosfetParamsTest, RejectsUnsortedAnchors)
     EXPECT_THROW(Mosfet{p}, FatalError);
 }
 
+TEST(MosfetParamsTest, RejectsDuplicateAnchorTemperatures)
+{
+    // Regression: merely "sorted" validation accepted two anchors at
+    // the same temperature, leaving the interpolant ambiguous (which
+    // gain applies at 77 K?) with a zero-width segment next to it.
+    MosfetParams p;
+    p.driveGainAnchors = {{4.0, 1.10}, {77.0, 1.08}, {77.0, 1.02},
+                          {300.0, 1.0}};
+    EXPECT_THROW(Mosfet{p}, FatalError);
+}
+
+TEST_F(MosfetTest, BoundaryClampAtModelWindowEdges)
+{
+    // The anchor span is [4, 300] K but the model window admits
+    // [4, 400] K; outside the span the curve clamps to the boundary
+    // anchors exactly - no extrapolation in either direction.
+    const auto &a = m.params().driveGainAnchors;
+    EXPECT_DOUBLE_EQ(m.driveGain(4.0_K), a.front().second);   // 1.100
+    EXPECT_DOUBLE_EQ(m.driveGain(300.0_K), a.back().second);  // 1.000
+    EXPECT_DOUBLE_EQ(m.driveGain(350.0_K), a.back().second);
+    EXPECT_DOUBLE_EQ(m.driveGain(400.0_K), a.back().second);
+    // alpha is temperature-independent across the whole window.
+    EXPECT_DOUBLE_EQ(m.alpha(4.0_K), m.params().alpha);
+    EXPECT_DOUBLE_EQ(m.alpha(300.0_K), m.params().alpha);
+    EXPECT_DOUBLE_EQ(m.alpha(400.0_K), m.params().alpha);
+    // delayFactor at nominal voltage is the inverse gain at the edges
+    // too, so above 300 K it is exactly 1 (clamped, not > 1).
+    EXPECT_NEAR(m.delayFactor(400.0_K), 1.0, 1e-12);
+    EXPECT_NEAR(m.delayFactor(4.0_K), 1.0 / a.front().second, 1e-12);
+}
+
 /** Parameterized sweep: delay factor never exceeds 1 below 300 K. */
 class MosfetSweep : public ::testing::TestWithParam<double>
 {

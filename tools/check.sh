@@ -7,6 +7,9 @@
 #   tools/check.sh --asan    the same build/tests under ASan+UBSan
 #   tools/check.sh --ubsan   the same build/tests under UBSan alone
 #   tools/check.sh --tsan    the same build/tests under TSan
+#   tools/check.sh --bench   build the microbenchmarks, run them, and
+#                            gate their timings against the committed
+#                            BENCH_micro_*.json baselines
 #
 # clang-tidy and clang-format are optional: when absent the step is
 # skipped with a notice instead of failing, so the gate still runs on
@@ -32,12 +35,39 @@ case "$MODE" in
         BUILD_DIR="$ROOT/build-check-tsan"
         CMAKE_ARGS+=(-DCRYOWIRE_TSAN=ON)
         ;;
+    --bench)
+        # Timings must come from the same optimization level as the
+        # committed baselines and the CI bench job (-O3 Release);
+        # the default RelWithDebInfo build is measurably slower on
+        # the tight batch kernels.
+        BUILD_DIR="$ROOT/build-check-bench"
+        CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Release)
+        ;;
     "") ;;
     *)
-        echo "usage: $0 [--asan|--ubsan|--tsan]" >&2
+        echo "usage: $0 [--asan|--ubsan|--tsan|--bench]" >&2
         exit 2
         ;;
 esac
+
+if [[ "$MODE" == "--bench" ]]; then
+    echo "==> configure (${CMAKE_ARGS[*]})"
+    cmake -S "$ROOT" -B "$BUILD_DIR" "${CMAKE_ARGS[@]}" >/dev/null
+    echo "==> build microbenchmarks"
+    cmake --build "$BUILD_DIR" -j "$(nproc)" \
+        --target bench_micro_models bench_micro_netsim \
+        -- --no-print-directory
+    for suite in micro_models micro_netsim; do
+        echo "==> bench_$suite"
+        "$BUILD_DIR/bench/bench_$suite" \
+            --json "$BUILD_DIR/BENCH_$suite.json"
+        echo "==> bench_gate ($suite)"
+        python3 "$ROOT/tools/bench_gate.py" \
+            "$ROOT/BENCH_$suite.json" "$BUILD_DIR/BENCH_$suite.json"
+    done
+    echo "==> all checks passed"
+    exit 0
+fi
 
 echo "==> configure (${CMAKE_ARGS[*]})"
 cmake -S "$ROOT" -B "$BUILD_DIR" "${CMAKE_ARGS[@]}" >/dev/null

@@ -48,7 +48,7 @@ PARAM_RE = re.compile(
     + r"))\b"
 )
 
-CHECKED_DIRS = ("src/tech", "src/power", "src/exp")
+CHECKED_DIRS = ("src/tech", "src/power", "src/exp", "src/util")
 
 # Error-handling escapes that bypass the typed diagnostics layer.  The
 # model must throw cryo::FatalError (via fatal/fatalIf) for bad input
