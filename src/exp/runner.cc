@@ -227,8 +227,12 @@ class Watchdog
     static std::int64_t
     nowNs()
     {
+        // CRYOLINT-NEXTLINE(determinism-calls): watchdog wall time is
+        // stderr-only diagnostics; it never reaches the JSON/CSV
+        // results, which stay byte-identical across --jobs.
+        const auto now = std::chrono::steady_clock::now();
         return std::chrono::duration_cast<std::chrono::nanoseconds>(
-                   std::chrono::steady_clock::now().time_since_epoch())
+                   now.time_since_epoch())
             .count();
     }
 

@@ -75,17 +75,15 @@ class MemorySystem
     const MemTiming &timing() const { return timing_; }
     const noc::NocConfig &noc() const { return noc_; }
 
-    /** Coherence request packet size [flits]. */
-    static constexpr int kRequestFlits = 1;
-
-    /** Cache-line data response size [flits] (64 B / 128-bit links). */
-    static constexpr int kDataFlits = 5;
-
     /**
-     * Cache-line beats on the bus designs' decoupled data plane, which
-     * is wider than a router link (256-bit split-transaction data bus).
+     * Coherence packet geometry, aliased from the noc layer (the
+     * canonical definitions - see noc_config.hh). Kept here so
+     * existing mem::MemorySystem::kRequestFlits call sites read
+     * naturally.
      */
-    static constexpr int kBusDataBeats = 2;
+    static constexpr int kRequestFlits = noc::kCoherenceRequestFlits;
+    static constexpr int kDataFlits = noc::kCoherenceDataFlits;
+    static constexpr int kBusDataBeats = noc::kCoherenceBusDataBeats;
 
   private:
     MemTiming timing_;

@@ -19,6 +19,24 @@
 namespace cryo::noc
 {
 
+/**
+ * Coherence packet geometry (Table 4), shared by the memory-latency
+ * model (mem::MemorySystem) and the NoC power model
+ * (power::OrionLite). It lives in the noc layer because both
+ * consumers sit above it in the architecture DAG; packet sizes are a
+ * property of the interconnect protocol, not of the cache ladder.
+ */
+inline constexpr int kCoherenceRequestFlits = 1;
+
+/** Cache-line data response size [flits] (64 B / 128-bit links). */
+inline constexpr int kCoherenceDataFlits = 5;
+
+/**
+ * Cache-line beats on the bus designs' decoupled data plane, which is
+ * wider than a router link (256-bit split-transaction data bus).
+ */
+inline constexpr int kCoherenceBusDataBeats = 2;
+
 /** Cache-coherence protocol the interconnect supports (Table 4). */
 enum class Protocol
 {

@@ -44,9 +44,8 @@ OrionLite::OrionLite(const tech::Technology &tech)
 double
 OrionLite::transactionEnergy(const noc::NocConfig &cfg) const
 {
-    using mem::MemorySystem;
-    const int req = MemorySystem::kRequestFlits;
-    const int data = MemorySystem::kDataFlits;
+    const int req = noc::kCoherenceRequestFlits;
+    const int data = noc::kCoherenceDataFlits;
     const int flits = req + data;
     const auto &topo = cfg.topology();
 

@@ -16,7 +16,6 @@
 #ifndef CRYOWIRE_POWER_ORION_LITE_HH
 #define CRYOWIRE_POWER_ORION_LITE_HH
 
-#include "mem/memory_system.hh"
 #include "noc/noc_config.hh"
 #include "power/cooling.hh"
 #include "tech/technology.hh"

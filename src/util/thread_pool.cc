@@ -61,6 +61,9 @@ ThreadPool::threads() const
 int
 ThreadPool::defaultThreads()
 {
+    // CRYOLINT-NEXTLINE(determinism-calls): CRYOWIRE_JOBS only picks
+    // the worker count; results are bitwise job-count-invariant
+    // (test_parallel pins 1/2/8 jobs against identical output).
     if (const char *env = std::getenv("CRYOWIRE_JOBS")) {
         try {
             const int jobs = std::stoi(env);

@@ -1,0 +1,27 @@
+/** Fixture [determinism-calls/bad]: every banned entropy source. */
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace cryo::core
+{
+
+double
+nondeterministicSoup()
+{
+    std::srand(static_cast<unsigned>(std::time(nullptr)));
+    double v = static_cast<double>(std::rand());
+    std::random_device entropy;
+    v += static_cast<double>(entropy());
+    v += static_cast<double>(
+        std::chrono::system_clock::now().time_since_epoch().count());
+    v += static_cast<double>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    if (const char *env = std::getenv("CRYOWIRE_FIXTURE"))
+        v += static_cast<double>(env[0]);
+    return v;
+}
+
+} // namespace cryo::core

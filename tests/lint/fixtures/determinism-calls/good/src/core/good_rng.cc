@@ -1,0 +1,35 @@
+/** Fixture [determinism-calls/good]: seeded RNG, identifiers that only
+ * *look* like the banned ones, and banned names inside literals. */
+
+#include <cstdint>
+#include <string>
+
+namespace cryo::core
+{
+
+struct Budget
+{
+    // A member named `time` is not ::time(); member access never
+    // trips the rule.
+    double time = 0.0;
+    double runtime() const { return time; }
+};
+
+std::uint64_t
+derivedStream(std::uint64_t seed, std::uint64_t index)
+{
+    // splitmix-style derived stream: deterministic per (seed, index).
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 31);
+}
+
+std::string
+diagnosticNote(const Budget &b)
+{
+    // Banned names inside string literals are not code.
+    return "do not call rand() or time() here; budget=" +
+           std::to_string(b.runtime());
+}
+
+} // namespace cryo::core

@@ -1,0 +1,34 @@
+/** Fixture [determinism-iteration/bad]: iteration order reaches the
+ * result (and the JSON sink would serialize it). */
+
+#include "exp/bad_iter.hh"
+
+#include <unordered_set>
+
+namespace cryo::exp
+{
+
+void
+ResultSink::add(const std::string &name, double value)
+{
+    byName_[name] += value; // keyed write: fine
+}
+
+double
+ResultSink::sum() const
+{
+    double total = 0.0;
+    for (const auto &kv : byName_) // order-dependent accumulation
+        total += kv.second;
+    return total;
+}
+
+int
+localWalk()
+{
+    std::unordered_set<int> seen{3, 1, 2};
+    int first = *seen.begin(); // first element is arbitrary
+    return first;
+}
+
+} // namespace cryo::exp

@@ -1,0 +1,26 @@
+/** Fixture [determinism-iteration/bad]: unordered members declared in
+ * the header, iterated in the paired .cc. */
+
+#ifndef CRYOWIRE_EXP_BAD_ITER_HH
+#define CRYOWIRE_EXP_BAD_ITER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace cryo::exp
+{
+
+class ResultSink
+{
+  public:
+    void add(const std::string &name, double value);
+    double sum() const;
+
+  private:
+    std::unordered_map<std::string, double> byName_;
+};
+
+} // namespace cryo::exp
+
+#endif // CRYOWIRE_EXP_BAD_ITER_HH

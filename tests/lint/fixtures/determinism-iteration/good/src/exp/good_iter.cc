@@ -1,0 +1,37 @@
+/** Fixture [determinism-iteration/good]: keyed unordered access and
+ * ordered iteration are both fine. */
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cryo::exp
+{
+
+double
+keyedLookups(const std::vector<std::string> &keys)
+{
+    std::unordered_map<std::string, double> cache;
+    for (const auto &k : keys) // iterating the *vector*, not the map
+        cache[k] = static_cast<double>(k.size());
+    double total = 0.0;
+    for (const auto &k : keys) {
+        const auto it = cache.find(k);
+        if (it != cache.end())
+            total += it->second;
+        cache.erase(k);
+    }
+    return total;
+}
+
+double
+orderedWalk(const std::map<std::string, double> &sorted)
+{
+    double total = 0.0;
+    for (const auto &kv : sorted) // std::map: deterministic order
+        total += kv.second;
+    return total;
+}
+
+} // namespace cryo::exp

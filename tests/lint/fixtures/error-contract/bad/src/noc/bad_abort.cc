@@ -1,0 +1,22 @@
+/** Fixture [error-contract/bad]: every banned escape hatch. */
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace cryo::noc
+{
+
+void
+badPaths(int mode)
+{
+    if (mode == 1)
+        std::abort();
+    if (mode == 2)
+        exit(2);
+    if (mode == 3)
+        throw std::runtime_error("raw exception, no context chain");
+    if (mode == 4)
+        throw std::logic_error("also raw");
+}
+
+} // namespace cryo::noc

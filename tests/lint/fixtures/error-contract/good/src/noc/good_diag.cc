@@ -1,0 +1,38 @@
+/** Fixture [error-contract/good]: typed diagnostics, plus banned
+ * names in literals/members that must not trip the rule. */
+
+#include <stdexcept>
+#include <string>
+
+namespace cryo
+{
+[[noreturn]] void fatal(const std::string &msg);
+
+struct FatalError : std::runtime_error
+{
+    // Inheriting from std::runtime_error is fine; *throwing* the raw
+    // type is what the rule bans.
+    using std::runtime_error::runtime_error;
+};
+} // namespace cryo
+
+namespace cryo::noc
+{
+
+struct Session
+{
+    void exit() {} // member named exit is not ::exit
+};
+
+void
+goodPaths(int mode, Session &s)
+{
+    if (mode == 1)
+        cryo::fatal("typed diagnostics carry the context chain");
+    if (mode == 2)
+        s.exit();
+    if (mode == 3)
+        cryo::fatal(std::string("never call std::abort() directly"));
+}
+
+} // namespace cryo::noc

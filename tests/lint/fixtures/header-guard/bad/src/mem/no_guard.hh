@@ -1,0 +1,9 @@
+/** Fixture [header-guard/bad]: no guard at all. */
+
+namespace cryo::mem
+{
+struct NoGuard
+{
+    int x = 0;
+};
+} // namespace cryo::mem

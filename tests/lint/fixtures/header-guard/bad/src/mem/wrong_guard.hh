@@ -1,0 +1,15 @@
+/** Fixture [header-guard/bad]: guard name copied from another file -
+ * the two headers now silently disable each other. */
+
+#ifndef CRYOWIRE_MEM_SOMETHING_ELSE_HH
+#define CRYOWIRE_MEM_SOMETHING_ELSE_HH
+
+namespace cryo::mem
+{
+struct WrongGuard
+{
+    int x = 0;
+};
+} // namespace cryo::mem
+
+#endif // CRYOWIRE_MEM_SOMETHING_ELSE_HH

@@ -1,0 +1,14 @@
+/** Fixture [header-guard/good]: path-derived conventional guard. */
+
+#ifndef CRYOWIRE_MEM_CONVENTIONAL_HH
+#define CRYOWIRE_MEM_CONVENTIONAL_HH
+
+namespace cryo::mem
+{
+struct Conventional
+{
+    int x = 0;
+};
+} // namespace cryo::mem
+
+#endif // CRYOWIRE_MEM_CONVENTIONAL_HH

@@ -1,0 +1,11 @@
+/** Fixture [header-guard/good]: '#pragma once' is also accepted. */
+
+#pragma once
+
+namespace cryo::mem
+{
+struct PragmaOnce
+{
+    int x = 0;
+};
+} // namespace cryo::mem

@@ -1,0 +1,15 @@
+/** Fixture [header-self-contained/bad]: names Widget without
+ * including widget.hh or forward-declaring it; compiles only when the
+ * includer happened to pull widget.hh in first. */
+
+#ifndef CRYOWIRE_NOC_USES_WIDGET_HH
+#define CRYOWIRE_NOC_USES_WIDGET_HH
+
+namespace cryo::noc
+{
+
+int portCount(const Widget &w);
+
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_USES_WIDGET_HH

@@ -1,0 +1,14 @@
+/** Fixture: the header that defines Widget. */
+
+#ifndef CRYOWIRE_NOC_WIDGET_HH
+#define CRYOWIRE_NOC_WIDGET_HH
+
+namespace cryo::noc
+{
+struct Widget
+{
+    int ports = 0;
+};
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_WIDGET_HH

@@ -1,0 +1,16 @@
+/** Fixture [header-self-contained/good]: a forward declaration
+ * satisfies reference/pointer use. */
+
+#ifndef CRYOWIRE_NOC_FWD_WIDGET_HH
+#define CRYOWIRE_NOC_FWD_WIDGET_HH
+
+namespace cryo::noc
+{
+
+struct Widget;
+
+int portCountByRef(const Widget &w);
+
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_FWD_WIDGET_HH

@@ -1,0 +1,15 @@
+/** Fixture [header-self-contained/good]: includes what it uses. */
+
+#ifndef CRYOWIRE_NOC_USES_WIDGET_HH
+#define CRYOWIRE_NOC_USES_WIDGET_HH
+
+#include "noc/widget.hh"
+
+namespace cryo::noc
+{
+
+int portCount(const Widget &w);
+
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_USES_WIDGET_HH

@@ -1,0 +1,14 @@
+/** Fixture: an exp-layer header some lower layer wrongly includes. */
+
+#ifndef CRYOWIRE_EXP_EXP_THING_HH
+#define CRYOWIRE_EXP_EXP_THING_HH
+
+namespace cryo::exp
+{
+struct ExpThing
+{
+    int id = 0;
+};
+} // namespace cryo::exp
+
+#endif // CRYOWIRE_EXP_EXP_THING_HH

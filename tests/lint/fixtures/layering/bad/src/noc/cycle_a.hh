@@ -1,0 +1,16 @@
+/** Fixture [layering/bad]: half of a file-level include cycle. */
+
+#ifndef CRYOWIRE_NOC_CYCLE_A_HH
+#define CRYOWIRE_NOC_CYCLE_A_HH
+
+#include "noc/cycle_b.hh"
+
+namespace cryo::noc
+{
+struct CycleA
+{
+    int b = 0;
+};
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_CYCLE_A_HH

@@ -1,0 +1,16 @@
+/** Fixture [layering/bad]: other half of the include cycle. */
+
+#ifndef CRYOWIRE_NOC_CYCLE_B_HH
+#define CRYOWIRE_NOC_CYCLE_B_HH
+
+#include "noc/cycle_a.hh"
+
+namespace cryo::noc
+{
+struct CycleB
+{
+    int a = 0;
+};
+} // namespace cryo::noc
+
+#endif // CRYOWIRE_NOC_CYCLE_B_HH

@@ -1,0 +1,17 @@
+/** Fixture [layering/bad]: tech (rank 1) includes exp (rank 5). */
+
+#ifndef CRYOWIRE_TECH_USES_EXP_HH
+#define CRYOWIRE_TECH_USES_EXP_HH
+
+#include "exp/exp_thing.hh"
+
+namespace cryo::tech
+{
+inline int
+thingId(const cryo::exp::ExpThing &t)
+{
+    return t.id;
+}
+} // namespace cryo::tech
+
+#endif // CRYOWIRE_TECH_USES_EXP_HH

@@ -1,0 +1,17 @@
+/** Fixture [layering/good]: power (rank 2) includes tech (rank 1). */
+
+#ifndef CRYOWIRE_POWER_GOOD_DOWN_HH
+#define CRYOWIRE_POWER_GOOD_DOWN_HH
+
+#include "tech/base.hh"
+
+namespace cryo::power
+{
+inline double
+baseValue(const cryo::tech::Base &b)
+{
+    return b.value;
+}
+} // namespace cryo::power
+
+#endif // CRYOWIRE_POWER_GOOD_DOWN_HH

@@ -1,0 +1,14 @@
+/** Fixture [layering/good]: a tech-layer header. */
+
+#ifndef CRYOWIRE_TECH_BASE_HH
+#define CRYOWIRE_TECH_BASE_HH
+
+namespace cryo::tech
+{
+struct Base
+{
+    double value = 0.0;
+};
+} // namespace cryo::tech
+
+#endif // CRYOWIRE_TECH_BASE_HH

@@ -1,0 +1,30 @@
+/** Fixture [static-state/bad]: mutable statics in a model layer make
+ * results order- and history-dependent. */
+
+#include <cstdint>
+#include <vector>
+
+namespace cryo::sys
+{
+
+static std::uint64_t callCount = 0; // namespace-scope mutable static
+
+static thread_local int lastCore = -1; // mutable thread-local
+
+double
+evaluate(double input)
+{
+    static std::vector<double> cache; // function-local mutable static
+    ++callCount;
+    cache.push_back(input);
+    return input * static_cast<double>(cache.size());
+}
+
+int
+stamp(int core)
+{
+    lastCore = core;
+    return lastCore;
+}
+
+} // namespace cryo::sys

@@ -1,0 +1,41 @@
+/** Fixture [static-state/good]: immutable statics and class-static
+ * member functions are all fine. */
+
+#include <array>
+
+namespace cryo::sys
+{
+
+static constexpr double kScale = 2.5; // constexpr: immutable
+
+namespace
+{
+struct LookupTable
+{
+    std::array<double, 4> v{1.0, 2.0, 3.0, 4.0};
+};
+} // namespace
+
+const LookupTable &
+table()
+{
+    // Deterministically constructed, const thereafter - the J5-table
+    // pattern the rule must keep allowing.
+    static const LookupTable t;
+    return t;
+}
+
+class Sampler
+{
+  public:
+    static double scaled(double x) { return x * kScale; } // member fn
+
+    static int
+    clamped(int v)
+    {
+        static constexpr int kMax = 7;
+        return v > kMax ? kMax : v;
+    }
+};
+
+} // namespace cryo::sys

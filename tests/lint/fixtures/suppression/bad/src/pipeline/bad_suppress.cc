@@ -1,0 +1,27 @@
+/** Fixture [suppression/bad]: every way to get a suppression wrong. */
+
+#include <cstdlib>
+
+namespace cryo::pipeline
+{
+
+int
+misuse()
+{
+    // CRYOLINT(not-a-real-rule): a long enough justification string
+    int a = 1;
+
+    // CRYOLINT(static-state)
+    int b = 2; // missing justification entirely
+
+    // CRYOLINT(error-contract): nope
+    int c = 3; // justification too short to mean anything
+
+    // CRYOLINT(error-contract): this line is perfectly clean, so the
+    // suppression is stale and must be removed.
+    int d = 4;
+
+    return a + b + c + d;
+}
+
+} // namespace cryo::pipeline

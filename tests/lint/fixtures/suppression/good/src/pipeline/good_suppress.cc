@@ -1,0 +1,18 @@
+/** Fixture [suppression/good]: a real violation, properly suppressed
+ * with a named rule and a reviewable justification. */
+
+#include <cstdint>
+
+namespace cryo::pipeline
+{
+
+std::uint64_t
+instrumentation()
+{
+    // CRYOLINT-NEXTLINE(static-state): profiling counter is written
+    // but never read by any model path; results cannot depend on it.
+    static std::uint64_t probeHits = 0;
+    return ++probeHits;
+}
+
+} // namespace cryo::pipeline

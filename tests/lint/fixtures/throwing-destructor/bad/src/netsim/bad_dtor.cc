@@ -1,0 +1,24 @@
+/** Fixture [throwing-destructor/bad]: throw during unwinding calls
+ * std::terminate and kills runner isolation. */
+
+#include <stdexcept>
+
+namespace cryo::netsim
+{
+
+class Drain
+{
+  public:
+    explicit Drain(int pending) : pending_(pending) {}
+
+    ~Drain()
+    {
+        if (pending_ != 0)
+            throw pending_; // any throw in a dtor is a finding
+    }
+
+  private:
+    int pending_;
+};
+
+} // namespace cryo::netsim

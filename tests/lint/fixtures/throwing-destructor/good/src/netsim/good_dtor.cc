@@ -1,0 +1,35 @@
+/** Fixture [throwing-destructor/good]: noexcept cleanup, defaulted
+ * dtors, and bitwise-not expressions that must not parse as dtors. */
+
+#include <cstdint>
+
+namespace cryo::netsim
+{
+
+std::uint32_t checksum(std::uint32_t x);
+
+class Buffer
+{
+  public:
+    ~Buffer()
+    {
+        pending_ = 0; // quiet cleanup; never throws
+    }
+
+    std::uint32_t
+    inverted() const
+    {
+        // `~checksum(...)`: bitwise-not of a call, not a destructor.
+        return ~checksum(pending_);
+    }
+
+  private:
+    std::uint32_t pending_ = 0;
+};
+
+struct Plain
+{
+    ~Plain() = default;
+};
+
+} // namespace cryo::netsim

@@ -1,0 +1,20 @@
+/** Fixture [units-boundary/bad]: raw doubles named like quantities in
+ * a typed-layer header. */
+
+#ifndef CRYOWIRE_TECH_BAD_UNITS_HH
+#define CRYOWIRE_TECH_BAD_UNITS_HH
+
+namespace cryo::tech
+{
+
+double resistivityAt(double temp_k);
+double delayOver(double len_m, double freq_hz);
+
+struct LeakageCard
+{
+    double power_w = 0.0;
+};
+
+} // namespace cryo::tech
+
+#endif // CRYOWIRE_TECH_BAD_UNITS_HH

@@ -1,0 +1,38 @@
+/** Fixture [units-boundary/good]: typed parameters; the *words*
+ * "double temp_k" in comments or literals must not trip the rule. */
+
+#ifndef CRYOWIRE_TECH_GOOD_UNITS_HH
+#define CRYOWIRE_TECH_GOOD_UNITS_HH
+
+namespace cryo::units
+{
+struct Kelvin
+{
+    double v = 0.0;
+};
+struct Hertz
+{
+    double v = 0.0;
+};
+} // namespace cryo::units
+
+namespace cryo::tech
+{
+
+// The old API took `double temp_k`; never reintroduce it.
+double resistivityAt(cryo::units::Kelvin temp);
+double switchAt(cryo::units::Hertz freq);
+
+inline const char *
+migrationNote()
+{
+    return "replaced `double temp_k` with units::Kelvin";
+}
+
+// Dimensionless doubles are allowed: only the _k/_m/_hz/_w
+// quantity-name suffixes imply a unit.
+double plainScalar(double ratio);
+
+} // namespace cryo::tech
+
+#endif // CRYOWIRE_TECH_GOOD_UNITS_HH

@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/cryowire_lint, run under ctest.
+
+Three layers of coverage:
+
+1. **Fixture corpus** (tests/lint/fixtures/<rule>/{bad,good}): every
+   rule has a mini-tree that must trip it and a mini-tree that must
+   stay silent. The good trees must be *completely* clean — a fixture
+   that trips an unrelated rule is a bug in the fixture.
+2. **Tokenizer unit tests**: comments, strings, raw strings, and
+   preprocessor continuations — the cases the old regex lint got
+   wrong by construction.
+3. **CLI contract**: exit codes and the cryowire-lint/1 JSON schema
+   that CI consumes.
+
+Run directly (``python3 tests/lint/run_fixture_tests.py``) or via
+ctest (test ``lint_fixtures``).
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+import unittest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent.parent
+FIXTURES = REPO / "tests" / "lint" / "fixtures"
+sys.path.insert(0, str(REPO / "tools"))
+
+from cryowire_lint import engine, rules, tokenizer  # noqa: E402
+from cryowire_lint.rules import headers  # noqa: E402
+from cryowire_lint.tokenizer import Kind  # noqa: E402
+
+
+class FixtureCorpus(unittest.TestCase):
+    """Each rule's bad tree trips it; each good tree is silent."""
+
+    def test_every_rule_has_fixtures(self):
+        expected = set(rules.rule_names())
+        # The json-output rule surface is the CLI contract, tested
+        # separately; every analysis rule needs a corpus entry.
+        on_disk = {p.name for p in FIXTURES.iterdir() if p.is_dir()}
+        self.assertEqual(
+            expected - on_disk,
+            set(),
+            "rules without a fixture directory",
+        )
+        for name in sorted(on_disk):
+            self.assertTrue((FIXTURES / name / "bad").is_dir(),
+                            f"{name}: missing bad/ fixture")
+            self.assertTrue((FIXTURES / name / "good").is_dir(),
+                            f"{name}: missing good/ fixture")
+
+    def test_bad_fixtures_trip_their_rule(self):
+        for rule_dir in sorted(FIXTURES.iterdir()):
+            if not rule_dir.is_dir():
+                continue
+            rule = rule_dir.name
+            with self.subTest(rule=rule):
+                result = engine.run(rule_dir / "bad")
+                hits = [f for f in result.findings if f.rule == rule]
+                self.assertTrue(
+                    hits,
+                    f"{rule}/bad produced no '{rule}' finding; got: "
+                    + "; ".join(f.render() for f in result.findings),
+                )
+
+    def test_good_fixtures_are_silent(self):
+        for rule_dir in sorted(FIXTURES.iterdir()):
+            if not rule_dir.is_dir():
+                continue
+            rule = rule_dir.name
+            with self.subTest(rule=rule):
+                result = engine.run(rule_dir / "good")
+                self.assertEqual(
+                    [f.render() for f in result.findings],
+                    [],
+                    f"{rule}/good must be clean",
+                )
+
+    def test_suppressed_good_fixture_counts_suppression(self):
+        result = engine.run(FIXTURES / "suppression" / "good")
+        self.assertEqual(result.findings, [])
+        self.assertEqual(result.suppressed_count, 1)
+
+    def test_bad_fixture_counts_are_exact(self):
+        """Pin the per-rule finding counts so a rule that silently
+        stops matching half its patterns fails loudly."""
+        expectations = {
+            "determinism-calls": 7,  # srand,time,rand,random_device,
+            #                          system_clock,steady_clock,getenv
+            "error-contract": 4,  # abort, exit, 2x raw throw
+            "units-boundary": 4,  # temp_k, len_m, freq_hz, power_w
+            "header-guard": 2,  # wrong guard + missing guard
+            "determinism-iteration": 2,  # range-for + .begin()
+        }
+        for rule, want in expectations.items():
+            with self.subTest(rule=rule):
+                result = engine.run(FIXTURES / rule / "bad")
+                hits = [f for f in result.findings if f.rule == rule]
+                self.assertEqual(
+                    len(hits), want,
+                    "; ".join(f.render() for f in hits),
+                )
+
+
+class TokenizerTests(unittest.TestCase):
+    def test_comments_and_strings_are_not_code(self):
+        toks = tokenizer.tokenize(
+            '// rand()\n/* std::abort() */\nconst char *s = "exit(1)";\n'
+        )
+        code = tokenizer.code_tokens(toks)
+        idents = [t.text for t in code if t.kind is Kind.IDENT]
+        self.assertEqual(idents, ["const", "char", "s"])
+        strings = [t for t in code if t.kind is Kind.STRING]
+        self.assertEqual(len(strings), 1)
+
+    def test_raw_strings(self):
+        toks = tokenizer.tokenize(
+            'auto s = R"json({"abort": "std::abort()"})json"; int x;'
+        )
+        kinds = [t.kind for t in toks]
+        self.assertIn(Kind.STRING, kinds)
+        idents = [t.text for t in toks if t.kind is Kind.IDENT]
+        self.assertNotIn("abort", idents)
+        self.assertIn("x", idents)
+
+    def test_pp_continuation_folds_to_one_token(self):
+        toks = tokenizer.tokenize("#define FOO(a, b) \\\n    ((a) + (b))\nint y;")
+        pps = [t for t in toks if t.kind is Kind.PP]
+        self.assertEqual(len(pps), 1)
+        self.assertIn("((a) + (b))", pps[0].text)
+        # Line numbers survive the continuation.
+        y = next(t for t in toks if t.text == "y")
+        self.assertEqual(y.line, 3)
+
+    def test_line_numbers_through_block_comment(self):
+        toks = tokenizer.tokenize("/* a\n b\n c */\nint z;")
+        z = next(t for t in toks if t.text == "z")
+        self.assertEqual(z.line, 4)
+
+    def test_unterminated_string_raises(self):
+        with self.assertRaises(tokenizer.TokenizeError):
+            tokenizer.tokenize('const char *s = "oops\n;')
+
+    def test_conventional_guard_derivation(self):
+        self.assertEqual(
+            headers.conventional_guard("src/tech/mosfet.hh"),
+            "CRYOWIRE_TECH_MOSFET_HH",
+        )
+        self.assertEqual(
+            headers.conventional_guard("bench/micro_common.hh"),
+            "CRYOWIRE_BENCH_MICRO_COMMON_HH",
+        )
+
+
+class CliContract(unittest.TestCase):
+    """The CLI surface CI depends on: exit codes + JSON schema."""
+
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, str(REPO / "tools" / "cryowire_lint"),
+             *args],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_bad_fixture_exits_one_and_emits_schema(self):
+        out = pathlib.Path(self._tmp("findings.json"))
+        proc = self._run(
+            "--root", str(FIXTURES / "error-contract" / "bad"),
+            "--json", str(out), "--quiet",
+        )
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        data = json.loads(out.read_text())
+        self.assertEqual(data["schema"], "cryowire-lint/1")
+        self.assertFalse(data["ok"])
+        self.assertEqual(
+            data["counts"]["total"], len(data["findings"])
+        )
+        self.assertEqual(
+            data["counts"]["by_rule"].get("error-contract"), 4
+        )
+        for f in data["findings"]:
+            self.assertEqual(
+                sorted(f), ["line", "message", "path", "rule"]
+            )
+
+    def test_good_fixture_exits_zero(self):
+        proc = self._run(
+            "--root", str(FIXTURES / "layering" / "good"), "--quiet"
+        )
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+
+    def test_unknown_rule_exits_two(self):
+        proc = self._run("--rules", "no-such-rule")
+        self.assertEqual(proc.returncode, 2)
+        self.assertIn("unknown rule", proc.stderr)
+
+    def test_list_rules_names_at_least_eight(self):
+        proc = self._run("--list-rules")
+        self.assertEqual(proc.returncode, 0)
+        listed = [
+            line.split()[0]
+            for line in proc.stdout.splitlines()
+            if line.strip()
+        ]
+        self.assertGreaterEqual(len(listed), 8)
+        self.assertEqual(listed, rules.rule_names())
+
+    def test_deps_report_written(self):
+        out = pathlib.Path(self._tmp("deps.md"))
+        proc = self._run(
+            "--root", str(REPO), "--deps-report", str(out), "--quiet"
+        )
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        report = out.read_text()
+        self.assertIn("# CryoWire dependency report", report)
+        self.assertIn("include graph is acyclic", report)
+
+    def _tmp(self, name: str) -> str:
+        import tempfile
+
+        d = getattr(self, "_tmpdir", None)
+        if d is None:
+            d = tempfile.mkdtemp(prefix="cryowire_lint_test_")
+            self._tmpdir = d
+        return str(pathlib.Path(d) / name)
+
+
+class TreeIsClean(unittest.TestCase):
+    """The real tree passes the full rule set (the tier-1 gate)."""
+
+    def test_repo_lints_clean(self):
+        result = engine.run(REPO)
+        self.assertEqual(
+            [f.render() for f in result.findings], [],
+            "the tree must lint clean; fix or CRYOLINT-justify",
+        )
+        self.assertGreaterEqual(result.files_scanned, 100)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -16,6 +16,23 @@ using namespace cryo::mem;
 using namespace cryo::units;
 using cryo::tech::Technology;
 
+// Regression for the layering fix that moved the coherence packet
+// geometry into the noc layer (power must not include mem): the
+// mem-side aliases and the canonical noc constants must stay the
+// Table-4 values, and identical, so the latency and power models keep
+// pricing the same packets.
+TEST(CoherenceGeometry, NocOwnsTheCanonicalConstants)
+{
+    EXPECT_EQ(cryo::noc::kCoherenceRequestFlits, 1);
+    EXPECT_EQ(cryo::noc::kCoherenceDataFlits, 5);
+    EXPECT_EQ(cryo::noc::kCoherenceBusDataBeats, 2);
+    EXPECT_EQ(MemorySystem::kRequestFlits,
+              cryo::noc::kCoherenceRequestFlits);
+    EXPECT_EQ(MemorySystem::kDataFlits, cryo::noc::kCoherenceDataFlits);
+    EXPECT_EQ(MemorySystem::kBusDataBeats,
+              cryo::noc::kCoherenceBusDataBeats);
+}
+
 TEST(MemTiming, Table4Values300K)
 {
     const auto t = MemTiming::at300();

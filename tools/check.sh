@@ -2,8 +2,11 @@
 # Local static-analysis gate - the same checks CI runs.
 #
 #   tools/check.sh           warning-clean -Werror build + full ctest
-#                            + unit-parameter lint (+ clang-tidy and
+#                            + cryowire_lint (+ clang-tidy and
 #                            clang-format when installed)
+#   tools/check.sh --lint    cryowire_lint only: the full rule set,
+#                            plus the JSON findings and dependency
+#                            report, without building anything
 #   tools/check.sh --asan    the same build/tests under ASan+UBSan
 #   tools/check.sh --ubsan   the same build/tests under UBSan alone
 #   tools/check.sh --tsan    the same build/tests under TSan
@@ -13,7 +16,8 @@
 #
 # clang-tidy and clang-format are optional: when absent the step is
 # skipped with a notice instead of failing, so the gate still runs on
-# minimal toolchains (gcc + cmake only).
+# minimal toolchains (gcc + cmake only). cryowire_lint needs only
+# Python 3 and always runs.
 
 set -euo pipefail
 
@@ -43,9 +47,20 @@ case "$MODE" in
         BUILD_DIR="$ROOT/build-check-bench"
         CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Release)
         ;;
+    --lint)
+        # Lint-only fast path: no configure, no build.
+        mkdir -p "$BUILD_DIR"
+        echo "==> cryowire_lint (full rule set)"
+        python3 "$ROOT/tools/cryowire_lint" --root "$ROOT" \
+            --json "$BUILD_DIR/lint_findings.json" \
+            --deps-report "$BUILD_DIR/lint_deps.md"
+        echo "==> findings:   $BUILD_DIR/lint_findings.json"
+        echo "==> dep report: $BUILD_DIR/lint_deps.md"
+        exit 0
+        ;;
     "") ;;
     *)
-        echo "usage: $0 [--asan|--ubsan|--tsan|--bench]" >&2
+        echo "usage: $0 [--lint|--asan|--ubsan|--tsan|--bench]" >&2
         exit 2
         ;;
 esac
@@ -78,8 +93,10 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" -- --no-print-directory
 echo "==> ctest"
 ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
 
-echo "==> lint_units"
-python3 "$ROOT/tools/lint_units.py" --root "$ROOT"
+echo "==> cryowire_lint"
+python3 "$ROOT/tools/cryowire_lint" --root "$ROOT" \
+    --json "$BUILD_DIR/lint_findings.json" \
+    --deps-report "$BUILD_DIR/lint_deps.md"
 
 if [[ -z "$MODE" ]]; then
     # The smoke subset covers every anchored metric except the four

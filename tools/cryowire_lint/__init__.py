@@ -1,0 +1,22 @@
+"""cryowire-lint: rule-based static analysis for the CryoWire tree.
+
+The framework enforces the three contracts no compiler checks for us:
+
+* **Determinism** — the parallel sweep engine (DESIGN.md §4b) promises
+  bitwise-identical output at any job count, and the anchor gate
+  compares JSON byte-for-byte. Wall-clock reads, unseeded randomness,
+  environment-dependent values, and unordered-container iteration all
+  break that promise silently.
+* **Layering** — util → tech → {power, pipeline, noc} →
+  {netsim, mem, sys} → core → exp. A cycle or upward include couples
+  layers that the DSE engine needs to evaluate (and cache)
+  independently.
+* **Units and error contracts** — the typed-quantity boundary
+  (DESIGN.md §4c) and the typed-diagnostics contract (DESIGN.md §8).
+
+Run ``python3 tools/cryowire_lint --root .`` or see ``--help``.
+"""
+
+__version__ = "1.0"
+
+SCHEMA = "cryowire-lint/1"

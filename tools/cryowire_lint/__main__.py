@@ -1,0 +1,110 @@
+"""CLI: ``python3 tools/cryowire_lint [--root DIR] [options]``.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+# Support both package (`python3 -m cryowire_lint`) and directory
+# (`python3 tools/cryowire_lint`) invocation: the latter puts the
+# package dir itself on sys.path, so absolute imports of the package
+# need its parent there too.
+if __package__ in (None, ""):
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent)
+    )
+    from cryowire_lint import engine, rules  # type: ignore
+    from cryowire_lint.tokenizer import TokenizeError  # type: ignore
+else:
+    from . import engine, rules
+    from .tokenizer import TokenizeError
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="cryowire_lint",
+        description=(
+            "Rule-based static analysis enforcing CryoWire's "
+            "determinism, layering, units, and error contracts."
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent.parent,
+        help="repository root (default: the checkout containing this "
+        "tool)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (default: all; "
+        "note the unused-suppression check only runs with all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its rationale and exit",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="write machine-readable findings (schema cryowire-lint/1)",
+    )
+    parser.add_argument(
+        "--deps-report",
+        type=pathlib.Path,
+        metavar="PATH",
+        help="write the include-graph/dependency report (markdown)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the final summary line",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in rules.all_rules():
+            print(f"{rule.name:24s} {rule.rationale}")
+        return 0
+
+    selected = None
+    if args.rules:
+        selected = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    try:
+        result = engine.run(args.root, selected)
+    except (ValueError, TokenizeError, OSError) as err:
+        print(f"cryowire_lint: error: {err}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        engine.write_json(result, args.json)
+    if args.deps_report:
+        engine.write_deps_report(result, args.deps_report)
+
+    if not args.quiet:
+        for finding in result.findings:
+            print(finding.render())
+    summary = (
+        f"cryowire_lint: {len(result.findings)} finding(s) across "
+        f"{result.files_scanned} file(s), "
+        f"{result.suppressed_count} suppressed "
+        f"[{len(result.active_rules)} rules]"
+    )
+    if result.ok:
+        print(f"cryowire_lint: OK ({result.files_scanned} files, "
+              f"{len(result.active_rules)} rules, "
+              f"{result.suppressed_count} suppressed)")
+        return 0
+    print(summary, file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

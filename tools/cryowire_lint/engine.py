@@ -1,0 +1,137 @@
+"""The lint engine: load tree -> run rules -> apply suppressions ->
+render text / JSON / dependency report."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from . import SCHEMA
+from . import rules as rules_pkg
+from .include_graph import IncludeGraph
+from .model import Finding, SourceFile
+from .rules.suppression import SuppressionRule
+from .tokenizer import TokenizeError
+
+LINT_DIRS = ("src", "bench")
+EXTENSIONS = (".hh", ".cc", ".cpp", ".hpp")
+
+
+class LintResult:
+    def __init__(self, root: pathlib.Path, active_rules: list[str]):
+        self.root = root
+        self.active_rules = active_rules
+        self.findings: list[Finding] = []
+        self.suppressed_count = 0
+        self.files_scanned = 0
+        self.graph: IncludeGraph | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for f in self.findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        return {
+            "schema": SCHEMA,
+            "root": str(self.root),
+            "rules": self.active_rules,
+            "files_scanned": self.files_scanned,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "message": f.message,
+                }
+                for f in self.findings
+            ],
+            "counts": {
+                "total": len(self.findings),
+                "suppressed": self.suppressed_count,
+                "by_rule": dict(sorted(by_rule.items())),
+            },
+            "ok": self.ok,
+        }
+
+
+def load_tree(root: pathlib.Path) -> list[SourceFile]:
+    files: list[SourceFile] = []
+    for sub in LINT_DIRS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS or not path.is_file():
+                continue
+            files.append(SourceFile(root, path))
+    return files
+
+
+def run(
+    root: pathlib.Path,
+    rule_names: list[str] | None = None,
+) -> LintResult:
+    """Lint the tree under ``root`` with the selected rules (all by
+    default). Raises TokenizeError on unlexable input."""
+    root = root.resolve()
+    all_rules = rules_pkg.all_rules()
+    known = {r.name for r in all_rules}
+    if rule_names is None:
+        selected = all_rules
+    else:
+        unknown = sorted(set(rule_names) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        selected = [r for r in all_rules if r.name in rule_names]
+
+    files = load_tree(root)
+    graph = IncludeGraph(root, files)
+    ctx = rules_pkg.Context(root, files, graph)
+
+    result = LintResult(root, [r.name for r in selected])
+    result.files_scanned = len(files)
+    result.graph = graph
+
+    suppression_rule = next(
+        (r for r in selected if isinstance(r, SuppressionRule)), None
+    )
+    if suppression_rule is not None:
+        suppression_rule.known_rules = known
+        suppression_rule.check_unused = rule_names is None
+
+    for rule in selected:
+        for finding in rule.check(ctx):
+            src = graph.files.get(finding.path)
+            if src is not None and src.suppressed(
+                finding.rule, finding.line
+            ):
+                result.suppressed_count += 1
+                continue
+            result.findings.append(finding)
+
+    # Unused suppressions only make sense once every rule has had the
+    # chance to consume them.
+    if suppression_rule is not None:
+        result.findings.extend(
+            suppression_rule.check_unused_suppressions(ctx)
+        )
+
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return result
+
+
+def write_json(result: LintResult, path: pathlib.Path) -> None:
+    path.write_text(
+        json.dumps(result.to_json(), indent=2, sort_keys=False) + "\n"
+    )
+
+
+def write_deps_report(result: LintResult, path: pathlib.Path) -> None:
+    assert result.graph is not None
+    path.write_text(result.graph.dependency_report())

@@ -1,0 +1,226 @@
+"""Project include-graph builder: edges, closure, cycles, layer report.
+
+Quoted includes are resolved against ``src/`` (the project convention:
+``#include "tech/mosfet.hh"``) and against the includer's own
+directory. System includes (``<...>``) are outside the graph.
+
+The layer ranks implement the architecture DAG from DESIGN.md:
+
+    util(0) -> tech(1) -> {power, pipeline, noc}(2)
+            -> {netsim, mem, sys}(3) -> core(4) -> exp(5)
+
+A file may include headers of the same or lower rank; same-rank
+cross-directory edges are legal only while the *directory* graph stays
+acyclic (the layering rule checks both).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from collections import defaultdict
+
+from . import model
+from .model import SourceFile
+
+LAYER_RANK: dict[str, int] = {
+    "util": 0,
+    "tech": 1,
+    "power": 2,
+    "pipeline": 2,
+    "noc": 2,
+    "netsim": 3,
+    "mem": 3,
+    "sys": 3,
+    "core": 4,
+    "exp": 5,
+}
+
+LAYER_ORDER = sorted(LAYER_RANK, key=lambda d: (LAYER_RANK[d], d))
+
+
+class IncludeGraph:
+    """File-level include graph over the lexed project files."""
+
+    def __init__(self, root: pathlib.Path, files: list[SourceFile]):
+        self.root = root
+        self.files = {f.rel: f for f in files}
+        # rel path -> set of rel paths it directly includes (project
+        # files only; unresolvable includes are recorded separately).
+        self.edges: dict[str, set[str]] = defaultdict(set)
+        self.unresolved: dict[str, list[tuple[int, str]]] = defaultdict(list)
+        self._closure: dict[str, set[str]] | None = None
+        for f in files:
+            self._scan(f)
+
+    def _scan(self, f: SourceFile) -> None:
+        for tok in f.tokens:
+            target = model.pp_include(tok)
+            if target is None:
+                continue
+            resolved = self._resolve(f.rel, target)
+            if resolved is None:
+                self.unresolved[f.rel].append((tok.line, target))
+            else:
+                self.edges[f.rel].add(resolved)
+
+    def _resolve(self, includer_rel: str, target: str) -> str | None:
+        candidates = [
+            f"src/{target}",  # project convention: paths under src/
+            str(pathlib.PurePosixPath(includer_rel).parent / target),
+            target,  # repo-root-relative (bench/, tests/ helpers)
+        ]
+        for cand in candidates:
+            norm = str(pathlib.PurePosixPath(cand))
+            if norm in self.files:
+                return norm
+        return None
+
+    def include_line(self, includer: str, included: str) -> int:
+        """Line of the #include directive (for finding locations)."""
+        f = self.files[includer]
+        for tok in f.tokens:
+            target = model.pp_include(tok)
+            if target and self._resolve(includer, target) == included:
+                return tok.line
+        return 1
+
+    # -- transitive closure -------------------------------------------
+
+    def closure(self, rel: str) -> set[str]:
+        """All project files transitively included by ``rel``."""
+        if self._closure is None:
+            self._closure = {}
+        if rel in self._closure:
+            return self._closure[rel]
+        seen: set[str] = set()
+        stack = [rel]
+        while stack:
+            cur = stack.pop()
+            for nxt in self.edges.get(cur, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        self._closure[rel] = seen
+        return seen
+
+    # -- cycle detection ----------------------------------------------
+
+    def file_cycles(self) -> list[list[str]]:
+        """Elementary include cycles among files (header cycles)."""
+        # Iterative DFS with colouring; reports each back-edge cycle
+        # once, path reconstructed from the DFS stack.
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {rel: WHITE for rel in self.files}
+        cycles: list[list[str]] = []
+        seen_keys: set[tuple[str, ...]] = set()
+
+        for start in sorted(self.files):
+            if colour[start] != WHITE:
+                continue
+            path: list[str] = []
+            stack: list[tuple[str, iter]] = [
+                (start, iter(sorted(self.edges.get(start, ()))))
+            ]
+            colour[start] = GREY
+            path.append(start)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if colour.get(nxt, BLACK) == WHITE:
+                        colour[nxt] = GREY
+                        path.append(nxt)
+                        stack.append(
+                            (nxt, iter(sorted(self.edges.get(nxt, ()))))
+                        )
+                        advanced = True
+                        break
+                    if colour.get(nxt) == GREY:
+                        cyc = path[path.index(nxt):] + [nxt]
+                        key = tuple(sorted(set(cyc)))
+                        if key not in seen_keys:
+                            seen_keys.add(key)
+                            cycles.append(cyc)
+                if not advanced:
+                    stack.pop()
+                    path.pop()
+                    colour[node] = BLACK
+        return cycles
+
+    # -- layer aggregation --------------------------------------------
+
+    def layer_edges(self) -> dict[tuple[str, str], list[tuple[str, str]]]:
+        """(src_layer, dst_layer) -> [(includer, included), ...]."""
+        out: dict[tuple[str, str], list[tuple[str, str]]] = defaultdict(list)
+        for includer, targets in self.edges.items():
+            src_layer = self.files[includer].layer_dir()
+            if src_layer is None:
+                continue
+            for included in targets:
+                dst_layer = self.files[included].layer_dir()
+                if dst_layer is None or dst_layer == src_layer:
+                    continue
+                out[(src_layer, dst_layer)].append((includer, included))
+        return out
+
+    # -- human-readable report ----------------------------------------
+
+    def dependency_report(self) -> str:
+        """Markdown include-graph/dependency report (CI artifact)."""
+        lines: list[str] = []
+        lines.append("# CryoWire dependency report")
+        lines.append("")
+        lines.append("Generated by `tools/cryowire_lint --deps-report`.")
+        lines.append("")
+        lines.append("## Layer DAG")
+        lines.append("")
+        lines.append(
+            "util(0) -> tech(1) -> {power, pipeline, noc}(2) -> "
+            "{netsim, mem, sys}(3) -> core(4) -> exp(5)"
+        )
+        lines.append("")
+        lines.append("## Cross-layer edge matrix (includer -> included)")
+        lines.append("")
+        agg = self.layer_edges()
+        header = "| from \\ to | " + " | ".join(LAYER_ORDER) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (len(LAYER_ORDER) + 1))
+        for src in LAYER_ORDER:
+            row = [f"| **{src}** "]
+            for dst in LAYER_ORDER:
+                count = len(agg.get((src, dst), ()))
+                cell = str(count) if count else "."
+                if count and LAYER_RANK[dst] > LAYER_RANK[src]:
+                    cell = f"**{cell}** (!)"
+                row.append(f"| {cell} ")
+            lines.append("".join(row) + "|")
+        lines.append("")
+        lines.append("## Per-directory fan-out")
+        lines.append("")
+        for src in LAYER_ORDER:
+            deps = sorted(
+                {dst for (s, dst) in agg if s == src and agg[(s, dst)]}
+            )
+            lines.append(f"- `src/{src}` -> {', '.join(deps) or '(none)'}")
+        lines.append("")
+        cycles = self.file_cycles()
+        lines.append("## Include cycles")
+        lines.append("")
+        if cycles:
+            for cyc in cycles:
+                lines.append("- " + " -> ".join(cyc))
+        else:
+            lines.append("None — the include graph is acyclic.")
+        lines.append("")
+        lines.append("## File-level cross-layer edges")
+        lines.append("")
+        for (src, dst) in sorted(agg):
+            for includer, included in sorted(agg[(src, dst)]):
+                mark = (
+                    " **(!)**"
+                    if LAYER_RANK[dst] > LAYER_RANK[src]
+                    else ""
+                )
+                lines.append(f"- `{includer}` -> `{included}`{mark}")
+        lines.append("")
+        return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Shared data model: source files, findings, and suppressions.
+
+Suppression syntax (rule 'suppression' polices the syntax itself):
+
+    code();  // CRYOLINT(rule-name): why this is sound here
+    // CRYOLINT-NEXTLINE(rule-name): why the next line is sound
+    // CRYOLINT-FILE(rule-name): why this whole file is exempt
+
+The justification after the colon is mandatory and must be a real
+sentence (>= 20 characters): a suppression is a reviewed exception to
+a contract, and the reviewer of the *next* change to that line needs
+to know whether the exception still holds. ``CRYOLINT-FILE`` must
+appear in the first 30 lines so it is visible at the top of the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import re
+
+from . import tokenizer
+from .tokenizer import Kind, Token
+
+MIN_JUSTIFICATION = 20  # characters; a real sentence, not "ok"
+FILE_SUPPRESSION_WINDOW = 30  # lines; CRYOLINT-FILE must be near the top
+
+_SUPPRESS_RE = re.compile(
+    r"CRYOLINT(?P<scope>-NEXTLINE|-FILE)?"
+    r"\s*\(\s*(?P<rules>[A-Za-z0-9_,\s-]*)\s*\)"
+    r"\s*(?P<colon>:?)\s*(?P<why>.*?)\s*$",
+    re.S,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Suppression:
+    rules: tuple[str, ...]
+    line: int  # line of the CRYOLINT comment itself
+    target_line: int | None  # None = whole file
+    justification: str
+    raw: str
+    used: bool = False
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule not in self.rules:
+            return False
+        return self.target_line is None or line == self.target_line
+
+
+class SourceFile:
+    """A lexed source file plus its parsed suppression comments."""
+
+    def __init__(self, root: pathlib.Path, path: pathlib.Path):
+        self.abspath = path
+        self.rel = path.relative_to(root).as_posix()
+        self.text = path.read_text(encoding="utf-8", errors="replace")
+        self.tokens: list[Token] = tokenizer.tokenize(self.text)
+        self.code: list[Token] = tokenizer.code_tokens(self.tokens)
+        self.suppressions: list[Suppression] = []
+        self.suppression_errors: list[tuple[int, str]] = []
+        self._parse_suppressions()
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def is_header(self) -> bool:
+        return self.abspath.suffix == ".hh"
+
+    def top_dir(self) -> str:
+        """First path component under the root ('src', 'bench', ...)."""
+        return self.rel.split("/", 1)[0]
+
+    def layer_dir(self) -> str | None:
+        """'tech' for src/tech/mosfet.cc; None outside src/."""
+        parts = self.rel.split("/")
+        if len(parts) >= 3 and parts[0] == "src":
+            return parts[1]
+        return None
+
+    # -- suppressions --------------------------------------------------
+
+    def _parse_suppressions(self) -> None:
+        for tok in self.tokens:
+            if tok.kind is not Kind.COMMENT or "CRYOLINT" not in tok.text:
+                continue
+            m = _SUPPRESS_RE.search(tok.text)
+            if m is None:
+                self.suppression_errors.append(
+                    (tok.line,
+                     "malformed CRYOLINT comment; expected "
+                     "CRYOLINT(rule): justification")
+                )
+                continue
+            rules = tuple(
+                r.strip() for r in m.group("rules").split(",") if r.strip()
+            )
+            why = m.group("why")
+            scope = m.group("scope") or ""
+            if not rules:
+                self.suppression_errors.append(
+                    (tok.line, "CRYOLINT suppression names no rule")
+                )
+                continue
+            if not m.group("colon") or len(why) < MIN_JUSTIFICATION:
+                self.suppression_errors.append(
+                    (tok.line,
+                     f"CRYOLINT({', '.join(rules)}) needs a "
+                     f"justification of >= {MIN_JUSTIFICATION} "
+                     "characters after ':'")
+                )
+                continue
+            if scope == "-FILE":
+                if tok.line > FILE_SUPPRESSION_WINDOW:
+                    self.suppression_errors.append(
+                        (tok.line,
+                         "CRYOLINT-FILE must appear in the first "
+                         f"{FILE_SUPPRESSION_WINDOW} lines")
+                    )
+                    continue
+                target: int | None = None
+            elif scope == "-NEXTLINE":
+                # "Next line" means the next line bearing *code*:
+                # a continued comment block does not move the target.
+                target = next(
+                    (t.line for t in self.code if t.line > tok.line),
+                    tok.line + 1,
+                )
+            else:
+                target = tok.line
+            self.suppressions.append(
+                Suppression(rules, tok.line, target, why, tok.text.strip())
+            )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """Consume a matching suppression for (rule, line), if any."""
+        for s in self.suppressions:
+            if s.covers(rule, line):
+                s.used = True
+                return True
+        return False
+
+
+def pp_include(token: Token) -> str | None:
+    """The quoted include target of a PP token, if it is #include "x"."""
+    if token.kind is not Kind.PP:
+        return None
+    m = re.match(r'#\s*include\s+"([^"]+)"', token.text)
+    return m.group(1) if m else None

@@ -1,0 +1,56 @@
+"""Rule registry.
+
+Every rule is a module-level object with
+
+* ``name``      — stable kebab-case id (used in CRYOLINT suppressions,
+                  JSON output, and ``--rules``),
+* ``rationale`` — one sentence for ``--list-rules`` and the report,
+* ``check(ctx)`` — generator of Findings over a ``Context``.
+
+Rules are pure functions of the lexed tree: no I/O, no state between
+runs, so fixture self-tests can run them in-process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+from ..include_graph import IncludeGraph
+from ..model import SourceFile
+
+
+@dataclasses.dataclass
+class Context:
+    root: pathlib.Path
+    files: list[SourceFile]  # lexed src/** and bench/** files
+    graph: IncludeGraph
+
+    def src_files(self):
+        return [f for f in self.files if f.top_dir() == "src"]
+
+    def by_rel(self, rel: str) -> SourceFile | None:
+        return self.graph.files.get(rel)
+
+
+def all_rules():
+    """The registered rules, in report order."""
+    from . import determinism, errors, headers, layering, statics, units
+    from . import suppression
+
+    return [
+        layering.LayeringRule(),
+        determinism.DeterminismCallsRule(),
+        determinism.DeterminismIterationRule(),
+        units.UnitsBoundaryRule(),
+        errors.ErrorContractRule(),
+        errors.ThrowingDestructorRule(),
+        statics.StaticStateRule(),
+        headers.HeaderGuardRule(),
+        headers.SelfContainedRule(),
+        suppression.SuppressionRule(),
+    ]
+
+
+def rule_names() -> list[str]:
+    return [r.name for r in all_rules()]

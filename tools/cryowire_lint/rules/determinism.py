@@ -1,0 +1,240 @@
+"""Rules ``determinism-calls`` and ``determinism-iteration``.
+
+The sweep engine (DESIGN.md §4b) promises bitwise-identical JSON at
+any job count, the anchor gate diffs that JSON byte-for-byte, and the
+planned DSE result cache keys on config hashes. Three things silently
+break all of that:
+
+* wall-clock/OS entropy reads (``time``, ``clock``,
+  ``std::chrono::system_clock``, ``std::random_device``, C ``rand``),
+* environment reads (``getenv``) feeding model behaviour,
+* iteration over ``std::unordered_{map,set,...}``, whose order is
+  implementation- and sometimes run-dependent; keyed lookup
+  (find/at/erase-by-key/operator[]) is fine, iteration is not.
+
+``std::chrono::steady_clock`` is legitimate for *diagnostics* but is
+additionally banned in the result-producing layers (src/exp,
+src/core), where a CRYOLINT suppression with justification is the only
+way in.
+"""
+
+from __future__ import annotations
+
+from ..model import Finding, SourceFile
+from ..tokenizer import Kind
+from . import Context
+
+# Banned in all of src/. Function-like names must be followed by '('
+# so a member or variable merely *named* `time` is not a finding.
+BANNED_EVERYWHERE = {
+    "rand": (True, "use util::Rng with a derived per-point seed"),
+    "srand": (True, "use util::Rng with a derived per-point seed"),
+    "random_device": (False, "use util::Rng with a derived seed"),
+    "time": (True, "wall-clock input breaks replayable results"),
+    "clock": (True, "wall-clock input breaks replayable results"),
+    "system_clock": (False, "wall-clock input breaks replayable results"),
+    "high_resolution_clock": (
+        False,
+        "wall-clock input breaks replayable results",
+    ),
+    "getenv": (
+        True,
+        "environment reads make results host-dependent",
+    ),
+}
+
+# Additionally banned where results are produced and serialized.
+BANNED_IN_RESULT_LAYERS = {
+    "steady_clock": (
+        False,
+        "even monotonic time must not reach experiment results",
+    ),
+}
+
+RESULT_LAYERS = ("exp", "core")
+
+UNORDERED_TYPES = {
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+}
+
+
+def _banned_for(f: SourceFile) -> dict:
+    banned = dict(BANNED_EVERYWHERE)
+    if f.layer_dir() in RESULT_LAYERS:
+        banned.update(BANNED_IN_RESULT_LAYERS)
+    return banned
+
+
+class DeterminismCallsRule:
+    name = "determinism-calls"
+    rationale = (
+        "ban wall-clock, OS-entropy, and environment reads that break "
+        "bitwise-reproducible results"
+    )
+
+    def check(self, ctx: Context):
+        for f in ctx.src_files():
+            banned = _banned_for(f)
+            toks = f.code
+            for i, tok in enumerate(toks):
+                if tok.kind is not Kind.IDENT or tok.text not in banned:
+                    continue
+                needs_call, why = banned[tok.text]
+                prev = toks[i - 1] if i > 0 else None
+                nxt = toks[i + 1] if i + 1 < len(toks) else None
+                # Member access (`h.time(...)`) is a different symbol,
+                # and `double time(...)` / `Foo rand(...)` preceded by
+                # a type name is a declaration, not a call.
+                if prev is not None and (
+                    prev.text in (".", "->")
+                    or (needs_call and prev.kind is Kind.IDENT
+                        and prev.text != "return")
+                ):
+                    continue
+                # `std::chrono::steady_clock` et al. may be qualified;
+                # part of a longer qualified name we don't ban
+                # (`foo::time_point`) never lexes as the bare ident.
+                if needs_call and (nxt is None or nxt.text != "("):
+                    continue
+                # Declarations of our own entities named e.g. `clock`
+                # would be odd; don't special-case them.
+                yield Finding(
+                    self.name,
+                    f.rel,
+                    tok.line,
+                    f"'{tok.text}' is nondeterministic input: {why}",
+                )
+
+
+class DeterminismIterationRule:
+    name = "determinism-iteration"
+    rationale = (
+        "ban result-affecting iteration over std::unordered_* "
+        "containers (order is implementation-defined)"
+    )
+
+    def check(self, ctx: Context):
+        # Header/impl pairs share member declarations: gather the
+        # unordered-typed names from the file *and* its paired header.
+        for f in ctx.src_files():
+            names = set(_unordered_names(f))
+            if f.rel.endswith(".cc"):
+                header = ctx.by_rel(f.rel[:-3] + ".hh")
+                if header is not None:
+                    names |= set(_unordered_names(header))
+            if not names:
+                continue
+            yield from self._scan_uses(f, names)
+
+    def _scan_uses(self, f: SourceFile, names: set):
+        toks = f.code
+        for i, tok in enumerate(toks):
+            if tok.kind is not Kind.IDENT or tok.text not in names:
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            # Range-for over the container: `for (... : name)`.
+            if (
+                prev is not None
+                and prev.text == ":"
+                and _in_range_for(toks, i)
+            ):
+                yield Finding(
+                    self.name,
+                    f.rel,
+                    tok.line,
+                    f"range-for over unordered container '{tok.text}'; "
+                    "iteration order is implementation-defined — use a "
+                    "sorted snapshot, std::map, or a side vector",
+                )
+                continue
+            # Explicit iterator walk: name.begin() / cbegin / rbegin.
+            if (
+                nxt is not None
+                and nxt.text == "."
+                and i + 2 < len(toks)
+                and toks[i + 2].text in ("begin", "cbegin", "rbegin",
+                                         "crbegin")
+            ):
+                yield Finding(
+                    self.name,
+                    f.rel,
+                    tok.line,
+                    f"iterator walk over unordered container "
+                    f"'{tok.text}' ({toks[i + 2].text}()); order is "
+                    "implementation-defined",
+                )
+
+
+def _unordered_names(f: SourceFile):
+    """Variable/member names declared with std::unordered_* types,
+    plus alias names from `using X = std::unordered_map<...>`."""
+    toks = f.code
+    aliases: set[str] = set()
+    for i, tok in enumerate(toks):
+        if tok.kind is not Kind.IDENT or tok.text not in UNORDERED_TYPES:
+            continue
+        # `using Name = std::unordered_map<...>` — walk back over the
+        # qualification to find `Name =` then `using`.
+        j = i
+        while j >= 2 and toks[j - 1].text == "::":
+            j -= 2
+        if (
+            j >= 3
+            and toks[j - 1].text == "="
+            and toks[j - 2].kind is Kind.IDENT
+            and toks[j - 3].text == "using"
+        ):
+            aliases.add(toks[j - 2].text)
+            continue
+        # Skip the template argument list, then take the declarator.
+        k = i + 1
+        if k < len(toks) and toks[k].text == "<":
+            depth = 0
+            while k < len(toks):
+                if toks[k].text == "<":
+                    depth += 1
+                elif toks[k].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        k += 1
+                        break
+                elif toks[k].text == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        k += 1
+                        break
+                k += 1
+        # `&`/`*`/`const` between type and name.
+        while k < len(toks) and toks[k].text in ("&", "*", "const"):
+            k += 1
+        if k < len(toks) and toks[k].kind is Kind.IDENT:
+            yield toks[k].text
+    # Second pass: variables declared via a recorded alias.
+    for i, tok in enumerate(toks):
+        if tok.kind is Kind.IDENT and tok.text in aliases:
+            nxt = toks[i + 1] if i + 1 < len(toks) else None
+            if nxt is not None and nxt.kind is Kind.IDENT:
+                yield nxt.text
+
+
+def _in_range_for(toks, i: int) -> bool:
+    """True when toks[i] sits in the range part of `for (decl : X)`."""
+    # Walk back to the enclosing '(' at depth 0, then require 'for'.
+    depth = 0
+    j = i - 1
+    while j >= 0:
+        t = toks[j].text
+        if t == ")":
+            depth += 1
+        elif t == "(":
+            if depth == 0:
+                return j >= 1 and toks[j - 1].text == "for"
+            depth -= 1
+        elif t in (";", "{", "}"):
+            return False
+        j -= 1
+    return False

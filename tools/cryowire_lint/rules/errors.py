@@ -1,0 +1,165 @@
+"""Rules ``error-contract`` and ``throwing-destructor``.
+
+DESIGN.md §8: model code reports invalid input by throwing
+``cryo::FatalError`` via ``cryo::fatal()`` (carrying the CRYO_CONTEXT
+chain) and broken invariants via ``cryo::panic()``. Anything else
+bypasses the fault-tolerant runner:
+
+* ``std::abort``/``exit`` kill the whole process — sibling experiments
+  in the runner die with the faulty one,
+* a raw ``std::runtime_error``/``std::logic_error`` loses the context
+  chain the typed diagnostics exist to provide,
+* a ``throw`` inside a destructor terminates the process during the
+  very stack-unwinding the runner relies on for isolation.
+
+src/util/diag.{hh,cc} is the diagnostics layer itself and is exempt.
+"""
+
+from __future__ import annotations
+
+from ..model import Finding
+from ..tokenizer import Kind
+from . import Context
+
+EXEMPT = ("src/util/diag.hh", "src/util/diag.cc")
+
+# Tokens that precede a '~' when it means bitwise-not, not a dtor.
+_BITWISE_CONTEXT = {
+    "=", "(", ",", "return", "+", "-", "*", "/", "%", "&", "|", "^",
+    "<<", ">>", "?", "&&", "||", "!", "[",
+}
+
+
+class ErrorContractRule:
+    name = "error-contract"
+    rationale = (
+        "model code must throw cryo::FatalError via fatal()/panic(), "
+        "never std::abort/exit or raw std:: exceptions"
+    )
+
+    def check(self, ctx: Context):
+        for f in ctx.src_files():
+            if f.rel in EXEMPT:
+                continue
+            toks = f.code
+            for i, tok in enumerate(toks):
+                if tok.kind is not Kind.IDENT:
+                    continue
+                prev = toks[i - 1] if i > 0 else None
+                nxt = toks[i + 1] if i + 1 < len(toks) else None
+                if prev is not None and prev.text in (".", "->"):
+                    continue  # member named abort/exit is not std::
+                if tok.text == "abort" and _qualified_std(toks, i):
+                    yield Finding(
+                        self.name, f.rel, tok.line,
+                        "std::abort() kills sibling experiments; use "
+                        "cryo::panic() for invariant breaks",
+                    )
+                elif (
+                    tok.text in ("exit", "_Exit", "quick_exit")
+                    and nxt is not None
+                    and nxt.text == "("
+                    # `void exit(...)` after a type name declares a
+                    # member/function; only calls are findings.
+                    and not (prev is not None
+                             and prev.kind is Kind.IDENT
+                             and prev.text != "return")
+                ):
+                    yield Finding(
+                        self.name, f.rel, tok.line,
+                        f"'{tok.text}()' in model code; throw via "
+                        "cryo::fatal() and let the runner decide",
+                    )
+                elif tok.text == "throw":
+                    target = _qualified_name_after(toks, i + 1)
+                    if target in (
+                        "std::runtime_error",
+                        "std::logic_error",
+                    ):
+                        yield Finding(
+                            self.name, f.rel, tok.line,
+                            f"raw 'throw {target}' loses the "
+                            "CRYO_CONTEXT chain; use cryo::fatal()",
+                        )
+
+
+class ThrowingDestructorRule:
+    name = "throwing-destructor"
+    rationale = (
+        "a throw escaping a destructor calls std::terminate during "
+        "the unwinding the fault-tolerant runner depends on"
+    )
+
+    def check(self, ctx: Context):
+        for f in ctx.src_files():
+            toks = f.code
+            i = 0
+            while i < len(toks):
+                tok = toks[i]
+                if tok.text != "~":
+                    i += 1
+                    continue
+                prev = toks[i - 1] if i > 0 else None
+                nxt = toks[i + 1] if i + 1 < len(toks) else None
+                if (
+                    prev is not None
+                    and prev.text in _BITWISE_CONTEXT
+                ) or nxt is None or nxt.kind is not Kind.IDENT:
+                    i += 1
+                    continue
+                # ~Name ( ) [noexcept...] {  — find the body.
+                j = i + 2
+                if j >= len(toks) or toks[j].text != "(":
+                    i += 1
+                    continue
+                # Parameters must be empty for a dtor: ( )
+                if j + 1 >= len(toks) or toks[j + 1].text != ")":
+                    i += 1
+                    continue
+                j += 2
+                while j < len(toks) and toks[j].text not in ("{", ";", "="):
+                    j += 1
+                if j >= len(toks) or toks[j].text != "{":
+                    i += 1
+                    continue  # declaration, =default, =delete
+                depth = 0
+                k = j
+                while k < len(toks):
+                    t = toks[k].text
+                    if t == "{":
+                        depth += 1
+                    elif t == "}":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif t == "throw" and toks[k].kind is Kind.IDENT:
+                        yield Finding(
+                            self.name,
+                            f.rel,
+                            toks[k].line,
+                            f"'throw' inside ~{nxt.text}(); destructors "
+                            "must be noexcept in this codebase — report "
+                            "via warn() or swallow and flag",
+                        )
+                    k += 1
+                i = k + 1
+
+
+def _qualified_std(toks, i: int) -> bool:
+    """True for `std::<ident at i>`."""
+    return (
+        i >= 2
+        and toks[i - 1].text == "::"
+        and toks[i - 2].text == "std"
+    )
+
+
+def _qualified_name_after(toks, i: int) -> str:
+    """Join the qualified-id starting at token i ('std::runtime_error')."""
+    parts = []
+    while i < len(toks) and (
+        toks[i].kind is Kind.IDENT or toks[i].text == "::"
+    ):
+        parts.append(toks[i].text)
+        i += 1
+    return "".join(parts)

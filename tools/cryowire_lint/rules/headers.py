@@ -1,0 +1,214 @@
+"""Rules ``header-guard`` and ``header-self-contained``.
+
+* ``header-guard``: every header carries either ``#pragma once`` or
+  the repo's conventional include guard
+  (``CRYOWIRE_<PATH>_HH``, e.g. ``CRYOWIRE_TECH_MOSFET_HH``), opened
+  before any code and closed by a final ``#endif``. A wrong guard
+  name silently disables the guard when two headers collide.
+
+* ``header-self-contained``: a header must be compilable on its own —
+  every project-defined type it names must be defined in the header
+  itself, forward-declared by it, or reachable through its transitive
+  includes. The check builds a type index (class/struct/enum/using
+  definitions per header) and verifies coverage through the include
+  graph; a name defined in more than one header is skipped as
+  ambiguous. The `header_self_contained` ctest compiles each header
+  standalone and is the ground truth; this rule catches the same rot
+  without a compiler.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+
+from ..model import Finding, SourceFile
+from ..tokenizer import Kind
+from . import Context
+
+_GUARD_IFNDEF = re.compile(r"#\s*ifndef\s+([A-Za-z0-9_]+)\s*$")
+_GUARD_DEFINE = re.compile(r"#\s*define\s+([A-Za-z0-9_]+)\s*$")
+_PRAGMA_ONCE = re.compile(r"#\s*pragma\s+once\b")
+_ENDIF = re.compile(r"#\s*endif\b")
+
+
+def conventional_guard(rel: str) -> str:
+    """CRYOWIRE_TECH_MOSFET_HH for src/tech/mosfet.hh."""
+    path = rel[4:] if rel.startswith("src/") else rel
+    return "CRYOWIRE_" + re.sub(r"[^A-Za-z0-9]", "_", path).upper()
+
+
+class HeaderGuardRule:
+    name = "header-guard"
+    rationale = (
+        "every header needs '#pragma once' or the conventional "
+        "CRYOWIRE_<PATH>_HH guard, opened before any code"
+    )
+
+    def check(self, ctx: Context):
+        for f in ctx.files:
+            if not f.is_header:
+                continue
+            yield from self._check_one(f)
+
+    def _check_one(self, f: SourceFile):
+        pps = [t for t in f.code if t.kind is Kind.PP]
+        first_code = next(
+            (t for t in f.code if t.kind is not Kind.PP), None
+        )
+        if not pps:
+            yield Finding(
+                self.name, f.rel, 1,
+                "header has no include guard and no '#pragma once'",
+            )
+            return
+        head = pps[0]
+        if _PRAGMA_ONCE.match(head.text):
+            if first_code is not None and first_code.line < head.line:
+                yield Finding(
+                    self.name, f.rel, head.line,
+                    "'#pragma once' must precede all code",
+                )
+            return
+        m = _GUARD_IFNDEF.match(head.text)
+        if m is None:
+            yield Finding(
+                self.name, f.rel, head.line,
+                "first directive must be '#pragma once' or "
+                f"'#ifndef {conventional_guard(f.rel)}'",
+            )
+            return
+        want = conventional_guard(f.rel)
+        if m.group(1) != want:
+            yield Finding(
+                self.name, f.rel, head.line,
+                f"guard '{m.group(1)}' does not match the convention "
+                f"'{want}' (path-derived guards cannot collide)",
+            )
+            return
+        if len(pps) < 2:
+            yield Finding(
+                self.name, f.rel, head.line,
+                f"'#ifndef {want}' is not followed by '#define {want}'",
+            )
+            return
+        d = _GUARD_DEFINE.match(pps[1].text)
+        if d is None or d.group(1) != want:
+            yield Finding(
+                self.name, f.rel, pps[1].line,
+                f"'#ifndef {want}' must be followed immediately by "
+                f"'#define {want}'",
+            )
+            return
+        if first_code is not None and first_code.line < head.line:
+            yield Finding(
+                self.name, f.rel, head.line,
+                "include guard must precede all code",
+            )
+        if not _ENDIF.match(pps[-1].text):
+            yield Finding(
+                self.name, f.rel, pps[-1].line,
+                "last directive must be the guard's closing '#endif'",
+            )
+
+
+class SelfContainedRule:
+    name = "header-self-contained"
+    rationale = (
+        "a header must define, forward-declare, or transitively "
+        "include every project type it names"
+    )
+
+    def check(self, ctx: Context):
+        headers = [
+            f for f in ctx.src_files() if f.is_header
+        ]
+        index = _type_index(headers)
+        for f in headers:
+            defined_here = _defined_types(f) | _forward_declared(f)
+            reachable = ctx.graph.closure(f.rel) | {f.rel}
+            reported: set[str] = set()
+            for tok in f.code:
+                if tok.kind is not Kind.IDENT:
+                    continue
+                name = tok.text
+                if name in defined_here or name in reported:
+                    continue
+                owners = index.get(name)
+                if owners is None or len(owners) != 1:
+                    continue  # unknown or ambiguous — skip
+                owner = next(iter(owners))
+                if owner == f.rel or owner in reachable:
+                    continue
+                reported.add(name)
+                yield Finding(
+                    self.name, f.rel, tok.line,
+                    f"uses type '{name}' defined in '{owner}' without "
+                    "including it (transitively) or forward-declaring "
+                    "it; the header is not self-contained",
+                )
+
+
+def _type_index(headers: list[SourceFile]) -> dict[str, set[str]]:
+    """type name -> set of headers that *define* it."""
+    index: dict[str, set[str]] = defaultdict(set)
+    for f in headers:
+        for name in _defined_types(f):
+            index[name].add(f.rel)
+    return index
+
+
+def _defined_types(f: SourceFile) -> set[str]:
+    """Names of class/struct/enum/union/alias *definitions* in f."""
+    names: set[str] = set()
+    toks = f.code
+    for i, tok in enumerate(toks):
+        if tok.kind is not Kind.IDENT:
+            continue
+        if tok.text in ("class", "struct", "union"):
+            j = i + 1
+            if j < len(toks) and toks[j].kind is Kind.IDENT:
+                name = toks[j].text
+                k = j + 1
+                # Definition when followed by '{', ': bases {', or
+                # 'final'; a bare ';' is a forward declaration.
+                while k < len(toks) and toks[k].text in ("final",):
+                    k += 1
+                if k < len(toks) and toks[k].text in ("{", ":"):
+                    names.add(name)
+        elif tok.text == "enum":
+            j = i + 1
+            if j < len(toks) and toks[j].text in ("class", "struct"):
+                j += 1
+            if j < len(toks) and toks[j].kind is Kind.IDENT:
+                name = toks[j].text
+                k = j + 1
+                if k < len(toks) and toks[k].text in ("{", ":"):
+                    names.add(name)
+        elif tok.text == "using":
+            j = i + 1
+            if (
+                j + 1 < len(toks)
+                and toks[j].kind is Kind.IDENT
+                and toks[j + 1].text == "="
+            ):
+                names.add(toks[j].text)
+    return names
+
+
+def _forward_declared(f: SourceFile) -> set[str]:
+    """Names forward-declared (`class X;`) in f."""
+    names: set[str] = set()
+    toks = f.code
+    for i, tok in enumerate(toks):
+        if tok.text in ("class", "struct", "union", "enum"):
+            j = i + 1
+            if j < len(toks) and toks[j].text in ("class", "struct"):
+                j += 1
+            if (
+                j + 1 < len(toks)
+                and toks[j].kind is Kind.IDENT
+                and toks[j + 1].text == ";"
+            ):
+                names.add(toks[j].text)
+    return names

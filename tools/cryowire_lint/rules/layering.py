@@ -1,0 +1,81 @@
+"""Rule ``layering``: the architecture DAG, machine-enforced.
+
+util -> tech -> {power, pipeline, noc} -> {netsim, mem, sys} -> core
+-> exp. Three violation classes:
+
+* an *upward* include (a lower-rank layer includes a higher-rank one)
+  couples a model layer to its consumers,
+* a *file-level include cycle* breaks header self-containment and any
+  hope of incremental re-evaluation,
+* a *same-rank directory cycle* (power -> noc and noc -> power) means
+  the "parallel" layers are actually one tangled layer.
+
+bench/, tests/, and examples/ may include any src layer: they are
+consumers of the whole stack by design.
+"""
+
+from __future__ import annotations
+
+from ..include_graph import LAYER_RANK
+from ..model import Finding
+from . import Context
+
+
+class LayeringRule:
+    name = "layering"
+    rationale = (
+        "enforce the util -> tech -> {power,pipeline,noc} -> "
+        "{netsim,mem,sys} -> core -> exp DAG and reject include cycles"
+    )
+
+    def check(self, ctx: Context):
+        graph = ctx.graph
+
+        # Upward cross-layer includes.
+        for (src_layer, dst_layer), pairs in sorted(
+            graph.layer_edges().items()
+        ):
+            if src_layer not in LAYER_RANK or dst_layer not in LAYER_RANK:
+                continue
+            if LAYER_RANK[dst_layer] <= LAYER_RANK[src_layer]:
+                continue
+            for includer, included in sorted(pairs):
+                yield Finding(
+                    self.name,
+                    includer,
+                    graph.include_line(includer, included),
+                    f"layer '{src_layer}' (rank "
+                    f"{LAYER_RANK[src_layer]}) must not include "
+                    f"'{included}' from higher layer '{dst_layer}' "
+                    f"(rank {LAYER_RANK[dst_layer]}); invert the "
+                    "dependency or move the shared piece down",
+                )
+
+        # File-level include cycles.
+        for cyc in graph.file_cycles():
+            head = cyc[0]
+            yield Finding(
+                self.name,
+                head,
+                graph.include_line(head, cyc[1]) if len(cyc) > 1 else 1,
+                "include cycle: " + " -> ".join(cyc),
+            )
+
+        # Same-rank directory cycles (A <-> B inside one layer set).
+        seen_dir_edges = set()
+        for (src_layer, dst_layer), pairs in graph.layer_edges().items():
+            if src_layer in LAYER_RANK and dst_layer in LAYER_RANK:
+                if LAYER_RANK[src_layer] == LAYER_RANK[dst_layer]:
+                    seen_dir_edges.add((src_layer, dst_layer))
+        for a, b in sorted(seen_dir_edges):
+            if (b, a) in seen_dir_edges and a < b:
+                pairs = graph.layer_edges()[(a, b)]
+                includer, included = sorted(pairs)[0]
+                yield Finding(
+                    self.name,
+                    includer,
+                    ctx.graph.include_line(includer, included),
+                    f"same-rank directory cycle: src/{a} and src/{b} "
+                    "include each other; merge them or split the "
+                    "shared piece into a lower layer",
+                )

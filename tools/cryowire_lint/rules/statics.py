@@ -1,0 +1,157 @@
+"""Rule ``static-state``: no mutable static/global state in model code.
+
+Shared mutable statics are how a "pure" model function becomes
+order-dependent: the first caller warms a cache, the second sees
+different rounding, and the sweep engine's bitwise job-count
+invariance dies. In the model layers (everything under src/ except
+src/util) statics must be immutable:
+
+* ``static const`` / ``static constexpr`` / ``constinit const`` — fine
+  (the Bloch-Grüneisen J5 table is the canonical example),
+* mutable ``static``/``thread_local`` variables at namespace or
+  function scope — findings.
+
+src/util is infrastructure (the thread pool singleton, the
+diagnostics dedup set) and is policed by review + TSan instead; the
+model layers get the hard rule.
+"""
+
+from __future__ import annotations
+
+from ..model import Finding, SourceFile
+from ..tokenizer import Kind
+from . import Context
+
+EXEMPT_LAYERS = ("util",)
+
+_CONST_MARKERS = {"const", "constexpr", "constinit"}
+_SKIP_QUALIFIERS = {
+    "inline", "const", "constexpr", "constinit", "unsigned", "signed",
+    "long", "short", "volatile", "thread_local", "static",
+}
+
+
+class StaticStateRule:
+    name = "static-state"
+    rationale = (
+        "model layers must hold no mutable static state; caches and "
+        "singletons make results order- and history-dependent"
+    )
+
+    def check(self, ctx: Context):
+        for f in ctx.src_files():
+            if f.layer_dir() in EXEMPT_LAYERS or f.layer_dir() is None:
+                continue
+            yield from self._scan(f)
+
+    def _scan(self, f: SourceFile):
+        toks = f.code
+        # Scope stack: 'namespace' | 'class' | 'block'. File scope
+        # behaves like a namespace.
+        scopes: list[str] = []
+        # Tokens since the last ; { } — enough context to classify the
+        # next '{' and to inspect a declaration.
+        stmt_start = 0
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.text == "{":
+                scopes.append(_classify_brace(toks, stmt_start, i))
+                stmt_start = i + 1
+                i += 1
+                continue
+            if t.text == "}":
+                if scopes:
+                    scopes.pop()
+                stmt_start = i + 1
+                i += 1
+                continue
+            if t.text == ";":
+                stmt_start = i + 1
+                i += 1
+                continue
+            if (
+                t.kind is Kind.IDENT
+                and t.text in ("static", "thread_local")
+                and (not scopes or scopes[-1] != "class")
+                and i == stmt_start  # storage class leads the decl
+            ):
+                finding = self._classify_decl(
+                    f, toks, i, at_block_scope=bool(scopes)
+                    and scopes[-1] == "block",
+                )
+                if finding is not None:
+                    yield finding
+            i += 1
+
+    def _classify_decl(self, f: SourceFile, toks, i: int,
+                       at_block_scope: bool) -> Finding | None:
+        """Decide whether the declaration starting at toks[i] is a
+        mutable static variable."""
+        storage = toks[i].text
+        # Collect the declaration head up to ';', '=', '(', or '{'.
+        head = []
+        j = i
+        paren_at = None
+        while j < len(toks):
+            t = toks[j].text
+            if t in (";", "="):
+                break
+            if t == "(":
+                paren_at = j
+                break
+            if t == "{" and toks[j - 1].kind is Kind.IDENT:
+                break  # brace-init: static Foo x{...}
+            if t == "{":
+                return None  # something structural; not a variable
+            head.append(toks[j])
+            j += 1
+        if j >= len(toks):
+            return None
+        if any(h.text in _CONST_MARKERS for h in head):
+            return None  # immutable static — allowed
+        if paren_at is not None:
+            # `static T name(...)` is ambiguous with a function
+            # declaration. At block scope it is (for our tree) always
+            # a variable with constructor args; at namespace scope
+            # treat `...) ;` as a function declaration and `...) {`
+            # as a function definition, both fine.
+            if not at_block_scope:
+                return None
+            # At block scope, a lambda `static auto f = ...` has '='
+            # and is caught below; constructor call -> mutable var.
+        name = _declared_name(head)
+        return Finding(
+            self.name,
+            f.rel,
+            toks[i].line,
+            f"mutable '{storage}' state"
+            + (f" '{name}'" if name else "")
+            + " in a model layer; make it 'static const'/'constexpr', "
+            "pass it explicitly, or move the cache behind an immutable "
+            "build step",
+        )
+
+
+def _declared_name(head) -> str | None:
+    """Last plain identifier of a declaration head = variable name."""
+    for tok in reversed(head):
+        if tok.kind is Kind.IDENT and tok.text not in _SKIP_QUALIFIERS:
+            return tok.text
+    return None
+
+
+def _classify_brace(toks, stmt_start: int, brace_at: int) -> str:
+    """Classify the scope opened by toks[brace_at] == '{'."""
+    intro = [t.text for t in toks[stmt_start:brace_at]]
+    if "namespace" in intro:
+        return "namespace"
+    for kw in ("class", "struct", "union", "enum"):
+        if kw in intro:
+            # `struct X foo() {` would be a function returning struct;
+            # classify by the token right before '{': a base clause or
+            # the class name keeps it a class body.
+            if intro and intro[-1] == ")":
+                return "block"
+            return "class"
+    return "block"

@@ -1,0 +1,65 @@
+"""Rule ``suppression``: the suppression syntax polices itself.
+
+A CRYOLINT comment is a reviewed exception to a contract, so the
+framework rejects:
+
+* malformed comments (``CRYOLINT`` without a rule list),
+* suppressions naming an unknown rule (typos would otherwise
+  silently suppress nothing — or the wrong thing),
+* missing or token justifications (< 20 characters is not a reason),
+* *unused* suppressions — once the code stops violating the rule, the
+  stale exception must go, or it will silently cover a future
+  regression on that line.
+
+The unused-suppression check only runs when the full rule set is
+active (``--rules`` subsets would make every other suppression look
+unused).
+"""
+
+from __future__ import annotations
+
+from ..model import Finding
+from . import Context
+
+
+class SuppressionRule:
+    name = "suppression"
+    rationale = (
+        "CRYOLINT suppressions must name a known rule and carry a "
+        "real justification; stale suppressions are findings"
+    )
+
+    def __init__(self):
+        self.known_rules: set[str] = set()
+        self.check_unused = False  # engine sets this for full runs
+
+    def check(self, ctx: Context):
+        for f in ctx.files:
+            for line, message in f.suppression_errors:
+                yield Finding(self.name, f.rel, line, message)
+            for s in f.suppressions:
+                for rule in s.rules:
+                    if self.known_rules and rule not in self.known_rules:
+                        yield Finding(
+                            self.name, f.rel, s.line,
+                            f"CRYOLINT names unknown rule '{rule}' "
+                            "(see --list-rules); typos suppress "
+                            "nothing",
+                        )
+
+    def check_unused_suppressions(self, ctx: Context):
+        """Second pass, after all other rules consumed suppressions."""
+        if not self.check_unused:
+            return
+        for f in ctx.files:
+            for s in f.suppressions:
+                if not s.used and all(
+                    r in self.known_rules for r in s.rules
+                ):
+                    yield Finding(
+                        self.name, f.rel, s.line,
+                        "unused suppression "
+                        f"CRYOLINT({', '.join(s.rules)}): the code no "
+                        "longer violates the rule here — remove the "
+                        "comment so it cannot mask a future regression",
+                    )

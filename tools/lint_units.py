@@ -1,144 +1,31 @@
 #!/usr/bin/env python3
-"""Static checks for the typed model layers.
+"""Compatibility shim: this lint moved into the cryowire_lint
+framework.
 
-Two checkers run over the source tree:
+The two historical checkers — raw-double unit parameters and untyped
+error handling — are now the ``units-boundary`` and ``error-contract``
+rules of ``tools/cryowire_lint``, which runs them on a real token
+stream (the old regex version miscounted comments and raw strings).
 
-1. Raw-double unit parameters.  The dimensional-analysis layer
-   (src/util/units.hh) makes the tech and power layers exchange typed
-   quantities.  This checker keeps that boundary from eroding: any
-   *new* function parameter in a src/tech, src/power, or src/exp
-   header that is a plain ``double`` but named like a physical
-   quantity (``temp_k``, ``len_m``, ``freq_hz``, ``power_w``) is an
-   error - it should be ``units::Kelvin``, ``units::Metre``,
-   ``units::Hertz``, or ``units::Watt`` instead.
+The historical invocations keep working:
 
-2. Untyped error handling.  Model code reports invalid inputs through
-   the typed diagnostics in src/util/diag.hh (``fatal`` throws a
-   ``cryo::FatalError`` carrying the CRYO_CONTEXT chain; ``panic``
-   aborts on internal invariant breaks).  Calling ``std::abort``,
-   ``std::exit``, or throwing a raw ``std::runtime_error`` /
-   ``std::logic_error`` from src/ bypasses both the fault-tolerant
-   runner and the fault-injection harness, so any such call outside
-   diag.{hh,cc} itself is an error.
+    python3 tools/lint_units.py
+    python3 tools/lint_units.py --root <repo>
 
-Usage: tools/lint_units.py [--root DIR]
-
-Exits non-zero and prints one line per offence when violations exist.
+Run the full rule set with ``python3 tools/cryowire_lint``.
 """
 
-import argparse
 import pathlib
-import re
+import runpy
 import sys
 
-# Parameter-name suffixes that imply a unit, and the typed alternative.
-SUFFIX_TO_TYPE = {
-    "_k": "units::Kelvin",
-    "_m": "units::Metre",
-    "_hz": "units::Hertz",
-    "_w": "units::Watt",
-}
-
-# A raw-double parameter: "double <name>" where <name> ends in a unit
-# suffix.  Matches declarations and definitions alike; "double" must be
-# the full type (so "units::Kelvin temp_k" never matches).
-PARAM_RE = re.compile(
-    r"\bdouble\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*(?:"
-    + "|".join(SUFFIX_TO_TYPE)
-    + r"))\b"
-)
-
-CHECKED_DIRS = ("src/tech", "src/power", "src/exp", "src/util")
-
-# Error-handling escapes that bypass the typed diagnostics layer.  The
-# model must throw cryo::FatalError (via fatal/fatalIf) for bad input
-# and cryo::panic for broken invariants; anything below kills the
-# fault-tolerant runner or loses the CRYO_CONTEXT chain.
-ESCAPE_RES = {
-    re.compile(r"\bstd::abort\s*\("): "use cryo::panic() instead of "
-    "std::abort()",
-    re.compile(r"\b(?:std::)?exit\s*\("): "model code must not call "
-    "exit(); throw via cryo::fatal() and let the runner decide",
-    re.compile(
-        r"\bthrow\s+std::(?:runtime_error|logic_error)\b"
-    ): "throw cryo::FatalError via cryo::fatal() so the context "
-    "chain and runner isolation work",
-}
-
-# panic()'s abort lives in the diagnostics layer itself.
-ESCAPE_EXEMPT = ("src/util/diag.hh", "src/util/diag.cc")
-
-
-def strip_comments(text: str) -> str:
-    """Blank out // and /* */ comments, preserving line numbers."""
-    text = re.sub(r"//[^\n]*", "", text)
-    return re.sub(
-        r"/\*.*?\*/",
-        lambda m: re.sub(r"[^\n]", "", m.group(0)),
-        text,
-        flags=re.S,
-    )
-
-
-def check_file(path: pathlib.Path) -> list[str]:
-    offences = []
-    lines = strip_comments(path.read_text()).splitlines()
-    for lineno, line in enumerate(lines, start=1):
-        for match in PARAM_RE.finditer(line):
-            name = match.group("name")
-            suffix = next(s for s in SUFFIX_TO_TYPE if name.endswith(s))
-            offences.append(
-                f"{path}:{lineno}: raw 'double {name}' in a typed "
-                f"layer; use {SUFFIX_TO_TYPE[suffix]}"
-            )
-    return offences
-
-
-def check_error_escapes(path: pathlib.Path) -> list[str]:
-    offences = []
-    lines = strip_comments(path.read_text()).splitlines()
-    for lineno, line in enumerate(lines, start=1):
-        for pattern, fix in ESCAPE_RES.items():
-            if pattern.search(line):
-                offences.append(f"{path}:{lineno}: {fix}")
-    return offences
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--root",
-        type=pathlib.Path,
-        default=pathlib.Path(__file__).resolve().parent.parent,
-        help="repository root (default: the checkout containing this "
-        "script)",
-    )
-    args = parser.parse_args()
-
-    offences = []
-    for rel in CHECKED_DIRS:
-        for path in sorted((args.root / rel).rglob("*.hh")):
-            offences.extend(check_file(path))
-
-    for ext in ("*.hh", "*.cc"):
-        for path in sorted((args.root / "src").rglob(ext)):
-            rel = path.relative_to(args.root).as_posix()
-            if rel in ESCAPE_EXEMPT:
-                continue
-            offences.extend(check_error_escapes(path))
-
-    for offence in offences:
-        print(offence)
-    if offences:
-        print(
-            f"lint_units: {len(offences)} offence(s): raw-double unit "
-            "parameters or untyped error-handling escapes in src/",
-            file=sys.stderr,
-        )
-        return 1
-    print("lint_units: OK")
-    return 0
-
+TOOLS = pathlib.Path(__file__).resolve().parent
+sys.path.insert(0, str(TOOLS))
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.argv = [
+        "cryowire_lint",
+        "--rules", "units-boundary,error-contract",
+        *sys.argv[1:],
+    ]
+    runpy.run_module("cryowire_lint", run_name="__main__")
