@@ -1,12 +1,16 @@
 #include "system_builder.hh"
 
+#include <utility>
+
 #include "util/diag.hh"
 
 namespace cryo::core
 {
 
-SystemBuilder::SystemBuilder(const tech::Technology &tech, int cores)
-    : tech_(tech), coreDesigner_(tech), nocDesigner_(tech, cores)
+SystemBuilder::SystemBuilder(const tech::Technology &tech, int cores,
+                             pipeline::Floorplan floorplan)
+    : tech_(tech), coreDesigner_(tech, std::move(floorplan)),
+      nocDesigner_(tech, cores)
 {
 }
 
@@ -98,13 +102,28 @@ SystemBuilder::atTemperature(double temp_k) const
                          0.47 + f * (0.25 - 0.47)};
     d.core.tempK = temp_k;
     d.core.voltage = v;
-    pipeline::CriticalPathModel model{tech_,
-                                      pipeline::Floorplan::skylakeLike()};
     d.core.frequency =
-        model.frequency(d.core.stages, units::Kelvin{temp_k}, v).value();
+        coreDesigner_.model()
+            .frequency(d.core.stages, units::Kelvin{temp_k}, v)
+            .value();
     d.noc = nocDesigner_.cryoBusAt(temp_k);
     d.mem = mem::MemTiming::atTemperature(temp_k);
     return d;
+}
+
+sys::SystemDesign
+SystemBuilder::withCoreVoltage(sys::SystemDesign design,
+                               tech::VoltagePoint v) const
+{
+    fatalIf(!(v.vdd > v.vth),
+            "core voltage override needs Vdd > Vth");
+    design.core.voltage = v;
+    design.core.frequency =
+        coreDesigner_.model()
+            .frequency(design.core.stages,
+                       units::Kelvin{design.core.tempK}, v)
+            .value();
+    return design;
 }
 
 } // namespace cryo::core

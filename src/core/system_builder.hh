@@ -24,7 +24,14 @@ namespace cryo::core
 class SystemBuilder
 {
   public:
-    explicit SystemBuilder(const tech::Technology &tech, int cores = 64);
+    /**
+     * @param floorplan execution-cluster floorplan handed to the core
+     *        designer (default: the paper's Table-1 layout).
+     */
+    explicit SystemBuilder(
+        const tech::Technology &tech, int cores = 64,
+        pipeline::Floorplan floorplan =
+            pipeline::Floorplan::skylakeLike());
 
     /** Table-4 row 1: 300 K baseline core, 300 K mesh, 300 K memory. */
     sys::SystemDesign baseline300Mesh() const;
@@ -56,6 +63,16 @@ class SystemBuilder
      * the published 77 K and 300 K design points.
      */
     sys::SystemDesign atTemperature(double temp_k) const;
+
+    /**
+     * Rebind @p design's core voltage and recompute the
+     * model-derived clock frequency at the core's operating
+     * temperature - the DSE Vdd/Vth axis. The stage list, structures,
+     * and interconnect are untouched; callers sweeping voltage get
+     * exactly the critical-path model's frequency response.
+     */
+    sys::SystemDesign withCoreVoltage(sys::SystemDesign design,
+                                      tech::VoltagePoint v) const;
 
     const pipeline::CoreDesigner &cores() const { return coreDesigner_; }
     const noc::NocDesigner &nocs() const { return nocDesigner_; }

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pareto-frontier extraction over evaluated design points: maximize
+ * performance, minimize total (device + cooling) power - the paper's
+ * perf-vs-power trade-off surface (Fig. 27's axes, generalized to any
+ * sweep).
+ */
+
+#ifndef CRYOWIRE_DSE_PARETO_HH
+#define CRYOWIRE_DSE_PARETO_HH
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "dse/design_point.hh"
+#include "dse/point_eval.hh"
+
+namespace cryo::dse
+{
+
+/** One evaluated point (index in sweep enumeration order). */
+struct EvaluatedPoint
+{
+    std::size_t index = 0;
+    DesignPoint point;
+    PointMetrics metrics;
+};
+
+/**
+ * Indices into @p points of the Pareto-optimal set: no other point
+ * has (perf >=, totalPower <=) with at least one strict. Equal-metric
+ * duplicates keep the lowest sweep index. The result is ordered by
+ * ascending totalPower (ties by ascending index), so it plots as the
+ * frontier curve directly.
+ */
+std::vector<std::size_t>
+paretoFrontier(const std::vector<EvaluatedPoint> &points);
+
+/**
+ * Write the frontier as CSV: sweep index, every DesignPoint field,
+ * every metric - one row per frontier member, frontier order.
+ */
+void writeParetoCsv(std::ostream &out,
+                    const std::vector<EvaluatedPoint> &points,
+                    const std::vector<std::size_t> &frontier);
+
+} // namespace cryo::dse
+
+#endif // CRYOWIRE_DSE_PARETO_HH

@@ -1,0 +1,285 @@
+#include "point_eval.hh"
+
+#include <array>
+#include <utility>
+
+#include "core/system_builder.hh"
+#include "pipeline/floorplan.hh"
+#include "power/mcpat_lite.hh"
+#include "sys/interval_sim.hh"
+#include "sys/workload.hh"
+#include "util/diag.hh"
+
+namespace cryo::dse
+{
+
+namespace
+{
+
+/**
+ * Metric field registry - the same single-source-of-truth pattern as
+ * the DesignPoint field table (design_point.cc).
+ */
+struct MetricDef
+{
+    const char *name;
+    double PointMetrics::*num = nullptr;
+    bool PointMetrics::*flag = nullptr;
+};
+
+const std::array<MetricDef, 9> kMetrics = {{
+    {.name = "perf", .num = &PointMetrics::perf},
+    {.name = "freqGhz", .num = &PointMetrics::freqGhz},
+    {.name = "devicePower", .num = &PointMetrics::devicePower},
+    {.name = "coolingPower", .num = &PointMetrics::coolingPower},
+    {.name = "totalPower", .num = &PointMetrics::totalPower},
+    {.name = "perfPerWatt", .num = &PointMetrics::perfPerWatt},
+    {.name = "utilization", .num = &PointMetrics::utilization},
+    {.name = "saturatedShare", .num = &PointMetrics::saturatedShare},
+    {.name = "converged", .flag = &PointMetrics::converged},
+}};
+
+/** The workload suite a point selects (single workload if named). */
+std::vector<sys::Workload>
+suiteFor(const DesignPoint &p)
+{
+    std::vector<sys::Workload> suite;
+    if (p.suite == "parsec21") {
+        suite = sys::parsec21();
+    } else if (p.suite == "spec-rate" ||
+               p.suite == "spec-rate-prefetch") {
+        suite = sys::specRateAggressivePrefetch();
+        if (p.suite == "spec-rate")
+            for (sys::Workload &w : suite)
+                w.prefetchApki = 0.0; // plain SPEC (Section 7.4)
+    } else if (p.suite == "cloudsuite") {
+        suite = sys::cloudSuite();
+    } else {
+        fatal("unknown workload suite \"" + p.suite + "\"");
+    }
+    if (!p.workload.empty())
+        suite = {sys::findWorkload(suite, p.workload)};
+    return suite;
+}
+
+/** The system design a point selects from @p builder. */
+sys::SystemDesign
+designFor(const core::SystemBuilder &builder, const DesignPoint &p)
+{
+    const auto pick = [&builder, &p]() -> sys::SystemDesign {
+        if (p.design == "baseline300-mesh")
+            return builder.baseline300Mesh();
+        if (p.design == "chp-mesh77")
+            return builder.chpMesh77();
+        if (p.design == "cryosp-mesh77")
+            return builder.cryoSpMesh77();
+        if (p.design == "chp-cryobus77")
+            return builder.chpCryoBus77();
+        if (p.design == "cryosp-cryobus77") {
+            if (fieldIsSet(p.tempK)) {
+                sys::SystemDesign d = builder.atTemperature(p.tempK);
+                d.busWays = p.busWays;
+                return d;
+            }
+            return builder.cryoSpCryoBus77(p.busWays);
+        }
+        if (p.design == "ideal-noc77")
+            return builder.idealNoc77();
+        if (p.design == "shared-bus77")
+            return builder.sharedBus77();
+        fatal("unknown design \"" + p.design + "\"");
+    };
+    sys::SystemDesign d = pick();
+    if (fieldIsSet(p.vdd))
+        d = builder.withCoreVoltage(d, tech::VoltagePoint{p.vdd,
+                                                          p.vth});
+    return d;
+}
+
+/** Hash of the axes that select a Technology. */
+std::uint64_t
+techKey(const DesignPoint &p)
+{
+    Fnv1a h;
+    h.f64(p.nodeNm).b(p.thickWire).f64(p.mosfetAlpha);
+    return h.digest();
+}
+
+/** Hash of the axes the baseline's suite performance depends on. */
+std::uint64_t
+baselineKey(const DesignPoint &p)
+{
+    Fnv1a h;
+    h.u64(techKey(p))
+        .i64(p.cores)
+        .f64(p.floorplanScale)
+        .str(p.suite)
+        .str(p.workload);
+    return h.digest();
+}
+
+} // namespace
+
+void
+PointMetrics::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    for (const MetricDef &m : kMetrics) {
+        w.key(m.name);
+        if (m.num != nullptr)
+            w.value(this->*(m.num));
+        else
+            w.value(this->*(m.flag));
+    }
+    w.endObject();
+}
+
+PointMetrics
+PointMetrics::fromJson(const JsonValue &obj)
+{
+    PointMetrics out;
+    for (const JsonValue::Member &member : obj.members()) {
+        bool known = false;
+        for (const MetricDef &m : kMetrics) {
+            if (member.first != m.name)
+                continue;
+            if (m.num != nullptr)
+                out.*(m.num) = member.second.asNumber();
+            else
+                out.*(m.flag) = member.second.asBool();
+            known = true;
+            break;
+        }
+        if (!known)
+            fatal("unknown metric \"" + member.first +
+                  "\" at line " + std::to_string(member.second.line()));
+    }
+    return out;
+}
+
+std::vector<std::string>
+PointMetrics::csvHeader()
+{
+    std::vector<std::string> out;
+    out.reserve(kMetrics.size());
+    for (const MetricDef &m : kMetrics)
+        out.emplace_back(m.name);
+    return out;
+}
+
+void
+PointMetrics::appendCsv(std::vector<std::string> &cells) const
+{
+    for (const MetricDef &m : kMetrics) {
+        if (m.num != nullptr)
+            cells.push_back(formatDouble(this->*(m.num)));
+        else
+            cells.push_back(this->*(m.flag) ? "true" : "false");
+    }
+}
+
+PointEvaluator::PointEvaluator() = default;
+PointEvaluator::~PointEvaluator() = default;
+
+std::shared_ptr<const tech::Technology>
+makeTechnology(const DesignPoint &point)
+{
+    tech::MosfetParams params;
+    if (fieldIsSet(point.mosfetAlpha))
+        params.alpha = point.mosfetAlpha;
+    return std::make_shared<const tech::Technology>(
+        point.nodeNm == 45.0 && !point.thickWire
+            ? tech::Technology::freePdk45(std::move(params))
+            : tech::Technology::scaledNode(point.nodeNm,
+                                           point.thickWire,
+                                           std::move(params)));
+}
+
+std::shared_ptr<const tech::Technology>
+PointEvaluator::technologyFor(const DesignPoint &point) const
+{
+    const std::uint64_t key = techKey(point);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = techCache_.find(key);
+    if (it != techCache_.end())
+        return it->second;
+
+    auto tech = makeTechnology(point);
+    techCache_.emplace(key, tech);
+    return tech;
+}
+
+double
+PointEvaluator::baselinePerf(const DesignPoint &point,
+                             const tech::Technology &tech) const
+{
+    const std::uint64_t key = baselineKey(point);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = baselineCache_.find(key);
+        if (it != baselineCache_.end())
+            return it->second;
+    }
+
+    // Compute outside the lock: a cold cache under parallelFor may
+    // evaluate the same baseline twice, but both runs produce the
+    // identical double, so last-writer-wins is benign.
+    const core::SystemBuilder builder{
+        tech, point.cores,
+        pipeline::Floorplan::skylakeLike().scaled(point.floorplanScale)};
+    const sys::IntervalSimulator sim;
+    const auto suite = suiteFor(point);
+    const auto results = sim.runSuite(builder.baseline300Mesh(), suite);
+    double perf = 0.0;
+    for (const sys::SimResult &r : results)
+        perf += r.perf();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    baselineCache_.insert_or_assign(key, perf);
+    return perf;
+}
+
+PointMetrics
+PointEvaluator::evaluate(const DesignPoint &point) const
+{
+    point.validate();
+
+    const auto tech = technologyFor(point);
+    const core::SystemBuilder builder{
+        *tech, point.cores,
+        pipeline::Floorplan::skylakeLike().scaled(point.floorplanScale)};
+    const sys::SystemDesign design = designFor(builder, point);
+    const auto suite = suiteFor(point);
+
+    const sys::IntervalSimulator sim;
+    const auto results = sim.runSuite(design, suite);
+
+    PointMetrics m;
+    double perf = 0.0;
+    int saturated = 0;
+    for (const sys::SimResult &r : results) {
+        perf += r.perf();
+        m.utilization += r.utilization;
+        saturated += r.saturated ? 1 : 0;
+        m.converged = m.converged && r.converged;
+    }
+    const double n = static_cast<double>(results.size());
+    m.utilization /= n;
+    m.saturatedShare = static_cast<double>(saturated) / n;
+    m.perf = perf / baselinePerf(point, *tech);
+    m.freqGhz = design.core.frequency / 1e9;
+
+    // Fig. 27 power accounting: activity follows frequency
+    // (iso_activity=false), normalized to the same-technology 300 K
+    // baseline core.
+    const power::McpatLite mcpat{*tech, /*iso_activity=*/false};
+    const auto p = mcpat.corePower(design.core,
+                                   builder.baseline300Mesh().core);
+    m.devicePower = p.device();
+    m.coolingPower = p.cooling;
+    m.totalPower = p.total();
+    m.perfPerWatt = m.totalPower > 0.0 ? m.perf / m.totalPower : 0.0;
+    return m;
+}
+
+} // namespace cryo::dse

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * PointEvaluator: DesignPoint -> PointMetrics, the pure function the
+ * whole DSE engine is built on.
+ *
+ * Evaluation composes the existing model stack: Technology from the
+ * point's node/device axes, SystemBuilder for the named preset with
+ * the temperature/voltage/bus overrides applied, IntervalSimulator
+ * over the selected workload suite, and McpatLite (activity follows
+ * frequency, as in the Fig. 27 accounting) against the 300 K mesh
+ * baseline built from the same technology. Performance is normalized
+ * to that same-suite baseline, so "perf" is directly the paper's
+ * speed-up axis.
+ *
+ * The evaluator memoizes the expensive invariants (Technology
+ * instances, baseline suite performance) behind a mutex; the caches
+ * affect cost only, never results, so evaluate() remains a pure
+ * function of the point and is safe to call from parallelFor workers.
+ */
+
+#ifndef CRYOWIRE_DSE_POINT_EVAL_HH
+#define CRYOWIRE_DSE_POINT_EVAL_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dse/design_point.hh"
+#include "tech/technology.hh"
+#include "util/json.hh"
+
+namespace cryo::dse
+{
+
+/** The figures of merit recorded for one design point. */
+struct PointMetrics
+{
+    /** Suite performance relative to the 300 K mesh baseline. */
+    double perf = 0.0;
+
+    /** Core clock [GHz]. */
+    double freqGhz = 0.0;
+
+    /** Core device (dynamic + leakage) power vs the baseline total. */
+    double devicePower = 0.0;
+
+    /** Cryo-cooler input power for that heat (0 at 300 K). */
+    double coolingPower = 0.0;
+
+    /** devicePower + coolingPower - the Pareto power axis. */
+    double totalPower = 0.0;
+
+    /** perf / totalPower (the Fig. 27 ordinate). */
+    double perfPerWatt = 0.0;
+
+    /** Mean interconnect utilization over the suite. */
+    double utilization = 0.0;
+
+    /** Fraction of workloads that saturated the interconnect. */
+    double saturatedShare = 0.0;
+
+    /** All workload fixed points converged. */
+    bool converged = true;
+
+    /** Emit as a JSON object, fixed field order. */
+    void writeJson(JsonWriter &w) const;
+
+    /** Rebuild from a parsed JSON object (cache load path). */
+    static PointMetrics fromJson(const JsonValue &obj);
+
+    /** CSV header matching appendCsv. */
+    static std::vector<std::string> csvHeader();
+
+    /** Append every metric as CSV cells (formatDouble rendering). */
+    void appendCsv(std::vector<std::string> &cells) const;
+};
+
+/**
+ * Build the Technology a point's node/device axes select (uncached -
+ * PointEvaluator::technologyFor memoizes on top of this, exp::Context
+ * calls it once per context).
+ */
+std::shared_ptr<const tech::Technology>
+makeTechnology(const DesignPoint &point);
+
+/**
+ * Evaluates design points. One instance may serve any number of
+ * threads concurrently.
+ */
+class PointEvaluator
+{
+  public:
+    PointEvaluator();
+    ~PointEvaluator();
+
+    PointEvaluator(const PointEvaluator &) = delete;
+    PointEvaluator &operator=(const PointEvaluator &) = delete;
+
+    /**
+     * Evaluate one point. Validates it first; invalid points are
+     * fatal. Thread-safe; bit-identical for equal points regardless
+     * of call order or thread count.
+     */
+    PointMetrics evaluate(const DesignPoint &point) const;
+
+    /**
+     * The Technology for the point's node/device axes, shared and
+     * immutable (memoized per distinct axis combination).
+     */
+    std::shared_ptr<const tech::Technology>
+    technologyFor(const DesignPoint &point) const;
+
+  private:
+    double baselinePerf(const DesignPoint &point,
+                        const tech::Technology &tech) const;
+
+    mutable std::mutex mu_;
+    mutable std::map<std::uint64_t,
+                     std::shared_ptr<const tech::Technology>>
+        techCache_;
+    mutable std::map<std::uint64_t, double> baselineCache_;
+};
+
+} // namespace cryo::dse
+
+#endif // CRYOWIRE_DSE_POINT_EVAL_HH

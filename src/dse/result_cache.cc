@@ -1,0 +1,131 @@
+#include "result_cache.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "util/diag.hh"
+
+namespace cryo::dse
+{
+
+namespace
+{
+
+/** Parse one cache line; returns false (no throw) on damage. */
+bool
+parseLine(const std::string &line, std::string *hash,
+          PointMetrics *metrics)
+{
+    try {
+        const JsonValue v = parseJson(line, "<cache line>");
+        const JsonValue *h = v.find("hash");
+        const JsonValue *m = v.find("metrics");
+        if (h == nullptr || m == nullptr)
+            return false;
+        *hash = h->asString();
+        *metrics = PointMetrics::fromJson(*m);
+        return true;
+    } catch (const FatalError &) {
+        return false;
+    }
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path))
+{
+    if (path_.empty())
+        return;
+
+    std::ifstream in{path_};
+    if (in) {
+        std::string line;
+        std::size_t bad = 0;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            std::string hash;
+            PointMetrics m;
+            if (parseLine(line, &hash, &m)) {
+                entries_.insert_or_assign(std::move(hash), m);
+            } else {
+                ++bad;
+            }
+        }
+        loaded_ = entries_.size();
+        if (bad > 0)
+            warn("dropped " + std::to_string(bad) +
+                 " damaged line(s) from result cache \"" + path_ +
+                 "\" (interrupted append); the points re-evaluate");
+    }
+
+    out_.open(path_, std::ios::app);
+    fatalIf(!out_, "cannot open result cache \"" + path_ +
+                       "\" for appending");
+    fileOpen_ = true;
+}
+
+ResultCache::~ResultCache() = default;
+
+bool
+ResultCache::lookup(const std::string &hashHex, PointMetrics *out) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(hashHex);
+    if (it == entries_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+std::string
+ResultCache::formatLine(const std::string &hashHex,
+                        const PointMetrics &m)
+{
+    std::ostringstream line;
+    JsonWriter w{line, /*indent=*/0};
+    w.beginObject();
+    w.key("hash").value(hashHex);
+    w.key("metrics");
+    m.writeJson(w);
+    w.endObject();
+    return line.str();
+}
+
+void
+ResultCache::store(const std::string &hashHex, const PointMetrics &m)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool fresh = entries_.find(hashHex) == entries_.end();
+    entries_.insert_or_assign(hashHex, m);
+    if (fresh && fileOpen_) {
+        out_ << formatLine(hashHex, m) << '\n';
+        out_.flush(); // checkpoint: every record survives a kill
+    }
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+void
+ResultCache::rewrite()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (path_.empty())
+        return;
+    out_.close();
+    std::ofstream fresh{path_, std::ios::trunc};
+    fatalIf(!fresh, "cannot rewrite result cache \"" + path_ + "\"");
+    for (const auto &[hash, metrics] : entries_)
+        fresh << formatLine(hash, metrics) << '\n';
+    fresh.close();
+    out_.open(path_, std::ios::app);
+    fatalIf(!out_, "cannot reopen result cache \"" + path_ + "\"");
+    fileOpen_ = true;
+}
+
+} // namespace cryo::dse

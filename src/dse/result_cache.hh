@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Hash-keyed JSONL result cache - the DSE engine's checkpoint and
+ * dedupe layer.
+ *
+ * One line per evaluated point:
+ * @code
+ *   {"hash":"8d3f...16 hex...","metrics":{...}}
+ * @endcode
+ *
+ * The key is DesignPoint::hashHex() (kSchema-tagged canonical content
+ * hash), so a cache survives process restarts, shard reshuffles, and
+ * spec edits: any point whose content is unchanged hits, everything
+ * else misses and re-evaluates. Appends are flushed per record, which
+ * makes every record a checkpoint - a killed sweep resumes from the
+ * last completed point. A truncated final line (the kill race) is
+ * detected on load, warned about once, and dropped.
+ *
+ * Duplicate keys are legal (two shards may race on a shared point);
+ * the last occurrence wins, and rewrite() compacts the file back to
+ * one line per key in sorted-key order.
+ */
+
+#ifndef CRYOWIRE_DSE_RESULT_CACHE_HH
+#define CRYOWIRE_DSE_RESULT_CACHE_HH
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "dse/point_eval.hh"
+
+namespace cryo::dse
+{
+
+/**
+ * The cache. Thread-safe: lookup/insert/append may be called from
+ * parallelFor workers.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * Open the cache at @p path ("" = in-memory only). An existing
+     * file is loaded (deduped, truncated tail tolerated); a missing
+     * file starts empty and is created on the first append.
+     */
+    explicit ResultCache(std::string path);
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /** True and *out filled when @p hashHex is cached. */
+    bool lookup(const std::string &hashHex, PointMetrics *out) const;
+
+    /**
+     * Record a result: remembered in memory and appended to the file
+     * (flushed - this is the checkpoint). A key already present is
+     * remembered but not re-appended.
+     */
+    void store(const std::string &hashHex, const PointMetrics &m);
+
+    /** Entries loaded from disk at construction. */
+    std::size_t loadedEntries() const { return loaded_; }
+
+    /** Entries currently held (loaded + stored). */
+    std::size_t size() const;
+
+    /**
+     * Rewrite the file compacted: one line per key, keys sorted, last
+     * occurrence winning. No-op for in-memory caches.
+     */
+    void rewrite();
+
+    /** Render one cache line (no trailing newline); used by tests. */
+    static std::string formatLine(const std::string &hashHex,
+                                  const PointMetrics &m);
+
+  private:
+    std::string path_;
+    mutable std::mutex mu_;
+    std::map<std::string, PointMetrics> entries_;
+    std::ofstream out_;
+    bool fileOpen_ = false;
+    std::size_t loaded_ = 0;
+};
+
+} // namespace cryo::dse
+
+#endif // CRYOWIRE_DSE_RESULT_CACHE_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dse/point_eval.hh"
+#include "pipeline/floorplan.hh"
 #include "util/diag.hh"
 
 namespace cryo::exp
@@ -59,9 +61,34 @@ ExperimentResult::failedAnchors() const
         [](const Metric &m) { return !m.pass(); }));
 }
 
-Context::Context(std::uint64_t seed)
-    : seed_(seed), tech_(tech::Technology::freePdk45()),
-      builder_(tech_), evaluator_(tech_)
+namespace
+{
+
+dse::DesignPoint
+pointWithSeed(std::uint64_t seed)
+{
+    dse::DesignPoint p;
+    p.seed = seed;
+    return p;
+}
+
+const dse::DesignPoint &
+validated(const dse::DesignPoint &point)
+{
+    point.validate();
+    return point;
+}
+
+} // namespace
+
+Context::Context(std::uint64_t seed) : Context(pointWithSeed(seed)) {}
+
+Context::Context(const dse::DesignPoint &point)
+    : point_(validated(point)), tech_(dse::makeTechnology(point_)),
+      builder_(*tech_, point_.cores,
+               pipeline::Floorplan::skylakeLike().scaled(
+                   point_.floorplanScale)),
+      evaluator_(*tech_, point_.cores)
 {
 }
 
@@ -69,7 +96,7 @@ netsim::TrafficSpec
 Context::traffic() const
 {
     netsim::TrafficSpec tr;
-    tr.seed = seed_;
+    tr.seed = point_.seed;
     return tr;
 }
 

@@ -20,11 +20,13 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/evaluation.hh"
 #include "core/system_builder.hh"
+#include "dse/design_point.hh"
 #include "netsim/traffic.hh"
 #include "tech/technology.hh"
 #include "util/table.hh"
@@ -122,22 +124,38 @@ class ExperimentResult
 };
 
 /**
- * Shared, immutable model stack handed to every experiment. One
- * Context serves a whole run: Technology, SystemBuilder, Evaluator and
- * IntervalSimulator are stateless after construction, so concurrent
- * experiments may consume them freely.
+ * Shared, immutable model stack handed to every experiment - a pure
+ * function of one dse::DesignPoint. The point selects the technology
+ * corner, core count, floorplan scale, and seed; the derived
+ * Technology, SystemBuilder, Evaluator and IntervalSimulator are
+ * stateless after construction, so concurrent experiments may consume
+ * one Context freely.
+ *
+ * Contexts are cheap values: the Technology lives behind a shared
+ * const pointer, so copies share it and a copy costs two small object
+ * rebuilds, not a technology re-derivation. Copying is safe because
+ * the builder/evaluator members reference the *shared* Technology,
+ * which every copy keeps alive.
  */
 class Context
 {
   public:
+    /** The default design point with only the seed overridden. */
     explicit Context(std::uint64_t seed = 1);
 
-    Context(const Context &) = delete;
-    Context &operator=(const Context &) = delete;
+    /** The model stack for @p point (validated here). */
+    explicit Context(const dse::DesignPoint &point);
 
-    std::uint64_t seed() const { return seed_; }
+    const dse::DesignPoint &point() const { return point_; }
+    std::uint64_t seed() const { return point_.seed; }
 
-    const tech::Technology &technology() const { return tech_; }
+    const tech::Technology &technology() const { return *tech_; }
+
+    /** The shared Technology (for stacks outliving this Context). */
+    std::shared_ptr<const tech::Technology> sharedTechnology() const
+    {
+        return tech_;
+    }
     const core::SystemBuilder &builder() const { return builder_; }
     const core::Evaluator &evaluator() const { return evaluator_; }
     const sys::IntervalSimulator &simulator() const
@@ -152,8 +170,9 @@ class Context
     netsim::TrafficSpec directoryTraffic() const;
 
   private:
-    std::uint64_t seed_;
-    tech::Technology tech_; // declared first: members below refer to it
+    dse::DesignPoint point_;
+    /** Declared before the members that hold references into it. */
+    std::shared_ptr<const tech::Technology> tech_;
     core::SystemBuilder builder_;
     core::Evaluator evaluator_;
 };

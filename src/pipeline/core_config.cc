@@ -1,5 +1,7 @@
 #include "core_config.hh"
 
+#include <utility>
+
 #include "pipeline/stage_library.hh"
 #include "pipeline/superpipeline.hh"
 #include "util/diag.hh"
@@ -49,8 +51,9 @@ CoreConfig::validate() const
         .done();
 }
 
-CoreDesigner::CoreDesigner(const tech::Technology &tech)
-    : tech_(tech), floorplan_(Floorplan::skylakeLike()),
+CoreDesigner::CoreDesigner(const tech::Technology &tech,
+                           Floorplan floorplan)
+    : tech_(tech), floorplan_(std::move(floorplan)),
       model_(tech, floorplan_)
 {
 }

@@ -78,7 +78,15 @@ struct CoreConfig
 class CoreDesigner
 {
   public:
-    explicit CoreDesigner(const tech::Technology &tech);
+    /**
+     * @param floorplan execution-cluster floorplan the critical-path
+     *        model measures forwarding wires against; the default is
+     *        the paper's Table-1 layout. A DSE floorplan-scale axis
+     *        passes Floorplan::skylakeLike().scaled(f) here.
+     */
+    explicit CoreDesigner(
+        const tech::Technology &tech,
+        Floorplan floorplan = Floorplan::skylakeLike());
 
     CoreConfig baseline300() const;
     CoreConfig baseline77() const;           ///< cooled, un-redesigned
@@ -91,6 +99,7 @@ class CoreDesigner
     std::vector<CoreConfig> table3Ladder() const;
 
     const CriticalPathModel &model() const { return model_; }
+    const Floorplan &floorplan() const { return floorplan_; }
 
     /** Structure sizes after CryoCore down-sizing (half width). */
     static CoreStructures cryoCoreStructures();

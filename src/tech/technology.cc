@@ -61,10 +61,10 @@ constexpr OhmMetre kRhoGlobal77{0.2596e-8};
 } // namespace
 
 Technology
-Technology::freePdk45()
+Technology::freePdk45(MosfetParams mosfet_params)
 {
     using namespace units;
-    Mosfet mosfet{MosfetParams{}};
+    Mosfet mosfet{std::move(mosfet_params)};
 
     WireSpec local{
         WireLayer::Local, 70 * nm, 140 * nm, 0.20 * fF / um,
@@ -81,12 +81,13 @@ Technology::freePdk45()
 }
 
 Technology
-Technology::scaledNode(double node_nm, bool thick_wire_mitigation)
+Technology::scaledNode(double node_nm, bool thick_wire_mitigation,
+                       MosfetParams mosfet_params)
 {
     using namespace units;
     fatalIf(node_nm < 5.0 || node_nm > 90.0,
             "node must be in the 5-90 nm range");
-    Mosfet mosfet{MosfetParams{}};
+    Mosfet mosfet{std::move(mosfet_params)};
 
     // Matthiessen split per layer at 45 nm (solved by the Conductor
     // from the calibrated anchors). The residual term is dominated by

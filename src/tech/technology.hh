@@ -33,8 +33,13 @@ class Technology
     /**
      * The library's default process: FreePDK45-class devices with
      * Intel-45nm-style metal stack, calibrated to the paper's anchors.
+     *
+     * @param mosfet_params device model card; the default reproduces
+     *        the paper's calibration, overrides let a DSE axis land an
+     *        alternative device point (e.g. the optimized cryo-CMOS
+     *        card of arXiv 2411.03099) without a new factory.
      */
-    static Technology freePdk45();
+    static Technology freePdk45(MosfetParams mosfet_params = {});
 
     /**
      * A scaled technology node for the Section-7.5 study ("wires in
@@ -48,9 +53,11 @@ class Technology
      * @param node_nm  target node (45 reproduces freePdk45)
      * @param thick_wire_mitigation draw the semi-global forwarding
      *        wires at double width (the paper's proposed mitigation)
+     * @param mosfet_params device model card (see freePdk45)
      */
     static Technology scaledNode(double node_nm,
-                                 bool thick_wire_mitigation = false);
+                                 bool thick_wire_mitigation = false,
+                                 MosfetParams mosfet_params = {});
 
     Technology(Mosfet mosfet, WireSpec local, WireSpec semi_global,
                WireSpec global);

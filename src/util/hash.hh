@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Canonical content hashing for value-semantic configuration types.
+ *
+ * Fnv1a implements 64-bit FNV-1a over an explicit canonical byte
+ * encoding, so a hash is a stable function of *content* - not of
+ * padding, field address, platform endianness, or floating-point
+ * formatting. The DSE result cache keys entries by these digests and
+ * replays them across runs, shards, and machines, so the encoding is a
+ * contract:
+ *
+ *  - integers are encoded as 8 little-endian bytes (two's complement
+ *    via uint64_t for signed values);
+ *  - doubles are encoded as the little-endian IEEE-754 bit pattern,
+ *    with -0.0 normalized to +0.0 and every NaN normalized to one
+ *    quiet-NaN pattern (bitwise-distinct-but-equal values must not
+ *    split cache keys);
+ *  - strings are length-prefixed (u64) so concatenated fields cannot
+ *    alias ("ab","c" never hashes like "a","bc");
+ *  - booleans are one byte, 0 or 1.
+ *
+ * Changing any of this invalidates every persisted cache; the pinned
+ * digest vectors in tests/test_dse.cc exist to make such a change loud.
+ */
+
+#ifndef CRYOWIRE_UTIL_HASH_HH
+#define CRYOWIRE_UTIL_HASH_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace cryo
+{
+
+/** Streaming 64-bit FNV-1a over the canonical encoding above. */
+class Fnv1a
+{
+  public:
+    static constexpr std::uint64_t kOffsetBasis =
+        14695981039346656037ull;
+    static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+    /** Feed one raw byte. */
+    Fnv1a &byte(std::uint8_t b)
+    {
+        state_ ^= b;
+        state_ *= kPrime;
+        return *this;
+    }
+
+    /** Feed @p n raw bytes (no length prefix; see str()). */
+    Fnv1a &bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i)
+            byte(p[i]);
+        return *this;
+    }
+
+    /** Feed a u64 as 8 little-endian bytes. */
+    Fnv1a &u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<std::uint8_t>(v >> (8 * i)));
+        return *this;
+    }
+
+    /** Feed a signed integer via its two's-complement u64 image. */
+    Fnv1a &i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+    /** Feed a double's canonicalized IEEE-754 bit pattern. */
+    Fnv1a &f64(double v)
+    {
+        if (v == 0.0)
+            v = 0.0; // -0.0 == 0.0: collapse both to +0.0
+        std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+        if (v != v)
+            bits = 0x7ff8000000000000ull; // canonical quiet NaN
+        return u64(bits);
+    }
+
+    /** Feed a bool as one byte. */
+    Fnv1a &b(bool v) { return byte(v ? 1 : 0); }
+
+    /** Feed a length-prefixed string. */
+    Fnv1a &str(std::string_view s)
+    {
+        u64(s.size());
+        return bytes(s.data(), s.size());
+    }
+
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    std::uint64_t state_ = kOffsetBasis;
+};
+
+/** Digest rendered as 16 lowercase hex digits (zero-padded). */
+inline std::string
+hashHex(std::uint64_t digest)
+{
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+        digest >>= 4;
+    }
+    return out;
+}
+
+} // namespace cryo
+
+#endif // CRYOWIRE_UTIL_HASH_HH

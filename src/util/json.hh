@@ -1,11 +1,20 @@
 /**
  * @file
- * Dependency-free JSON emission for the experiment engine.
+ * Dependency-free JSON emission and parsing for the experiment and
+ * DSE engines.
  *
  * JsonWriter is a streaming writer with explicit begin/end scopes so
  * the results file is produced in one deterministic pass - no DOM, no
  * allocation-ordering surprises, byte-identical output for identical
  * inputs regardless of how the values were computed.
+ *
+ * parseJson is the matching reader: a strict RFC-8259 recursive-descent
+ * parser producing a JsonValue tree. Every value remembers its source
+ * line/column, and both malformed input and wrong-type access throw
+ * cryo::FatalError citing that position, so a bad sweep spec names the
+ * offending token instead of failing somewhere downstream. Object
+ * members keep their source order (sweep-spec axis order is
+ * significant).
  *
  * JSON has no NaN or infinity literals; value(double) emits null for
  * non-finite inputs (the schema documents this).
@@ -17,6 +26,8 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cryo
@@ -96,6 +107,98 @@ class JsonWriter
     bool keyPending_ = false;
     bool done_ = false;
 };
+
+/**
+ * One parsed JSON value. The tree is immutable after parsing; all
+ * accessors are const and wrong-kind access is fatal() with the
+ * value's source position, so consumers can chain lookups without
+ * hand-writing diagnostics.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** An object member, in source order. */
+    using Member = std::pair<std::string, JsonValue>;
+
+    JsonValue() = default; ///< null
+
+    /**
+     * Programmatic construction (axis expansion, tests). Values made
+     * this way carry position 0:0; diagnostics cite the axis instead.
+     */
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeBool(bool v);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** 1-based source position of the value's first character. */
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+    /** The number's value; fatal() unless isNumber(). */
+    double asNumber() const;
+
+    /**
+     * The number's value when it is a whole number representable as
+     * int64; fatal() otherwise (cites the position). Guards count-like
+     * spec fields against 2.5 cores.
+     */
+    std::int64_t asInteger() const;
+
+    /** The string's value; fatal() unless isString(). */
+    const std::string &asString() const;
+
+    /** The boolean's value; fatal() unless isBool(). */
+    bool asBool() const;
+
+    /** Array elements; fatal() unless isArray(). */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object members in source order; fatal() unless isObject(). */
+    const std::vector<Member> &members() const;
+
+    /** Member count (object) or element count (array). */
+    std::size_t size() const;
+
+    /** Member lookup; nullptr when absent. fatal() unless isObject(). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member lookup; fatal() naming @p key when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+    int line_ = 0;
+    int column_ = 0;
+
+    /** fatal() citing this value's position. */
+    [[noreturn]] void valueError(const std::string &what) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage rejected). @p source names the input in
+ * diagnostics ("spec.json"). Malformed input throws cryo::FatalError
+ * as "<source>:<line>:<column>: <problem>".
+ */
+JsonValue parseJson(std::string_view text,
+                    const std::string &source = "<json>");
 
 } // namespace cryo
 

@@ -1,7 +1,10 @@
 #include "thread_pool.hh"
 
+#include <charconv>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <system_error>
 
 #include "diag.hh"
 
@@ -58,23 +61,63 @@ ThreadPool::threads() const
     return static_cast<int>(workers_.size());
 }
 
+namespace
+{
+
+/** Hardware thread count, and at least 1. */
+int
+hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+int
+ThreadPool::parseJobs(const char *env)
+{
+    if (env == nullptr)
+        return hardwareThreads();
+    const std::string_view raw{env};
+    std::size_t begin = raw.find_first_not_of(" \t");
+    std::size_t end = raw.find_last_not_of(" \t");
+    const std::string_view trimmed =
+        begin == std::string_view::npos
+            ? std::string_view{}
+            : raw.substr(begin, end - begin + 1);
+
+    long jobs = 0;
+    const auto *first = trimmed.data();
+    const auto *last = trimmed.data() + trimmed.size();
+    const auto [ptr, ec] = std::from_chars(first, last, jobs);
+    const bool numeric =
+        !trimmed.empty() && ec == std::errc{} && ptr == last;
+    if (numeric && jobs >= 1 && jobs <= kMaxJobs)
+        return static_cast<int>(jobs);
+
+    const int fallback = hardwareThreads();
+    std::string reason;
+    if (!numeric)
+        reason = "not a decimal integer";
+    else if (jobs < 1)
+        reason = "must be at least 1";
+    else
+        reason = "exceeds the sanity cap of " +
+                 std::to_string(kMaxJobs);
+    warn("ignoring CRYOWIRE_JOBS=\"" + std::string(raw) + "\" (" +
+         reason + "); using the hardware thread count (" +
+         std::to_string(fallback) + ")");
+    return fallback;
+}
+
 int
 ThreadPool::defaultThreads()
 {
     // CRYOLINT-NEXTLINE(determinism-calls): CRYOWIRE_JOBS only picks
     // the worker count; results are bitwise job-count-invariant
     // (test_parallel pins 1/2/8 jobs against identical output).
-    if (const char *env = std::getenv("CRYOWIRE_JOBS")) {
-        try {
-            const int jobs = std::stoi(env);
-            if (jobs > 0)
-                return jobs;
-        } catch (...) {
-            // Fall through to the hardware default on garbage input.
-        }
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
+    return parseJobs(std::getenv("CRYOWIRE_JOBS"));
 }
 
 ThreadPool &

@@ -48,10 +48,29 @@ class ThreadPool
 
     /**
      * Parallel width requested for this process: CRYOWIRE_JOBS if set
-     * to a positive integer, else std::thread::hardware_concurrency(),
+     * to a valid job count, else std::thread::hardware_concurrency(),
      * and at least 1.
      */
     static int defaultThreads();
+
+    /**
+     * Largest CRYOWIRE_JOBS value accepted. Far above any real
+     * machine; a request beyond it is a typo ("80000" for "8"), not a
+     * topology, and oversubscribing by three orders of magnitude would
+     * OOM before it parallelized anything.
+     */
+    static constexpr int kMaxJobs = 4096;
+
+    /**
+     * Validate one CRYOWIRE_JOBS value (defaultThreads' parsing,
+     * exposed for tests). Accepts a decimal integer in [1, kMaxJobs]
+     * with optional surrounding whitespace. Anything else - empty,
+     * non-numeric, trailing garbage, zero, negative, or absurd - emits
+     * one dedup'd warn() naming the value and falls back to the
+     * hardware thread count. @p env may be nullptr (unset: silent
+     * fallback).
+     */
+    static int parseJobs(const char *env);
 
     /** The process-wide pool, created on first use. */
     static ThreadPool &global();

@@ -1,0 +1,19 @@
+/** Fixture [layering/bad]: dse (rank 5) includes exp (rank 6). The
+ * sweep engine must not depend on the experiment registry - it is the
+ * other way around (exp::Context is built from a DesignPoint). */
+
+#ifndef CRYOWIRE_DSE_USES_EXP_HH
+#define CRYOWIRE_DSE_USES_EXP_HH
+
+#include "exp/exp_thing.hh"
+
+namespace cryo::dse
+{
+inline int
+thingId(const cryo::exp::ExpThing &t)
+{
+    return t.id;
+}
+} // namespace cryo::dse
+
+#endif // CRYOWIRE_DSE_USES_EXP_HH

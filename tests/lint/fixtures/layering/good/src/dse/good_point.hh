@@ -1,0 +1,17 @@
+/** Fixture [layering/good]: dse (rank 5) includes tech (rank 1) -
+ * the sweep engine composes the model stack from above. */
+
+#ifndef CRYOWIRE_DSE_GOOD_POINT_HH
+#define CRYOWIRE_DSE_GOOD_POINT_HH
+
+#include "tech/base.hh"
+
+namespace cryo::dse
+{
+struct GoodPoint
+{
+    cryo::tech::Base base;
+};
+} // namespace cryo::dse
+
+#endif // CRYOWIRE_DSE_GOOD_POINT_HH

@@ -1,0 +1,19 @@
+/** Fixture [layering/good]: exp (rank 6) includes dse (rank 5) - the
+ * experiment Context is constructed from a DesignPoint, so this edge
+ * must stay legal. */
+
+#ifndef CRYOWIRE_EXP_USES_DSE_HH
+#define CRYOWIRE_EXP_USES_DSE_HH
+
+#include "dse/good_point.hh"
+
+namespace cryo::exp
+{
+inline double
+baseValue(const cryo::dse::GoodPoint &p)
+{
+    return p.base.value;
+}
+} // namespace cryo::exp
+
+#endif // CRYOWIRE_EXP_USES_DSE_HH

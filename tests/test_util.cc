@@ -18,6 +18,7 @@
 #include "util/json.hh"
 #include "util/diag.hh"
 #include "util/parallel.hh"
+#include "util/thread_pool.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
@@ -500,6 +501,174 @@ TEST(Json, MisuseIsFatal)
     w.beginObject();
     // A value inside an object requires a key first.
     EXPECT_THROW(w.value(1.0), FatalError);
+}
+
+TEST(JsonParse, ScalarsAndNesting)
+{
+    const JsonValue v = parseJson(R"({
+        "name": "sweep",
+        "temps": [77, 1.5e2, 300.0],
+        "deep": { "flag": true, "none": null },
+        "neg": -12
+    })");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.at("name").asString(), "sweep");
+    const auto &temps = v.at("temps").items();
+    ASSERT_EQ(temps.size(), 3u);
+    EXPECT_DOUBLE_EQ(temps[0].asNumber(), 77.0);
+    EXPECT_DOUBLE_EQ(temps[1].asNumber(), 150.0);
+    EXPECT_DOUBLE_EQ(temps[2].asNumber(), 300.0);
+    EXPECT_TRUE(v.at("deep").at("flag").asBool());
+    EXPECT_TRUE(v.at("deep").at("none").isNull());
+    EXPECT_EQ(v.at("neg").asInteger(), -12);
+    EXPECT_EQ(v.find("absent"), nullptr);
+    // Members keep source order (sweep-spec axis order matters).
+    ASSERT_EQ(v.members().size(), 4u);
+    EXPECT_EQ(v.members()[0].first, "name");
+    EXPECT_EQ(v.members()[3].first, "neg");
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    const JsonValue v = parseJson(
+        R"(["a\"b\\c\/d\n\t", "\u0041\u00e9", "\ud83d\ude00"])");
+    const auto &items = v.items();
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].asString(), "a\"b\\c/d\n\t");
+    EXPECT_EQ(items[1].asString(), "A\xc3\xa9");
+    // Surrogate pair -> U+1F600 as UTF-8.
+    EXPECT_EQ(items[2].asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, MalformedCitesLineAndColumn)
+{
+    const auto expectError = [](const std::string &text,
+                                const std::string &needle) {
+        try {
+            parseJson(text, "bad.json");
+            FAIL() << "must throw for: " << text;
+        } catch (const FatalError &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("bad.json:"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find(needle), std::string::npos) << what;
+        }
+    };
+    expectError("", "end of input");
+    expectError("{\"a\":1,}", "");       // trailing comma
+    expectError("{\"a\" 1}", ":");       // missing colon
+    expectError("[1, 2", "");            // unterminated array
+    expectError("\"abc", "");            // unterminated string
+    expectError("01", "");               // leading zero
+    expectError("1.", "");               // fraction needs digits
+    expectError("1e", "");               // exponent needs digits
+    expectError("tru", "");              // bad literal
+    expectError("{\"a\":1} x", "");      // trailing garbage
+    expectError("\"\\q\"", "");          // unknown escape
+    expectError("\"\\ud800\"", "");      // lone surrogate
+    // Depth bomb: deeper than the parser's recursion cap.
+    expectError(std::string(300, '[') + std::string(300, ']'),
+                "nest");
+}
+
+TEST(JsonParse, PositionIsExact)
+{
+    try {
+        parseJson("{\n  \"a\": [1, }\n}", "pos.json");
+        FAIL() << "must throw";
+    } catch (const FatalError &e) {
+        // The bad token '}' sits on line 2, column 12.
+        EXPECT_NE(std::string(e.what()).find("pos.json:2:12"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonParse, WrongKindAccessCitesPosition)
+{
+    const JsonValue v = parseJson("{\"n\": 2.5}");
+    EXPECT_THROW(v.at("n").asString(), FatalError);
+    EXPECT_THROW(v.at("n").asBool(), FatalError);
+    EXPECT_THROW(v.at("n").items(), FatalError);
+    // 2.5 is a number but not a whole one.
+    EXPECT_THROW(v.at("n").asInteger(), FatalError);
+    EXPECT_THROW(v.at("missing"), FatalError);
+    try {
+        v.at("n").asString();
+        FAIL() << "must throw";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(JsonParse, WriterOutputRoundTrips)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w{os, 0};
+        w.beginObject();
+        w.key("pi").value(3.141592653589793);
+        w.key("tiny").value(5e-324);
+        w.key("text").value("quote \" slash \\ control \n end");
+        w.key("flags").beginArray();
+        w.value(true).value(false).null();
+        w.endArray();
+        w.key("big").value(std::uint64_t{1} << 53);
+        w.endObject();
+    }
+    const JsonValue v = parseJson(os.str(), "<writer>");
+    EXPECT_DOUBLE_EQ(v.at("pi").asNumber(), 3.141592653589793);
+    EXPECT_DOUBLE_EQ(v.at("tiny").asNumber(), 5e-324);
+    EXPECT_EQ(v.at("text").asString(),
+              "quote \" slash \\ control \n end");
+    ASSERT_EQ(v.at("flags").size(), 3u);
+    EXPECT_TRUE(v.at("flags").items()[2].isNull());
+    EXPECT_EQ(v.at("big").asInteger(),
+              std::int64_t{1} << 53);
+}
+
+TEST(ThreadPoolJobs, AcceptsPlainAndPaddedIntegers)
+{
+    EXPECT_EQ(ThreadPool::parseJobs("1"), 1);
+    EXPECT_EQ(ThreadPool::parseJobs("16"), 16);
+    EXPECT_EQ(ThreadPool::parseJobs("  8 \t"), 8);
+    EXPECT_EQ(ThreadPool::parseJobs(nullptr),
+              ThreadPool::parseJobs(nullptr)); // stable default
+    EXPECT_GE(ThreadPool::parseJobs(nullptr), 1);
+}
+
+TEST(ThreadPoolJobs, RejectsGarbageWithWarning)
+{
+    diag::resetWarnings();
+    const int fallback = ThreadPool::parseJobs(nullptr);
+    // Regression: these used to silently become 0 workers (atoi) and
+    // hang the pool.
+    for (const char *bad : {"", "   ", "abc", "12abc", "1.5", "0",
+                            "-3", "999999999999999999999", "0x10"}) {
+        EXPECT_EQ(ThreadPool::parseJobs(bad), fallback) << bad;
+    }
+    const auto s = diag::warnStats();
+    EXPECT_EQ(s.emitted + s.suppressed, 9u);
+    diag::resetWarnings();
+}
+
+TEST(ThreadPoolJobs, CapsAbsurdCounts)
+{
+    diag::resetWarnings();
+    const int fallback = ThreadPool::parseJobs(nullptr);
+    EXPECT_EQ(ThreadPool::parseJobs(std::to_string(
+                                        ThreadPool::kMaxJobs)
+                                        .c_str()),
+              ThreadPool::kMaxJobs);
+    EXPECT_EQ(ThreadPool::parseJobs(std::to_string(
+                                        ThreadPool::kMaxJobs + 1)
+                                        .c_str()),
+              fallback);
+    const auto s = diag::warnStats();
+    EXPECT_EQ(s.emitted + s.suppressed, 1u);
+    diag::resetWarnings();
 }
 
 TEST(Csv, DoubleRowsRoundTrip)

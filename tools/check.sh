@@ -13,6 +13,11 @@
 #   tools/check.sh --bench   build the microbenchmarks, run them, and
 #                            gate their timings against the committed
 #                            BENCH_micro_*.json baselines
+#   tools/check.sh --dse     fast DSE path: build only the sweep
+#                            driver + its unit tests, run the dse
+#                            test binary and the dse-smoke ctest
+#                            label (cache-hit + byte-identity
+#                            assertions), ~seconds not minutes
 #
 # clang-tidy and clang-format are optional: when absent the step is
 # skipped with a notice instead of failing, so the gate still runs on
@@ -47,6 +52,23 @@ case "$MODE" in
         BUILD_DIR="$ROOT/build-check-bench"
         CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=Release)
         ;;
+    --dse)
+        # DSE fast path: the sweep driver, its unit tests, and the
+        # smoke sweep - enough to validate a DesignPoint/sweep-engine
+        # change without the full -Werror tree + experiment gate.
+        echo "==> configure (${CMAKE_ARGS[*]})"
+        cmake -S "$ROOT" -B "$BUILD_DIR" "${CMAKE_ARGS[@]}" >/dev/null
+        echo "==> build cryowire_sweep + test_dse"
+        cmake --build "$BUILD_DIR" -j "$(nproc)" \
+            --target cryowire_sweep test_dse \
+            -- --no-print-directory
+        echo "==> test_dse"
+        "$BUILD_DIR/tests/test_dse"
+        echo "==> ctest -L dse-smoke"
+        ctest --test-dir "$BUILD_DIR" -L dse-smoke --output-on-failure
+        echo "==> all checks passed"
+        exit 0
+        ;;
     --lint)
         # Lint-only fast path: no configure, no build.
         mkdir -p "$BUILD_DIR"
@@ -60,7 +82,7 @@ case "$MODE" in
         ;;
     "") ;;
     *)
-        echo "usage: $0 [--lint|--asan|--ubsan|--tsan|--bench]" >&2
+        echo "usage: $0 [--lint|--asan|--ubsan|--tsan|--bench|--dse]" >&2
         exit 2
         ;;
 esac

@@ -7,7 +7,11 @@ directory. System includes (``<...>``) are outside the graph.
 The layer ranks implement the architecture DAG from DESIGN.md:
 
     util(0) -> tech(1) -> {power, pipeline, noc}(2)
-            -> {netsim, mem, sys}(3) -> core(4) -> exp(5)
+            -> {netsim, mem, sys}(3) -> core(4) -> dse(5) -> exp(6)
+
+dse sits between core and exp: the DesignPoint/sweep engine composes
+the full model stack (so it must outrank core) while exp::Context is
+constructed *from* a DesignPoint (so exp must outrank dse).
 
 A file may include headers of the same or lower rank; same-rank
 cross-directory edges are legal only while the *directory* graph stays
@@ -32,7 +36,8 @@ LAYER_RANK: dict[str, int] = {
     "mem": 3,
     "sys": 3,
     "core": 4,
-    "exp": 5,
+    "dse": 5,
+    "exp": 6,
 }
 
 LAYER_ORDER = sorted(LAYER_RANK, key=lambda d: (LAYER_RANK[d], d))
