@@ -1,0 +1,541 @@
+/**
+ * @file
+ * cryowire_loadgen: open-loop load generator for cryowire_serve.
+ *
+ * Open-loop means requests are issued on a precomputed schedule, not
+ * after the previous reply - the generator keeps sending at the
+ * offered rate even when the server falls behind, which is the only
+ * way to observe queueing collapse and admission-control shedding
+ * (a closed-loop client self-throttles and hides both).
+ *
+ * Three arrival patterns, all integrating an instantaneous-rate
+ * function into deterministic send times:
+ *   steady   constant rate,
+ *   bursty   5x the rate for the first 20%% of every second, idle
+ *            otherwise (same mean),
+ *   diurnal  one sinusoidal swing of +/-80%% over the run (a day's
+ *            traffic compressed into the duration).
+ *
+ * Client-observed latency (send to reply, including server queueing)
+ * is recorded per reply and reported as a cryowire-bench/1 JSON
+ * document gated by tools/bench_gate.py.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/protocol.hh"
+#include "util/diag.hh"
+#include "util/json.hh"
+#include "util/rng.hh"
+#include "util/socket.hh"
+#include "util/stats.hh"
+
+namespace
+{
+
+using namespace cryo;
+using namespace cryo::svc;
+
+constexpr const char *kUsage =
+    "usage: cryowire_loadgen --socket PATH [options]\n"
+    "\n"
+    "Drive cryowire_serve with an open-loop request stream and report\n"
+    "client-observed latency percentiles (cryowire-bench/1 JSON).\n"
+    "\n"
+    "options:\n"
+    "  --socket PATH      daemon socket to connect to\n"
+    "  --pattern P        steady | bursty | diurnal (default steady)\n"
+    "  --rate R           mean offered load [requests/s] (default 20)\n"
+    "  --duration-ms D    run length (default 2000)\n"
+    "  --connections C    parallel client connections (default 2)\n"
+    "  --distinct K       distinct design points in the pool\n"
+    "                     (default 8; duplicates exercise the cache)\n"
+    "  --invalid-share F  fraction of requests sent malformed\n"
+    "                     (default 0; they earn \"error\" replies)\n"
+    "  --seed S           RNG seed for point/invalid choices\n"
+    "  --json FILE        write the cryowire-bench/1 report\n"
+    "  --shutdown-after   send {\"op\":\"shutdown\"} when done\n"
+    "  --quiet            suppress the summary line\n"
+    "\n"
+    "exit status: 0 = every request got exactly one reply, 1 = not.\n";
+
+struct CliOptions
+{
+    std::string socket;
+    std::string pattern = "steady";
+    double rate = 20.0;
+    std::int64_t durationMs = 2000;
+    int connections = 2;
+    int distinct = 8;
+    double invalidShare = 0.0;
+    std::uint64_t seed = 1;
+    std::string json;
+    bool shutdownAfter = false;
+    bool quiet = false;
+};
+
+bool
+parseArgs(int argc, const char *const *argv, CliOptions &cli,
+          bool &help)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fputs(("cryowire_loadgen: " + std::string(flag) +
+                            " needs a value\n")
+                               .c_str(),
+                           stderr);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            help = true;
+            return true;
+        } else if (arg == "--socket") {
+            const char *v = next("--socket");
+            if (v == nullptr)
+                return false;
+            cli.socket = v;
+        } else if (arg == "--pattern") {
+            const char *v = next("--pattern");
+            if (v == nullptr)
+                return false;
+            cli.pattern = v;
+            if (cli.pattern != "steady" && cli.pattern != "bursty" &&
+                cli.pattern != "diurnal") {
+                std::fputs("cryowire_loadgen: --pattern wants steady, "
+                           "bursty or diurnal\n",
+                           stderr);
+                return false;
+            }
+        } else if (arg == "--rate") {
+            const char *v = next("--rate");
+            if (v == nullptr)
+                return false;
+            cli.rate = std::atof(v);
+            if (!(cli.rate > 0.0)) {
+                std::fputs("cryowire_loadgen: --rate must be > 0\n",
+                           stderr);
+                return false;
+            }
+        } else if (arg == "--duration-ms") {
+            const char *v = next("--duration-ms");
+            if (v == nullptr)
+                return false;
+            cli.durationMs = std::atol(v);
+            if (cli.durationMs < 1) {
+                std::fputs(
+                    "cryowire_loadgen: --duration-ms must be >= 1\n",
+                    stderr);
+                return false;
+            }
+        } else if (arg == "--connections") {
+            const char *v = next("--connections");
+            if (v == nullptr)
+                return false;
+            cli.connections = std::atoi(v);
+            if (cli.connections < 1) {
+                std::fputs(
+                    "cryowire_loadgen: --connections must be >= 1\n",
+                    stderr);
+                return false;
+            }
+        } else if (arg == "--distinct") {
+            const char *v = next("--distinct");
+            if (v == nullptr)
+                return false;
+            cli.distinct = std::atoi(v);
+            if (cli.distinct < 1) {
+                std::fputs(
+                    "cryowire_loadgen: --distinct must be >= 1\n",
+                    stderr);
+                return false;
+            }
+        } else if (arg == "--invalid-share") {
+            const char *v = next("--invalid-share");
+            if (v == nullptr)
+                return false;
+            cli.invalidShare = std::atof(v);
+            if (cli.invalidShare < 0.0 || cli.invalidShare > 1.0) {
+                std::fputs("cryowire_loadgen: --invalid-share wants "
+                           "[0, 1]\n",
+                           stderr);
+                return false;
+            }
+        } else if (arg == "--seed") {
+            const char *v = next("--seed");
+            if (v == nullptr)
+                return false;
+            cli.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--json") {
+            const char *v = next("--json");
+            if (v == nullptr)
+                return false;
+            cli.json = v;
+        } else if (arg == "--shutdown-after") {
+            cli.shutdownAfter = true;
+        } else if (arg == "--quiet") {
+            cli.quiet = true;
+        } else {
+            std::fputs(("cryowire_loadgen: unknown option \"" + arg +
+                        "\"\n")
+                           .c_str(),
+                       stderr);
+            return false;
+        }
+    }
+    if (cli.socket.empty() && !help) {
+        std::fputs("cryowire_loadgen: need --socket\n", stderr);
+        return false;
+    }
+    return true;
+}
+
+/** Instantaneous offered rate [req/s] at offset @p tS into the run. */
+double
+rateAt(const CliOptions &cli, double tS)
+{
+    const double durationS =
+        static_cast<double>(cli.durationMs) / 1000.0;
+    if (cli.pattern == "bursty") {
+        // 5x rate for the first fifth of every second: same mean,
+        // much harder on the admission queue.
+        const double phase = tS - std::floor(tS);
+        return phase < 0.2 ? cli.rate * 5.0 : 0.0;
+    }
+    if (cli.pattern == "diurnal") {
+        const double swing =
+            std::sin(2.0 * 3.14159265358979323846 * tS / durationS);
+        return cli.rate * (1.0 + 0.8 * swing);
+    }
+    return cli.rate;
+}
+
+/**
+ * Integrate the rate function into send offsets [us]. Deterministic:
+ * the schedule depends only on the options.
+ */
+std::vector<std::int64_t>
+buildSchedule(const CliOptions &cli)
+{
+    std::vector<std::int64_t> sendUs;
+    const double durationS =
+        static_cast<double>(cli.durationMs) / 1000.0;
+    double t = 0.0;
+    while (t < durationS) {
+        const double r = rateAt(cli, t);
+        if (r <= 0.0) {
+            // Idle stretch (bursty off-phase): hop to the next
+            // second boundary where the burst resumes.
+            t = std::floor(t) + 1.0;
+            continue;
+        }
+        sendUs.push_back(static_cast<std::int64_t>(t * 1e6));
+        t += 1.0 / r;
+    }
+    return sendUs;
+}
+
+/** The request pool: @p distinct cheap points differing in tempK. */
+std::vector<dse::DesignPoint>
+buildPoints(int distinct)
+{
+    std::vector<dse::DesignPoint> points;
+    for (int i = 0; i < distinct; ++i) {
+        dse::DesignPoint p;
+        p.workload = "streamcluster";
+        p.tempK =
+            77.0 + 150.0 * static_cast<double>(i) /
+                       static_cast<double>(std::max(1, distinct));
+        points.push_back(p);
+    }
+    return points;
+}
+
+/** One pre-rendered request line. */
+struct Issue
+{
+    std::string id; ///< empty for invalid lines (no reply id)
+    std::string line;
+    bool invalid = false;
+};
+
+/** Shared per-connection reply accounting. */
+struct ConnState
+{
+    int fd = -1;
+    std::mutex mu;
+    std::map<std::string, std::int64_t> sendUs; ///< id -> send time
+    std::uint64_t issued = 0;
+    std::uint64_t replies = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t deduped = 0;
+    Histogram clientUs{4096, 500.0};  ///< send-to-reply latency
+    Histogram serviceUs{4096, 500.0}; ///< server-reported latency
+};
+
+std::int64_t
+nowUs(std::chrono::steady_clock::time_point epoch)
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+void
+readerLoop(ConnState *conn,
+           std::chrono::steady_clock::time_point epoch)
+{
+    LineReader reader{conn->fd};
+    std::string line;
+    while (reader.next(&line) == LineReader::Status::kLine) {
+        const Reply r = Reply::parse(line, "<reply>");
+        std::lock_guard<std::mutex> lock(conn->mu);
+        ++conn->replies;
+        if (r.status == "ok")
+            ++conn->ok;
+        else if (r.status == "error")
+            ++conn->errors;
+        else if (r.status == "failed")
+            ++conn->failed;
+        else if (r.status == "overloaded")
+            ++conn->overloaded;
+        if (r.cached)
+            ++conn->cacheHits;
+        if (r.deduped)
+            ++conn->deduped;
+        conn->serviceUs.add(static_cast<double>(r.latencyUs));
+        if (r.hasId) {
+            const auto it = conn->sendUs.find(r.id);
+            if (it != conn->sendUs.end()) {
+                conn->clientUs.add(static_cast<double>(
+                    nowUs(epoch) - it->second));
+                conn->sendUs.erase(it);
+            }
+        }
+    }
+}
+
+int
+run(const CliOptions &cli)
+{
+    const std::vector<std::int64_t> schedule = buildSchedule(cli);
+    const std::vector<dse::DesignPoint> points =
+        buildPoints(cli.distinct);
+    Rng rng{cli.seed};
+
+    // Pre-assign every scheduled request to a connection round-robin
+    // and pre-render its line, so the send loop only sleeps + writes.
+    const std::size_t n = schedule.size();
+    std::vector<std::vector<std::pair<std::int64_t, Issue>>> plan(
+        static_cast<std::size_t>(cli.connections));
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t c = i % plan.size();
+        Issue issue;
+        const std::string id =
+            "c" + std::to_string(c) + "-r" + std::to_string(i);
+        if (rng.chance(cli.invalidShare)) {
+            // Truncated JSON: unparseable, so the error reply
+            // cannot carry an id back - no latency sample.
+            issue.invalid = true;
+            issue.line = "{\"id\":\"" + id + "\",\"op\":\"eval\",";
+        } else {
+            Request req;
+            req.id = id;
+            req.op = Op::kEval;
+            req.point = points[rng.below(points.size())];
+            req.metrics = {"perf", "totalPower", "converged"};
+            issue.id = id;
+            issue.line = formatRequest(req);
+        }
+        plan[c].emplace_back(schedule[i], std::move(issue));
+    }
+
+    std::vector<std::unique_ptr<ConnState>> conns;
+    for (int c = 0; c < cli.connections; ++c) {
+        auto conn = std::make_unique<ConnState>();
+        conn->fd = connectUnix(cli.socket);
+        conns.push_back(std::move(conn));
+    }
+
+    const auto epoch = std::chrono::steady_clock::now();
+    std::vector<std::thread> readers;
+    std::vector<std::thread> senders;
+    for (int c = 0; c < cli.connections; ++c) {
+        ConnState *conn = conns[static_cast<std::size_t>(c)].get();
+        readers.emplace_back(
+            [conn, epoch] { readerLoop(conn, epoch); });
+        const auto *mine = &plan[static_cast<std::size_t>(c)];
+        senders.emplace_back([conn, mine, epoch] {
+            for (const auto &[atUs, issue] : *mine) {
+                std::this_thread::sleep_until(
+                    epoch + std::chrono::microseconds(atUs));
+                {
+                    std::lock_guard<std::mutex> lock(conn->mu);
+                    ++conn->issued;
+                    if (!issue.id.empty())
+                        conn->sendUs.emplace(issue.id, nowUs(epoch));
+                }
+                if (!sendAll(conn->fd, issue.line + "\n"))
+                    return; // daemon gone; reader sees EOF
+            }
+        });
+    }
+    for (std::thread &t : senders)
+        t.join();
+
+    // Drain: open loop is over, wait (bounded) for the tail.
+    const std::int64_t deadline =
+        nowUs(epoch) + 60 * 1000 * 1000; // 60 s grace
+    for (;;) {
+        std::uint64_t issued = 0;
+        std::uint64_t replies = 0;
+        for (const auto &conn : conns) {
+            std::lock_guard<std::mutex> lock(conn->mu);
+            issued += conn->issued;
+            replies += conn->replies;
+        }
+        if (replies >= issued || nowUs(epoch) > deadline)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    if (cli.shutdownAfter) {
+        Request down;
+        down.id = "shutdown";
+        down.op = Op::kShutdown;
+        sendAll(conns[0]->fd, formatRequest(down) + "\n");
+    }
+    for (const auto &conn : conns)
+        shutdownRead(conn->fd); // unblock the readers
+    for (std::thread &t : readers)
+        t.join();
+    for (const auto &conn : conns)
+        closeFd(conn->fd);
+
+    // Merge the per-connection accounting.
+    std::uint64_t issued = 0, replies = 0, ok = 0, errors = 0;
+    std::uint64_t failed = 0, overloaded = 0, cacheHits = 0;
+    std::uint64_t deduped = 0;
+    Histogram clientUs{4096, 500.0};
+    Histogram serviceUs{4096, 500.0};
+    for (const auto &conn : conns) {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        issued += conn->issued;
+        replies += conn->replies;
+        ok += conn->ok;
+        errors += conn->errors;
+        failed += conn->failed;
+        overloaded += conn->overloaded;
+        cacheHits += conn->cacheHits;
+        deduped += conn->deduped;
+        clientUs.merge(conn->clientUs);
+        serviceUs.merge(conn->serviceUs);
+    }
+    // The shutdown ack (if any) is an extra reply; don't let it
+    // trip the one-reply-per-request accounting.
+    if (cli.shutdownAfter && replies == issued + 1) {
+        --replies;
+        --ok;
+    }
+
+    if (!cli.quiet)
+        std::fputs(
+            ("cryowire_loadgen: issued=" + std::to_string(issued) +
+             " replies=" + std::to_string(replies) + " ok=" +
+             std::to_string(ok) + " errors=" + std::to_string(errors) +
+             " failed=" + std::to_string(failed) + " overloaded=" +
+             std::to_string(overloaded) + " cache_hits=" +
+             std::to_string(cacheHits) + " deduped=" +
+             std::to_string(deduped) + " p50_us=" +
+             std::to_string(clientUs.percentile(0.50)) + " p99_us=" +
+             std::to_string(clientUs.percentile(0.99)) + "\n")
+                .c_str(),
+            stderr);
+
+    if (!cli.json.empty()) {
+        std::ofstream out{cli.json};
+        fatalIf(!out, "cannot write \"" + cli.json + "\"");
+        JsonWriter w{out};
+        w.beginObject();
+        w.key("schema").value("cryowire-bench/1");
+        w.key("suite").value("serve_loadgen");
+        w.key("unit").value("ns/op");
+        w.key("kernels").beginArray();
+        const auto kernel = [&w, replies](const std::string &name,
+                                          double nsOp) {
+            w.beginObject();
+            w.key("name").value(name);
+            w.key("ops").value(replies);
+            w.key("scalar_ns_op").value(nsOp);
+            w.key("batch_ns_op").null();
+            w.key("speedup").null();
+            w.endObject();
+        };
+        kernel(cli.pattern + "_latency_p50",
+               clientUs.percentile(0.50) * 1000.0);
+        kernel(cli.pattern + "_latency_p99",
+               clientUs.percentile(0.99) * 1000.0);
+        kernel(cli.pattern + "_service_time",
+               serviceUs.percentile(0.50) * 1000.0);
+        w.endArray();
+        w.key("issued").value(issued);
+        w.key("replies").value(replies);
+        w.key("ok").value(ok);
+        w.key("errors").value(errors);
+        w.key("failed").value(failed);
+        w.key("overloaded").value(overloaded);
+        w.key("cache_hits").value(cacheHits);
+        w.key("deduped").value(deduped);
+        w.endObject();
+        out << "\n";
+        fatalIf(!out, "I/O error writing \"" + cli.json + "\"");
+    }
+
+    return replies == issued ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions cli;
+    bool help = false;
+    if (!parseArgs(argc, argv, cli, help)) {
+        std::fputs(kUsage, stderr);
+        return 2;
+    }
+    if (help) {
+        std::fputs(kUsage, stdout);
+        return 0;
+    }
+    try {
+        return run(cli);
+    } catch (const FatalError &e) {
+        std::fputs(
+            ("cryowire_loadgen: " + std::string(e.what()) + "\n")
+                .c_str(),
+            stderr);
+        return 1;
+    }
+}

@@ -1,6 +1,7 @@
 #include "point_eval.hh"
 
 #include <array>
+#include <cstddef>
 #include <utility>
 
 #include "core/system_builder.hh"
@@ -120,6 +121,19 @@ baselineKey(const DesignPoint &p)
 
 } // namespace
 
+const std::vector<std::string> &
+PointMetrics::metricNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        out.reserve(kMetrics.size());
+        for (const MetricDef &m : kMetrics)
+            out.emplace_back(m.name);
+        return out;
+    }();
+    return names;
+}
+
 void
 PointMetrics::writeJson(JsonWriter &w) const
 {
@@ -132,6 +146,42 @@ PointMetrics::writeJson(JsonWriter &w) const
             w.value(this->*(m.flag));
     }
     w.endObject();
+}
+
+void
+PointMetrics::writeJson(JsonWriter &w,
+                        const std::vector<std::string> &subset) const
+{
+    if (subset.empty()) {
+        writeJson(w);
+        return;
+    }
+    std::vector<bool> seen(subset.size(), false);
+    w.beginObject();
+    // Canonical order: iterate the registry, not the subset, so two
+    // requests naming the same metrics in different order render
+    // byte-identical replies.
+    for (const MetricDef &m : kMetrics) {
+        bool wanted = false;
+        for (std::size_t i = 0; i < subset.size(); ++i) {
+            if (subset[i] == m.name) {
+                seen[i] = true;
+                wanted = true;
+            }
+        }
+        if (!wanted)
+            continue;
+        w.key(m.name);
+        if (m.num != nullptr)
+            w.value(this->*(m.num));
+        else
+            w.value(this->*(m.flag));
+    }
+    w.endObject();
+    for (std::size_t i = 0; i < subset.size(); ++i)
+        fatalIf(!seen[i],
+                "unknown metric \"" + subset[i] +
+                    "\" requested (see PointMetrics::metricNames)");
 }
 
 PointMetrics

@@ -65,8 +65,21 @@ struct PointMetrics
     /** All workload fixed points converged. */
     bool converged = true;
 
+    /** Names of every metric, in canonical (JSON/CSV) order. */
+    static const std::vector<std::string> &metricNames();
+
     /** Emit as a JSON object, fixed field order. */
     void writeJson(JsonWriter &w) const;
+
+    /**
+     * Emit only @p subset, in canonical order regardless of the
+     * subset's order (so equal requests render equal bytes). An
+     * empty subset means "all"; an unknown name is fatal() - the
+     * service layer validates names at request-parse time, so a miss
+     * here is a programming error.
+     */
+    void writeJson(JsonWriter &w,
+                   const std::vector<std::string> &subset) const;
 
     /** Rebuild from a parsed JSON object (cache load path). */
     static PointMetrics fromJson(const JsonValue &obj);

@@ -32,7 +32,8 @@ parseLine(const std::string &line, std::string *hash,
 
 } // namespace
 
-ResultCache::ResultCache(std::string path) : path_(std::move(path))
+ResultCache::ResultCache(std::string path, CacheWritability writability)
+    : path_(std::move(path))
 {
     if (path_.empty())
         return;
@@ -60,8 +61,15 @@ ResultCache::ResultCache(std::string path) : path_(std::move(path))
     }
 
     out_.open(path_, std::ios::app);
-    fatalIf(!out_, "cannot open result cache \"" + path_ +
-                       "\" for appending");
+    if (!out_) {
+        fatalIf(writability == CacheWritability::kRequireWritable,
+                "cannot open result cache \"" + path_ +
+                    "\" for appending");
+        warn("result cache \"" + path_ +
+             "\" is not writable; serving loaded entries read-only, "
+             "new results stay in memory");
+        return;
+    }
     fileOpen_ = true;
 }
 
@@ -101,7 +109,23 @@ ResultCache::store(const std::string &hashHex, const PointMetrics &m)
     if (fresh && fileOpen_) {
         out_ << formatLine(hashHex, m) << '\n';
         out_.flush(); // checkpoint: every record survives a kill
+        if (!out_) {
+            // A mid-run write failure (disk full, file truncated
+            // under us) must not kill sibling evaluations: degrade
+            // to memory-only stores and say so once.
+            warn("append to result cache \"" + path_ +
+                 "\" failed; further results stay in memory only");
+            out_.close();
+            fileOpen_ = false;
+        }
     }
+}
+
+bool
+ResultCache::writable() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return fileOpen_;
 }
 
 std::size_t

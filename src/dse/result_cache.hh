@@ -36,6 +36,21 @@ namespace cryo::dse
 {
 
 /**
+ * What an unwritable cache file means to the caller.
+ *
+ * A sweep wants kRequireWritable: losing checkpointing silently
+ * would turn a killed 10k-point run into a from-scratch rerun. The
+ * serving daemon wants kTolerateReadOnly: a cache that cannot be
+ * appended to still answers lookups, and a long-running server must
+ * degrade to memory-only persistence rather than refuse to start.
+ */
+enum class CacheWritability
+{
+    kRequireWritable,
+    kTolerateReadOnly,
+};
+
+/**
  * The cache. Thread-safe: lookup/insert/append may be called from
  * parallelFor workers.
  */
@@ -45,9 +60,14 @@ class ResultCache
     /**
      * Open the cache at @p path ("" = in-memory only). An existing
      * file is loaded (deduped, truncated tail tolerated); a missing
-     * file starts empty and is created on the first append.
+     * file starts empty and is created on the first append. When the
+     * file cannot be opened for appending, kRequireWritable is
+     * fatal(); kTolerateReadOnly warns once and serves lookups with
+     * memory-only stores.
      */
-    explicit ResultCache(std::string path);
+    explicit ResultCache(
+        std::string path,
+        CacheWritability writability = CacheWritability::kRequireWritable);
     ~ResultCache();
 
     ResultCache(const ResultCache &) = delete;
@@ -65,6 +85,9 @@ class ResultCache
 
     /** Entries loaded from disk at construction. */
     std::size_t loadedEntries() const { return loaded_; }
+
+    /** True while appends still reach the file. */
+    bool writable() const;
 
     /** Entries currently held (loaded + stored). */
     std::size_t size() const;

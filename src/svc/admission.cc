@@ -1,0 +1,183 @@
+#include "admission.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/diag.hh"
+
+namespace cryo::svc
+{
+
+void
+AdmissionConfig::validate() const
+{
+    std::string bad;
+    const auto offend = [&bad](const std::string &what) {
+        if (!bad.empty())
+            bad += "; ";
+        bad += what;
+    };
+    if (minConcurrency < 1)
+        offend("minConcurrency must be >= 1");
+    if (maxConcurrency < minConcurrency)
+        offend("maxConcurrency must be >= minConcurrency");
+    if (initialConcurrency < minConcurrency ||
+        initialConcurrency > maxConcurrency)
+        offend("initialConcurrency must lie in "
+               "[minConcurrency, maxConcurrency]");
+    if (!(stepFraction > 0.0) || stepFraction > 1.0)
+        offend("stepFraction must lie in (0, 1]");
+    if (!(adoptTolerance >= 0.0) || adoptTolerance >= 1.0)
+        offend("adoptTolerance must lie in [0, 1)");
+    if (probeWindowUs <= 0)
+        offend("probeWindowUs must be positive");
+    fatalIf(!bad.empty(), "invalid admission config: " + bad);
+}
+
+AdmissionController::AdmissionController(const AdmissionConfig &config)
+    : cfg_(config)
+{
+    cfg_.validate();
+    limit_ = cfg_.initialConcurrency;
+    stableLimit_ = limit_;
+}
+
+std::size_t
+AdmissionController::step() const
+{
+    const double raw =
+        std::round(static_cast<double>(limit_) * cfg_.stepFraction);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(raw));
+}
+
+void
+AdmissionController::touch(std::int64_t nowUs)
+{
+    if (windowStartUs_ < 0) {
+        windowStartUs_ = nowUs;
+        return;
+    }
+    if (nowUs - windowStartUs_ >= cfg_.probeWindowUs)
+        endWindow(nowUs);
+}
+
+void
+AdmissionController::endWindow(std::int64_t nowUs)
+{
+    const double seconds =
+        static_cast<double>(nowUs - windowStartUs_) / 1e6;
+    const double throughput =
+        seconds > 0.0 ? static_cast<double>(completedInWindow_) / seconds
+                      : 0.0;
+    ++windows_;
+
+    switch (state_) {
+    case State::kStable:
+        stableThroughput_ = throughput;
+        if (limitHit_ && limit_ < cfg_.maxConcurrency) {
+            stableLimit_ = limit_;
+            limit_ = std::min(cfg_.maxConcurrency, limit_ + step());
+            state_ = State::kProbeUp;
+        } else if (!limitHit_ && limit_ > cfg_.minConcurrency &&
+                   throughput > 0.0) {
+            stableLimit_ = limit_;
+            limit_ = std::max(cfg_.minConcurrency,
+                              limit_ - std::min(step(), limit_ - 1));
+            state_ = State::kProbeDown;
+        }
+        break;
+    case State::kProbeUp:
+        if (throughput >=
+            stableThroughput_ * (1.0 + cfg_.adoptTolerance)) {
+            stableLimit_ = limit_;         // adopt: it really helped
+            stableThroughput_ = throughput;
+        } else {
+            limit_ = stableLimit_; // revert: saturated backend
+        }
+        state_ = State::kStable;
+        break;
+    case State::kProbeDown:
+        if (throughput >=
+            stableThroughput_ * (1.0 - cfg_.adoptTolerance)) {
+            stableLimit_ = limit_; // adopt: fewer slots, same work
+            stableThroughput_ = throughput;
+        } else {
+            limit_ = stableLimit_; // revert: the slots were earning
+        }
+        state_ = State::kStable;
+        break;
+    }
+
+    windowStartUs_ = nowUs;
+    completedInWindow_ = 0;
+    limitHit_ = false;
+}
+
+AdmissionController::Decision
+AdmissionController::admit(std::int64_t nowUs)
+{
+    touch(nowUs);
+    if (inflight_ < limit_) {
+        ++inflight_;
+        if (inflight_ == limit_)
+            limitHit_ = true;
+        return Decision::kRun;
+    }
+    limitHit_ = true;
+    if (queued_ < cfg_.maxQueue) {
+        ++queued_;
+        return Decision::kQueue;
+    }
+    return Decision::kShed;
+}
+
+void
+AdmissionController::release(std::int64_t nowUs)
+{
+    fatalIf(inflight_ == 0, "admission release without admit");
+    --inflight_;
+    ++completedInWindow_;
+    touch(nowUs);
+}
+
+bool
+AdmissionController::canPromote() const
+{
+    return queued_ > 0 && inflight_ < limit_;
+}
+
+void
+AdmissionController::promoteQueued()
+{
+    fatalIf(!canPromote(), "admission promote without a free slot");
+    --queued_;
+    ++inflight_;
+    if (inflight_ == limit_)
+        limitHit_ = true;
+}
+
+void
+AdmissionController::dropQueued()
+{
+    fatalIf(queued_ == 0, "admission dropQueued with empty queue");
+    --queued_;
+}
+
+const std::string &
+AdmissionController::stateName() const
+{
+    static const std::string stable = "stable";
+    static const std::string up = "probe-up";
+    static const std::string down = "probe-down";
+    switch (state_) {
+    case State::kStable:
+        return stable;
+    case State::kProbeUp:
+        return up;
+    case State::kProbeDown:
+        return down;
+    }
+    panic("unhandled admission state");
+}
+
+} // namespace cryo::svc

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Throughput-probing admission control for the serving daemon, in
+ * the style of MongoDB's execution control: instead of a fixed
+ * concurrency knob, the controller measures completions per second
+ * over fixed windows and *probes* - periodically trying a higher or
+ * lower concurrency limit and keeping the new limit only when the
+ * observed throughput justifies it.
+ *
+ * The state machine:
+ *
+ *  - kStable: run at stableLimit. When a window ends with the limit
+ *    having been hit (a request had to queue or the last slot was
+ *    taken), probe up: raise the limit one step and watch. When the
+ *    window ends with the limit never hit, probe down: try one step
+ *    lower - maybe the extra concurrency buys nothing.
+ *  - kProbeUp: the higher limit is adopted when the probe window's
+ *    throughput beats the stable throughput by adoptTolerance;
+ *    otherwise revert (more concurrency didn't help - the backend is
+ *    saturated, and raising the limit further only grows latency).
+ *  - kProbeDown: the lower limit is adopted when throughput stayed
+ *    within adoptTolerance of stable (same work with fewer slots);
+ *    otherwise revert.
+ *
+ * Requests beyond the limit queue up to maxQueue, then shed: the
+ * caller replies "overloaded" instead of letting latency grow
+ * without bound. That bounded queue is what keeps p99 bounded at 4x
+ * the sustainable rate (the overload acceptance test).
+ *
+ * The controller is deliberately passive and deterministic: no
+ * clocks, no threads, no locks. The owner serializes calls and
+ * injects monotonic microsecond timestamps, so unit tests drive the
+ * whole state machine with synthetic time.
+ */
+
+#ifndef CRYOWIRE_SVC_ADMISSION_HH
+#define CRYOWIRE_SVC_ADMISSION_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cryo::svc
+{
+
+/** Tuning for AdmissionController; defaults suit the daemon. */
+struct AdmissionConfig
+{
+    /** Concurrency limit floor (>= 1; shedding keeps working). */
+    std::size_t minConcurrency = 1;
+
+    /** Concurrency limit ceiling. */
+    std::size_t maxConcurrency = 256;
+
+    /** Limit before the first probe window completes. */
+    std::size_t initialConcurrency = 4;
+
+    /** Probe step as a fraction of the current limit (>= 1 slot). */
+    double stepFraction = 0.25;
+
+    /** Relative throughput change needed to adopt a probe. */
+    double adoptTolerance = 0.05;
+
+    /** Probe window length [us]. */
+    std::int64_t probeWindowUs = 100000;
+
+    /** Requests held beyond the limit before shedding starts. */
+    std::size_t maxQueue = 64;
+
+    /** fatal() on out-of-range members, naming each offence. */
+    void validate() const;
+};
+
+/**
+ * The admission state machine. Externally synchronized: the owner
+ * holds one lock across every call and passes non-decreasing
+ * timestamps.
+ */
+class AdmissionController
+{
+  public:
+    /** What to do with an arriving request. */
+    enum class Decision
+    {
+        kRun,   ///< a slot is free - evaluate now
+        kQueue, ///< over the limit - park it (owner keeps the queue)
+        kShed,  ///< queue full too - reply "overloaded"
+    };
+
+    /** Validates @p config. */
+    explicit AdmissionController(const AdmissionConfig &config);
+
+    /** Decide for one arriving request at @p nowUs. */
+    Decision admit(std::int64_t nowUs);
+
+    /**
+     * One running request finished at @p nowUs. Frees its slot and
+     * credits the probe window; window boundaries are evaluated here.
+     */
+    void release(std::int64_t nowUs);
+
+    /**
+     * Move one queued request into a slot. Legal only when
+     * canPromote(); the owner pops its own queue in arrival order.
+     */
+    void promoteQueued();
+
+    /** True when a queued request could start right now. */
+    bool canPromote() const;
+
+    /**
+     * One queued request was abandoned (its connection died) - drop
+     * it from the queue accounting without running it.
+     */
+    void dropQueued();
+
+    std::size_t limit() const { return limit_; }
+    std::size_t inflight() const { return inflight_; }
+    std::size_t queued() const { return queued_; }
+
+    /** Probe windows completed so far (tests, stats). */
+    std::uint64_t windowsCompleted() const { return windows_; }
+
+    /** "stable" | "probe-up" | "probe-down" (stats reporting). */
+    const std::string &stateName() const;
+
+  private:
+    enum class State
+    {
+        kStable,
+        kProbeUp,
+        kProbeDown,
+    };
+
+    /** Close the window ending at @p nowUs and apply the probe rule. */
+    void endWindow(std::int64_t nowUs);
+
+    /** Advance window bookkeeping to @p nowUs. */
+    void touch(std::int64_t nowUs);
+
+    /** One probe step at the current limit (>= 1 slot). */
+    std::size_t step() const;
+
+    AdmissionConfig cfg_;
+    State state_ = State::kStable;
+    std::size_t limit_;
+    std::size_t stableLimit_;
+    double stableThroughput_ = 0.0;
+    std::size_t inflight_ = 0;
+    std::size_t queued_ = 0;
+    bool limitHit_ = false;
+    std::int64_t windowStartUs_ = -1;
+    std::uint64_t completedInWindow_ = 0;
+    std::uint64_t windows_ = 0;
+};
+
+} // namespace cryo::svc
+
+#endif // CRYOWIRE_SVC_ADMISSION_HH

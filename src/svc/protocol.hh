@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The cryowire-serve wire protocol: newline-delimited JSON over a
+ * local unix socket, one request object per line, one reply line per
+ * request, always in request order per connection.
+ *
+ * Request schema (strict - unknown members are errors):
+ * @code
+ *   {"id":"r1","op":"eval",
+ *    "point":{"design":"cryosp-cryobus77","tempK":77},
+ *    "metrics":["perf","totalPower"]}
+ * @endcode
+ * "id" and "op" are required; "point" (partial DesignPoint via the
+ * field registry - unnamed fields keep their defaults) and "metrics"
+ * (subset of PointMetrics::metricNames(); absent/empty = all) are
+ * only legal for op "eval". Ops: "eval", "ping", "stats",
+ * "shutdown".
+ *
+ * Reply lines carry "status": "ok" (with op-specific payload),
+ * "error" (malformed request - the client's fault; "message" cites
+ * line/column), "failed" (the evaluator rejected the point;
+ * "message" plus the CRYO_CONTEXT chain in "context"), or
+ * "overloaded" (admission control shed the request; retry later).
+ * Every reply carries "latency_us", the server-side receive-to-reply
+ * time. Metric payloads render in canonical registry order, so equal
+ * requests produce byte-identical replies modulo latency_us.
+ */
+
+#ifndef CRYOWIRE_SVC_PROTOCOL_HH
+#define CRYOWIRE_SVC_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dse/design_point.hh"
+#include "dse/point_eval.hh"
+#include "util/diag.hh"
+#include "util/json.hh"
+
+namespace cryo::svc
+{
+
+/** What a request asks the daemon to do. */
+enum class Op
+{
+    kEval,     ///< evaluate a design point
+    kPing,     ///< liveness probe, acked immediately
+    kStats,    ///< server counters + latency histogram snapshot
+    kShutdown, ///< ack, then stop accepting and drain
+};
+
+/** The wire name of @p op. */
+const char *opName(Op op);
+
+/** One parsed request. */
+struct Request
+{
+    std::string id;
+    Op op = Op::kEval;
+
+    /** The point to evaluate (defaults + the request's overrides). */
+    dse::DesignPoint point;
+
+    /** Requested metric names; empty = all, canonical order. */
+    std::vector<std::string> metrics;
+
+    bool operator==(const Request &other) const = default;
+};
+
+/**
+ * Build a Request from a parsed JSON value. Strict: missing id/op,
+ * unknown members, wrong kinds, unknown ops, unknown metric names,
+ * point members only the registry rejects, and points that fail
+ * validate() all throw cryo::FatalError citing the source position.
+ */
+Request requestFromJson(const JsonValue &v);
+
+/** parseJson + requestFromJson; @p source names the diagnostics. */
+Request parseRequest(std::string_view line, const std::string &source);
+
+/** Render @p r as one compact request line (no trailing newline). */
+std::string formatRequest(const Request &r);
+
+/** The "ok" reply to an eval (metrics in canonical order). */
+std::string formatOkEval(const Request &req, const std::string &hash,
+                         bool cached, bool deduped,
+                         const dse::PointMetrics &metrics,
+                         std::int64_t latencyUs);
+
+/** The "ok" reply to a ping or shutdown. */
+std::string formatAck(const std::string &id, Op op,
+                      std::int64_t latencyUs);
+
+/** The "error" reply; @p hasId false when the id never parsed. */
+std::string formatError(bool hasId, const std::string &id,
+                        const std::string &message,
+                        std::int64_t latencyUs);
+
+/** The "failed" reply: evaluator FatalError + its context chain. */
+std::string formatFailed(const std::string &id, const FatalError &err,
+                         std::int64_t latencyUs);
+
+/** The "overloaded" reply with the admission state that shed it. */
+std::string formatOverloaded(const std::string &id,
+                             std::size_t inflight, std::size_t queued,
+                             std::size_t limit, std::int64_t latencyUs);
+
+/**
+ * One parsed reply - the client-side view (loadgen, tests). Nested
+ * "metrics"/"stats" payloads are re-rendered compactly into strings
+ * so differential tests can compare replies byte-for-byte.
+ */
+struct Reply
+{
+    std::string status; ///< ok | error | failed | overloaded
+    bool hasId = false;
+    std::string id;
+    std::string op;             ///< ok replies name the op
+    std::int64_t latencyUs = 0; ///< server receive-to-reply time
+    std::string message;        ///< error/failed diagnostic
+    std::vector<std::string> context; ///< failed: CRYO_CONTEXT chain
+    std::string hash;                 ///< ok eval: point content hash
+    bool cached = false;              ///< ok eval: ResultCache hit
+    bool deduped = false;      ///< ok eval: joined in-flight twin
+    std::string metricsJson;   ///< ok eval: compact metrics object
+    std::string statsJson;     ///< ok stats: compact stats object
+    std::size_t inflight = 0;  ///< overloaded: running evaluations
+    std::size_t queued = 0;    ///< overloaded: admission queue depth
+    std::size_t limit = 0;     ///< overloaded: concurrency limit
+
+    /** Strict parse; malformed replies throw cryo::FatalError. */
+    static Reply parse(std::string_view line, const std::string &source);
+};
+
+} // namespace cryo::svc
+
+#endif // CRYOWIRE_SVC_PROTOCOL_HH

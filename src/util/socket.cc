@@ -1,0 +1,195 @@
+#include "socket.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/diag.hh"
+
+namespace cryo
+{
+
+namespace
+{
+
+/** errno rendered as "message (errno N)" for diagnostics. */
+std::string
+errnoText()
+{
+    const int err = errno;
+    return std::string(std::strerror(err)) + " (errno " +
+           std::to_string(err) + ")";
+}
+
+/** Fill @p addr from @p path; fatal when the path does not fit. */
+void
+makeAddress(const std::string &path, sockaddr_un *addr)
+{
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr->sun_path))
+        fatal("unix socket path \"" + path + "\" must be 1.." +
+              std::to_string(sizeof(addr->sun_path) - 1) +
+              " bytes; use a shorter path");
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+}
+
+} // namespace
+
+void
+closeFd(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+shutdownRead(int fd)
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_RD);
+}
+
+int
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    makeAddress(path, &addr);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatalIf(fd < 0, "socket(AF_UNIX): " + errnoText());
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string why = errnoText();
+        ::close(fd);
+        fatal("cannot connect to \"" + path + "\": " + why);
+    }
+    return fd;
+}
+
+bool
+sendAll(int fd, std::string_view data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n =
+            ::send(fd, data.data() + sent, data.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+UnixListener::UnixListener(std::string path, int backlog)
+    : path_(std::move(path))
+{
+    sockaddr_un addr;
+    makeAddress(path_, &addr);
+    ::unlink(path_.c_str()); // stale socket from a killed process
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    fatalIf(fd_ < 0, "socket(AF_UNIX): " + errnoText());
+    if (::bind(fd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        const std::string why = errnoText();
+        ::close(fd_);
+        fd_ = -1;
+        fatal("cannot bind \"" + path_ + "\": " + why);
+    }
+    if (::listen(fd_, backlog) != 0) {
+        const std::string why = errnoText();
+        ::close(fd_);
+        fd_ = -1;
+        ::unlink(path_.c_str());
+        fatal("cannot listen on \"" + path_ + "\": " + why);
+    }
+}
+
+UnixListener::~UnixListener()
+{
+    close();
+    closeFd(fd_);
+    ::unlink(path_.c_str());
+}
+
+int
+UnixListener::accept()
+{
+    while (!closed_.load(std::memory_order_acquire)) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) {
+            if (closed_.load(std::memory_order_acquire)) {
+                ::close(fd);
+                return -1;
+            }
+            return fd;
+        }
+        if (errno == EINTR)
+            continue;
+        return -1; // woken by close() or a dead listener
+    }
+    return -1;
+}
+
+void
+UnixListener::close()
+{
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+        // shutdown() wakes a blocked accept() on Linux; close() alone
+        // would leave it parked until the next connection.
+        if (fd_ >= 0)
+            ::shutdown(fd_, SHUT_RDWR);
+    }
+}
+
+LineReader::LineReader(int fd, std::size_t maxLineBytes)
+    : fd_(fd), maxLine_(maxLineBytes)
+{
+}
+
+LineReader::Status
+LineReader::next(std::string *line)
+{
+    for (;;) {
+        const std::size_t nl = buf_.find('\n', pos_);
+        if (nl != std::string::npos) {
+            std::size_t end = nl;
+            if (end > pos_ && buf_[end - 1] == '\r')
+                --end;
+            if (end - pos_ > maxLine_)
+                return Status::kOverlong;
+            line->assign(buf_, pos_, end - pos_);
+            pos_ = nl + 1;
+            if (pos_ == buf_.size()) {
+                buf_.clear();
+                pos_ = 0;
+            }
+            return Status::kLine;
+        }
+        if (buf_.size() - pos_ > maxLine_)
+            return Status::kOverlong;
+        if (pos_ > 0) {
+            buf_.erase(0, pos_);
+            pos_ = 0;
+        }
+        char chunk[65536];
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n == 0)
+            return Status::kEof;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::kError;
+        }
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace cryo

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Minimal AF_UNIX stream-socket helpers for the evaluation service.
+ *
+ * The service layer (src/svc) speaks newline-delimited JSON over a
+ * local unix-domain socket; this file owns the three OS-facing
+ * pieces so the server and client code stay protocol-only:
+ *
+ *  - UnixListener: bind/listen/accept with stale-socket cleanup and a
+ *    close() that wakes a blocked accept() from another thread,
+ *  - connectUnix()/sendAll(): client-side connect and full-buffer
+ *    send (MSG_NOSIGNAL, so a vanished peer is an error return, not a
+ *    SIGPIPE),
+ *  - LineReader: buffered newline framing with an explicit maximum
+ *    line length, so a malformed client cannot balloon server memory.
+ *
+ * Setup failures (bad path, bind/listen/connect errors) are caller
+ * mistakes and throw cryo::FatalError via fatal(); per-connection
+ * runtime conditions (EOF, reset, overlong line) are ordinary return
+ * values because a server must outlive any single client.
+ */
+
+#ifndef CRYOWIRE_UTIL_SOCKET_HH
+#define CRYOWIRE_UTIL_SOCKET_HH
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace cryo
+{
+
+/** close(2) @p fd when it is >= 0 (idempotence left to the caller). */
+void closeFd(int fd);
+
+/**
+ * shutdown(2) the read side of @p fd: a thread blocked in recv sees
+ * EOF, while replies already in flight can still be written. Used to
+ * wake connection readers during server shutdown.
+ */
+void shutdownRead(int fd);
+
+/**
+ * Connect to the unix-domain socket at @p path and return the fd.
+ * Failure (missing socket, refused, path too long) is fatal() - the
+ * caller named a server that is not there.
+ */
+int connectUnix(const std::string &path);
+
+/**
+ * Write all of @p data to @p fd, retrying short writes and EINTR.
+ * Returns false when the peer is gone (EPIPE/reset) or the fd is
+ * unusable; never raises SIGPIPE.
+ */
+bool sendAll(int fd, std::string_view data);
+
+/**
+ * Listening unix-domain socket. A stale socket file at @p path (a
+ * previous process killed without cleanup) is removed before bind;
+ * the file is unlinked again on destruction.
+ */
+class UnixListener
+{
+  public:
+    /** Binds and listens; any failure is fatal() naming the path. */
+    explicit UnixListener(std::string path, int backlog = 64);
+    ~UnixListener();
+
+    UnixListener(const UnixListener &) = delete;
+    UnixListener &operator=(const UnixListener &) = delete;
+
+    /**
+     * Accept one connection; blocks. Returns the connection fd, or
+     * -1 once close() has been called (the shutdown path).
+     */
+    int accept();
+
+    /**
+     * Stop accepting: wakes a blocked accept(), which then returns
+     * -1. Idempotent; safe to call from another thread.
+     */
+    void close();
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+    std::atomic<bool> closed_{false};
+};
+
+/**
+ * Buffered newline framing over a blocking stream fd. One reader per
+ * fd; not thread-safe (each connection owns its reader).
+ */
+class LineReader
+{
+  public:
+    enum class Status
+    {
+        kLine,     ///< *line filled (without the newline)
+        kEof,      ///< orderly peer close; no partial line pending
+        kError,    ///< read error (reset, bad fd)
+        kOverlong, ///< a line exceeded the maximum length
+    };
+
+    explicit LineReader(int fd, std::size_t maxLineBytes = 1 << 20);
+
+    /**
+     * Block until one full line, EOF, or an error. A trailing '\r'
+     * (CRLF clients) is stripped. After kOverlong the stream cannot
+     * be re-synchronized; the caller should close the connection.
+     */
+    Status next(std::string *line);
+
+  private:
+    int fd_;
+    std::size_t maxLine_;
+    std::string buf_;
+    std::size_t pos_ = 0; ///< consumed prefix of buf_
+};
+
+} // namespace cryo
+
+#endif // CRYOWIRE_UTIL_SOCKET_HH

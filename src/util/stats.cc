@@ -113,6 +113,36 @@ Histogram::percentile(double fraction) const
     return static_cast<double>(bins_.size()) * binWidth_;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    fatalIf(bins_.size() != other.bins_.size() ||
+                binWidth_ != other.binWidth_,
+            "histogram merge needs identical bin count and width");
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    total_ += other.total_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+}
+
+void
+Histogram::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("count").value(total_);
+    w.key("underflow").value(underflow_);
+    w.key("overflow").value(overflow_);
+    w.key("bins").value(static_cast<std::uint64_t>(bins_.size()));
+    w.key("bin_width").value(binWidth_);
+    w.key("p50").value(percentile(0.50));
+    w.key("p90").value(percentile(0.90));
+    w.key("p95").value(percentile(0.95));
+    w.key("p99").value(percentile(0.99));
+    w.key("p999").value(percentile(0.999));
+    w.endObject();
+}
+
 double
 geometricMean(const std::vector<double> &values)
 {

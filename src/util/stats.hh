@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/json.hh"
+
 namespace cryo
 {
 
@@ -62,6 +64,21 @@ class Histogram
 
     /** Value below which @p fraction of samples fall (0 <= f <= 1). */
     double percentile(double fraction) const;
+
+    /**
+     * Fold @p other into this histogram. Both must share the same
+     * shape (bin count and width) - anything else is a fatal()
+     * caller error. Used to combine per-thread latency histograms.
+     */
+    void merge(const Histogram &other);
+
+    /**
+     * Snapshot as a JSON object: counts (total/underflow/overflow),
+     * the bin geometry, and the p50/p90/p95/p99/p999 latency
+     * summary. Bins themselves are not emitted - the snapshot is a
+     * report, not a serialization format.
+     */
+    void writeJson(JsonWriter &w) const;
 
   private:
     std::vector<std::uint64_t> bins_;

@@ -1,0 +1,19 @@
+/** Fixture [layering/bad]: exp (rank 6) includes svc (rank 7). The
+ * experiment registry must not depend on the serving daemon - the
+ * daemon is a consumer of the stack, never a dependency of it. */
+
+#ifndef CRYOWIRE_EXP_USES_SVC_HH
+#define CRYOWIRE_EXP_USES_SVC_HH
+
+#include "svc/svc_thing.hh"
+
+namespace cryo::exp
+{
+inline int
+servicePort(const cryo::svc::SvcThing &t)
+{
+    return t.port;
+}
+} // namespace cryo::exp
+
+#endif // CRYOWIRE_EXP_USES_SVC_HH

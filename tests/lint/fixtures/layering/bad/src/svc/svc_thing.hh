@@ -1,0 +1,15 @@
+/** Fixture [layering/bad]: a minimal svc (rank 7) header for the
+ * upward-include case in exp/uses_svc.hh. */
+
+#ifndef CRYOWIRE_SVC_SVC_THING_HH
+#define CRYOWIRE_SVC_SVC_THING_HH
+
+namespace cryo::svc
+{
+struct SvcThing
+{
+    int port = 0;
+};
+} // namespace cryo::svc
+
+#endif // CRYOWIRE_SVC_SVC_THING_HH

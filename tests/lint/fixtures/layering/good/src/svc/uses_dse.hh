@@ -1,0 +1,19 @@
+/** Fixture [layering/good]: svc (rank 7) includes dse (rank 5) - the
+ * serving daemon is built on the DSE stack, so every downward edge
+ * out of svc must stay legal. */
+
+#ifndef CRYOWIRE_SVC_USES_DSE_HH
+#define CRYOWIRE_SVC_USES_DSE_HH
+
+#include "dse/good_point.hh"
+
+namespace cryo::svc
+{
+inline double
+servedValue(const cryo::dse::GoodPoint &p)
+{
+    return p.base.value;
+}
+} // namespace cryo::svc
+
+#endif // CRYOWIRE_SVC_USES_DSE_HH

@@ -160,6 +160,54 @@ TEST(Histogram, OutOfRangeMassSaturatesToEdges)
     EXPECT_DOUBLE_EQ(h.percentile(1.0), 8.0);
 }
 
+TEST(Histogram, MergeAddsCountsBinwiseWithEdgeMass)
+{
+    Histogram a(8, 1.0);
+    Histogram b(8, 1.0);
+    a.add(0.5);
+    a.add(1.5);
+    b.add(1.5);
+    b.add(100.0); // overflow
+    b.add(-3.0);  // underflow
+    a.merge(b);
+    EXPECT_EQ(a.total(), 5u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.bins()[0], 1u);
+    EXPECT_EQ(a.bins()[1], 2u); // both 1.5 samples landed together
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry)
+{
+    Histogram a(8, 1.0);
+    Histogram fewer(4, 1.0);
+    Histogram wider(8, 2.0);
+    EXPECT_THROW(a.merge(fewer), FatalError);
+    EXPECT_THROW(a.merge(wider), FatalError);
+}
+
+TEST(Histogram, WriteJsonSnapshotsCountsAndPercentiles)
+{
+    Histogram h(10, 1.0);
+    for (int i = 0; i < 100; ++i)
+        h.add(i / 10.0); // uniform over [0, 10)
+    h.add(-1.0);
+    h.add(99.0);
+
+    std::ostringstream out;
+    JsonWriter w{out, /*indent=*/0};
+    h.writeJson(w);
+    const JsonValue v = parseJson(out.str(), "<hist>");
+    EXPECT_EQ(v.find("count")->asInteger(), 102);
+    EXPECT_EQ(v.find("underflow")->asInteger(), 1);
+    EXPECT_EQ(v.find("overflow")->asInteger(), 1);
+    EXPECT_EQ(v.find("bins")->asInteger(), 10);
+    EXPECT_DOUBLE_EQ(v.find("bin_width")->asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(v.find("p50")->asNumber(), h.percentile(0.50));
+    EXPECT_DOUBLE_EQ(v.find("p99")->asNumber(), h.percentile(0.99));
+    EXPECT_LE(v.find("p50")->asNumber(), v.find("p999")->asNumber());
+}
+
 TEST(Means, Geometric)
 {
     EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);

@@ -18,6 +18,11 @@
 #                            test binary and the dse-smoke ctest
 #                            label (cache-hit + byte-identity
 #                            assertions), ~seconds not minutes
+#   tools/check.sh --serve   serving-layer path: build the daemon,
+#                            load generator, and test_svc; run the
+#                            unit/differential suite and the daemon
+#                            smoke, then a short loadgen burst gated
+#                            against the BENCH_serve.json baseline
 #
 # clang-tidy and clang-format are optional: when absent the step is
 # skipped with a notice instead of failing, so the gate still runs on
@@ -69,6 +74,38 @@ case "$MODE" in
         echo "==> all checks passed"
         exit 0
         ;;
+    --serve)
+        # Serving-layer path: the daemon, the load generator, and
+        # test_svc (admission/protocol units, the differential suite,
+        # fault injection, overload, soak), then a short steady
+        # loadgen run gated against the committed latency baseline.
+        echo "==> configure (${CMAKE_ARGS[*]})"
+        cmake -S "$ROOT" -B "$BUILD_DIR" "${CMAKE_ARGS[@]}" >/dev/null
+        echo "==> build cryowire_serve + cryowire_loadgen + test_svc"
+        cmake --build "$BUILD_DIR" -j "$(nproc)" \
+            --target cryowire_serve cryowire_loadgen test_svc \
+            -- --no-print-directory
+        echo "==> test_svc"
+        (cd "$BUILD_DIR/tests" && ./test_svc)
+        echo "==> cryowire_serve --smoke"
+        (cd "$BUILD_DIR" && bench/cryowire_serve --smoke)
+        echo "==> loadgen steady run vs BENCH_serve.json"
+        SOCK="$BUILD_DIR/serve_check.sock"
+        "$BUILD_DIR/bench/cryowire_serve" --socket "$SOCK" --quiet &
+        SERVE_PID=$!
+        sleep 0.3
+        "$BUILD_DIR/bench/cryowire_loadgen" --socket "$SOCK" \
+            --pattern steady --rate 200 --duration-ms 3000 \
+            --connections 2 --distinct 8 --seed 1 \
+            --json "$BUILD_DIR/BENCH_serve.json" --shutdown-after
+        wait "$SERVE_PID"
+        # Latency baselines are noisy on shared runners; gate only
+        # order-of-magnitude regressions (4x), like the CI serve job.
+        python3 "$ROOT/tools/bench_gate.py" --threshold 4.0 \
+            "$ROOT/BENCH_serve.json" "$BUILD_DIR/BENCH_serve.json"
+        echo "==> all checks passed"
+        exit 0
+        ;;
     --lint)
         # Lint-only fast path: no configure, no build.
         mkdir -p "$BUILD_DIR"
@@ -82,7 +119,7 @@ case "$MODE" in
         ;;
     "") ;;
     *)
-        echo "usage: $0 [--lint|--asan|--ubsan|--tsan|--bench|--dse]" >&2
+        echo "usage: $0 [--lint|--asan|--ubsan|--tsan|--bench|--dse|--serve]" >&2
         exit 2
         ;;
 esac

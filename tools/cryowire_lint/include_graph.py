@@ -8,10 +8,13 @@ The layer ranks implement the architecture DAG from DESIGN.md:
 
     util(0) -> tech(1) -> {power, pipeline, noc}(2)
             -> {netsim, mem, sys}(3) -> core(4) -> dse(5) -> exp(6)
+            -> svc(7)
 
 dse sits between core and exp: the DesignPoint/sweep engine composes
 the full model stack (so it must outrank core) while exp::Context is
-constructed *from* a DesignPoint (so exp must outrank dse).
+constructed *from* a DesignPoint (so exp must outrank dse). svc (the
+serving daemon) is the topmost layer: it consumes the DSE stack, and
+nothing in the model or experiment layers may depend on a server.
 
 A file may include headers of the same or lower rank; same-rank
 cross-directory edges are legal only while the *directory* graph stays
@@ -38,6 +41,7 @@ LAYER_RANK: dict[str, int] = {
     "core": 4,
     "dse": 5,
     "exp": 6,
+    "svc": 7,
 }
 
 LAYER_ORDER = sorted(LAYER_RANK, key=lambda d: (LAYER_RANK[d], d))

@@ -1,7 +1,7 @@
 """Rule ``layering``: the architecture DAG, machine-enforced.
 
 util -> tech -> {power, pipeline, noc} -> {netsim, mem, sys} -> core
--> exp. Three violation classes:
+-> dse -> exp -> svc. Three violation classes:
 
 * an *upward* include (a lower-rank layer includes a higher-rank one)
   couples a model layer to its consumers,
@@ -25,7 +25,8 @@ class LayeringRule:
     name = "layering"
     rationale = (
         "enforce the util -> tech -> {power,pipeline,noc} -> "
-        "{netsim,mem,sys} -> core -> exp DAG and reject include cycles"
+        "{netsim,mem,sys} -> core -> dse -> exp -> svc DAG and "
+        "reject include cycles"
     )
 
     def check(self, ctx: Context):
