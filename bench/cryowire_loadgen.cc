@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "svc/client.hh"
 #include "svc/protocol.hh"
 #include "util/diag.hh"
 #include "util/json.hh"
@@ -66,6 +67,13 @@ constexpr const char *kUsage =
     "  --invalid-share F  fraction of requests sent malformed\n"
     "                     (default 0; they earn \"error\" replies)\n"
     "  --seed S           RNG seed for point/invalid choices\n"
+    "  --connect-retries N  extra connect attempts with exponential\n"
+    "                     backoff (default 10; rides out daemon\n"
+    "                     startup ordering)\n"
+    "  --connect-backoff-ms M  first connect retry wait (default 50)\n"
+    "  --verify           check every ok reply's metrics are byte-\n"
+    "                     identical to direct evaluation (mismatches\n"
+    "                     fail the run)\n"
     "  --json FILE        write the cryowire-bench/1 report\n"
     "  --shutdown-after   send {\"op\":\"shutdown\"} when done\n"
     "  --quiet            suppress the summary line\n"
@@ -82,6 +90,9 @@ struct CliOptions
     int distinct = 8;
     double invalidShare = 0.0;
     std::uint64_t seed = 1;
+    int connectRetries = 10;
+    std::int64_t connectBackoffMs = 50;
+    bool verify = false;
     std::string json;
     bool shutdownAfter = false;
     bool quiet = false;
@@ -182,6 +193,30 @@ parseArgs(int argc, const char *const *argv, CliOptions &cli,
             if (v == nullptr)
                 return false;
             cli.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (arg == "--connect-retries") {
+            const char *v = next("--connect-retries");
+            if (v == nullptr)
+                return false;
+            cli.connectRetries = std::atoi(v);
+            if (cli.connectRetries < 0) {
+                std::fputs("cryowire_loadgen: --connect-retries must "
+                           "be >= 0\n",
+                           stderr);
+                return false;
+            }
+        } else if (arg == "--connect-backoff-ms") {
+            const char *v = next("--connect-backoff-ms");
+            if (v == nullptr)
+                return false;
+            cli.connectBackoffMs = std::atol(v);
+            if (cli.connectBackoffMs < 1) {
+                std::fputs("cryowire_loadgen: --connect-backoff-ms "
+                           "must be >= 1\n",
+                           stderr);
+                return false;
+            }
+        } else if (arg == "--verify") {
+            cli.verify = true;
         } else if (arg == "--json") {
             const char *v = next("--json");
             if (v == nullptr)
@@ -278,17 +313,24 @@ struct Issue
 /** Shared per-connection reply accounting. */
 struct ConnState
 {
-    int fd = -1;
+    std::unique_ptr<Client> client;
+    int fd = -1; ///< client->fd(), cached for the reader thread
     std::mutex mu;
     std::map<std::string, std::int64_t> sendUs; ///< id -> send time
+
+    /** id -> expected metrics JSON (--verify); read-only by now. */
+    const std::map<std::string, std::string> *expect = nullptr;
+
     std::uint64_t issued = 0;
     std::uint64_t replies = 0;
     std::uint64_t ok = 0;
     std::uint64_t errors = 0;
     std::uint64_t failed = 0;
     std::uint64_t overloaded = 0;
+    std::uint64_t expired = 0;
     std::uint64_t cacheHits = 0;
     std::uint64_t deduped = 0;
+    std::uint64_t mismatches = 0; ///< --verify: wrong reply bytes
     Histogram clientUs{4096, 500.0};  ///< send-to-reply latency
     Histogram serviceUs{4096, 500.0}; ///< server-reported latency
 };
@@ -319,10 +361,25 @@ readerLoop(ConnState *conn,
             ++conn->failed;
         else if (r.status == "overloaded")
             ++conn->overloaded;
+        else if (r.status == "expired")
+            ++conn->expired;
         if (r.cached)
             ++conn->cacheHits;
         if (r.deduped)
             ++conn->deduped;
+        if (conn->expect != nullptr && r.status == "ok" && r.hasId) {
+            const auto want = conn->expect->find(r.id);
+            if (want != conn->expect->end() &&
+                r.metricsJson != want->second) {
+                ++conn->mismatches;
+                std::fputs(("cryowire_loadgen: verify mismatch for "
+                            "\"" +
+                            r.id + "\":\n  daemon: " + r.metricsJson +
+                            "\n  direct: " + want->second + "\n")
+                               .c_str(),
+                           stderr);
+            }
+        }
         conn->serviceUs.add(static_cast<double>(r.latencyUs));
         if (r.hasId) {
             const auto it = conn->sendUs.find(r.id);
@@ -343,11 +400,27 @@ run(const CliOptions &cli)
         buildPoints(cli.distinct);
     Rng rng{cli.seed};
 
+    // --verify: the per-point expected metrics, evaluated directly
+    // through the same model stack the daemon uses. Byte-identical
+    // replies are the differential contract.
+    std::vector<std::string> expectByPoint;
+    if (cli.verify) {
+        const dse::PointEvaluator direct;
+        for (const dse::DesignPoint &p : points) {
+            const dse::PointMetrics m = direct.evaluate(p);
+            std::ostringstream out;
+            JsonWriter w{out, /*indent=*/0};
+            m.writeJson(w, {"perf", "totalPower", "converged"});
+            expectByPoint.push_back(out.str());
+        }
+    }
+
     // Pre-assign every scheduled request to a connection round-robin
     // and pre-render its line, so the send loop only sleeps + writes.
     const std::size_t n = schedule.size();
     std::vector<std::vector<std::pair<std::int64_t, Issue>>> plan(
         static_cast<std::size_t>(cli.connections));
+    std::map<std::string, std::string> expectById;
     for (std::size_t i = 0; i < n; ++i) {
         const std::size_t c = i % plan.size();
         Issue issue;
@@ -362,10 +435,13 @@ run(const CliOptions &cli)
             Request req;
             req.id = id;
             req.op = Op::kEval;
-            req.point = points[rng.below(points.size())];
+            const std::size_t pick = rng.below(points.size());
+            req.point = points[pick];
             req.metrics = {"perf", "totalPower", "converged"};
             issue.id = id;
             issue.line = formatRequest(req);
+            if (cli.verify)
+                expectById.emplace(id, expectByPoint[pick]);
         }
         plan[c].emplace_back(schedule[i], std::move(issue));
     }
@@ -373,7 +449,16 @@ run(const CliOptions &cli)
     std::vector<std::unique_ptr<ConnState>> conns;
     for (int c = 0; c < cli.connections; ++c) {
         auto conn = std::make_unique<ConnState>();
-        conn->fd = connectUnix(cli.socket);
+        ClientConfig ccfg;
+        ccfg.socketPath = cli.socket;
+        ccfg.connectAttempts = 1 + cli.connectRetries;
+        ccfg.connectBackoffMs = cli.connectBackoffMs;
+        ccfg.jitterSeed = Rng::deriveSeed(
+            cli.seed, static_cast<std::uint64_t>(c));
+        conn->client = std::make_unique<Client>(std::move(ccfg));
+        conn->fd = conn->client->fd();
+        if (cli.verify)
+            conn->expect = &expectById;
         conns.push_back(std::move(conn));
     }
 
@@ -429,13 +514,12 @@ run(const CliOptions &cli)
         shutdownRead(conn->fd); // unblock the readers
     for (std::thread &t : readers)
         t.join();
-    for (const auto &conn : conns)
-        closeFd(conn->fd);
+    // The Client destructors close the fds when `conns` goes away.
 
     // Merge the per-connection accounting.
     std::uint64_t issued = 0, replies = 0, ok = 0, errors = 0;
-    std::uint64_t failed = 0, overloaded = 0, cacheHits = 0;
-    std::uint64_t deduped = 0;
+    std::uint64_t failed = 0, overloaded = 0, expired = 0;
+    std::uint64_t cacheHits = 0, deduped = 0, mismatches = 0;
     Histogram clientUs{4096, 500.0};
     Histogram serviceUs{4096, 500.0};
     for (const auto &conn : conns) {
@@ -446,8 +530,10 @@ run(const CliOptions &cli)
         errors += conn->errors;
         failed += conn->failed;
         overloaded += conn->overloaded;
+        expired += conn->expired;
         cacheHits += conn->cacheHits;
         deduped += conn->deduped;
+        mismatches += conn->mismatches;
         clientUs.merge(conn->clientUs);
         serviceUs.merge(conn->serviceUs);
     }
@@ -464,9 +550,14 @@ run(const CliOptions &cli)
              " replies=" + std::to_string(replies) + " ok=" +
              std::to_string(ok) + " errors=" + std::to_string(errors) +
              " failed=" + std::to_string(failed) + " overloaded=" +
-             std::to_string(overloaded) + " cache_hits=" +
+             std::to_string(overloaded) + " expired=" +
+             std::to_string(expired) + " cache_hits=" +
              std::to_string(cacheHits) + " deduped=" +
-             std::to_string(deduped) + " p50_us=" +
+             std::to_string(deduped) +
+             (cli.verify ? " verify_mismatches=" +
+                               std::to_string(mismatches)
+                         : std::string()) +
+             " p50_us=" +
              std::to_string(clientUs.percentile(0.50)) + " p99_us=" +
              std::to_string(clientUs.percentile(0.99)) + "\n")
                 .c_str(),
@@ -504,14 +595,17 @@ run(const CliOptions &cli)
         w.key("errors").value(errors);
         w.key("failed").value(failed);
         w.key("overloaded").value(overloaded);
+        w.key("expired").value(expired);
         w.key("cache_hits").value(cacheHits);
         w.key("deduped").value(deduped);
+        if (cli.verify)
+            w.key("verify_mismatches").value(mismatches);
         w.endObject();
         out << "\n";
         fatalIf(!out, "I/O error writing \"" + cli.json + "\"");
     }
 
-    return replies == issued ? 0 : 1;
+    return replies == issued && mismatches == 0 ? 0 : 1;
 }
 
 } // namespace

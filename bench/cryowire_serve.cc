@@ -23,6 +23,7 @@
 #include "svc/protocol.hh"
 #include "svc/server.hh"
 #include "util/diag.hh"
+#include "util/failpoint.hh"
 #include "util/socket.hh"
 
 namespace
@@ -53,6 +54,12 @@ constexpr const char *kUsage =
     "  --max-queue N          queued requests before shedding\n"
     "                         (default 64)\n"
     "  --probe-window-ms N    admission probe window (default 100)\n"
+    "  --cache-fsync          fsync the cache after every stored\n"
+    "                         record (power-loss durability; slower)\n"
+    "  --drain-deadline-ms N  shutdown drain budget before warning\n"
+    "                         (default 5000)\n"
+    "  --failpoint L          arm failpoints: \"site=spec;...\" (see\n"
+    "                         util/failpoint.hh for the grammar)\n"
     "  --stats-json FILE      write the final stats snapshot on exit\n"
     "  --quiet                suppress the shutdown summary\n"
     "  --smoke                run the built-in self-check\n"
@@ -155,6 +162,27 @@ parseArgs(int argc, const char *const *argv, CliOptions &cli,
                 return false;
             cli.server.admission.probeWindowUs =
                 static_cast<std::int64_t>(ms) * 1000;
+        } else if (arg == "--cache-fsync") {
+            cli.server.fsyncCache = true;
+        } else if (arg == "--drain-deadline-ms") {
+            std::size_t ms = 0;
+            if (!nextSize("--drain-deadline-ms", &ms))
+                return false;
+            cli.server.drainDeadlineMs =
+                static_cast<std::int64_t>(ms);
+        } else if (arg == "--failpoint") {
+            const char *v = next("--failpoint");
+            if (v == nullptr)
+                return false;
+            try {
+                failpoint::armFromList(v);
+            } catch (const FatalError &e) {
+                std::fputs(("cryowire_serve: " +
+                            std::string(e.what()) + "\n")
+                               .c_str(),
+                           stderr);
+                return false;
+            }
         } else if (arg == "--stats-json") {
             const char *v = next("--stats-json");
             if (v == nullptr)
@@ -200,7 +228,8 @@ summary(Server &server)
                 " connection(s): " + std::to_string(c.ok) + " ok, " +
                 std::to_string(c.errors) + " error, " +
                 std::to_string(c.failed) + " failed, " +
-                std::to_string(c.overloaded) + " overloaded; " +
+                std::to_string(c.overloaded) + " overloaded, " +
+                std::to_string(c.expired) + " expired; " +
                 std::to_string(c.cacheHits) + " cache hit(s), " +
                 std::to_string(c.deduped) + " deduped, " +
                 std::to_string(c.evaluated) + " evaluated\n")

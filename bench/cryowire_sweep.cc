@@ -19,6 +19,7 @@
 #include "dse/sweep_runner.hh"
 #include "dse/sweep_spec.hh"
 #include "util/diag.hh"
+#include "util/failpoint.hh"
 
 namespace
 {
@@ -50,6 +51,10 @@ constexpr const char *kUsage =
     "                   with --merge for the full sweep)\n"
     "  --merge OUT IN.. merge shard result files into OUT (verbatim\n"
     "                   lines, index order, gaps/duplicates fatal)\n"
+    "  --fsync          fsync the cache after every stored record\n"
+    "                   (power-loss durability; slower)\n"
+    "  --failpoint L    arm failpoints: \"site=spec;site=spec...\"\n"
+    "                   (see util/failpoint.hh for the grammar)\n"
     "  --smoke          run the built-in self-check sweep\n"
     "  --quiet          suppress the stats line\n"
     "\n"
@@ -155,6 +160,21 @@ parseArgs(int argc, const char *const *argv, CliOptions &cli,
                            stderr);
                 return false;
             }
+        } else if (arg == "--fsync") {
+            cli.sweep.fsyncCache = true;
+        } else if (arg == "--failpoint") {
+            const char *v = next("--failpoint");
+            if (v == nullptr)
+                return false;
+            try {
+                cryo::failpoint::armFromList(v);
+            } catch (const FatalError &e) {
+                std::fputs(("cryowire_sweep: " +
+                            std::string(e.what()) + "\n")
+                               .c_str(),
+                           stderr);
+                return false;
+            }
         } else if (arg == "--smoke") {
             cli.smoke = true;
         } else if (arg == "--quiet") {
@@ -236,16 +256,21 @@ runSpec(const CliOptions &cli)
     if (!cli.pareto.empty())
         writePareto(cli.pareto, points);
 
-    if (!cli.quiet)
-        std::fputs(
-            ("cryowire_sweep: " + std::to_string(stats.shardPoints) +
-             " of " + std::to_string(stats.totalPoints) +
-             " points (shard " + std::to_string(cli.sweep.shardIndex) +
-             "/" + std::to_string(cli.sweep.shardCount) + "), " +
-             std::to_string(stats.cacheHits) + " cache hit(s), " +
-             std::to_string(stats.evaluated) + " evaluated\n")
-                .c_str(),
-            stderr);
+    if (!cli.quiet) {
+        // The quarantine count appends *after* the base stats so
+        // log greps for "N cache hit(s), M evaluated" keep matching.
+        std::string line =
+            "cryowire_sweep: " + std::to_string(stats.shardPoints) +
+            " of " + std::to_string(stats.totalPoints) +
+            " points (shard " + std::to_string(cli.sweep.shardIndex) +
+            "/" + std::to_string(cli.sweep.shardCount) + "), " +
+            std::to_string(stats.cacheHits) + " cache hit(s), " +
+            std::to_string(stats.evaluated) + " evaluated";
+        if (stats.quarantined > 0)
+            line += ", " + std::to_string(stats.quarantined) +
+                    " quarantined";
+        std::fputs((line + "\n").c_str(), stderr);
+    }
     return 0;
 }
 

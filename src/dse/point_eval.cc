@@ -10,6 +10,7 @@
 #include "sys/interval_sim.hh"
 #include "sys/workload.hh"
 #include "util/diag.hh"
+#include "util/failpoint.hh"
 
 namespace cryo::dse
 {
@@ -292,6 +293,7 @@ PointEvaluator::baselinePerf(const DesignPoint &point,
 PointMetrics
 PointEvaluator::evaluate(const DesignPoint &point) const
 {
+    CRYO_FAILPOINT("dse.eval");
     point.validate();
 
     const auto tech = technologyFor(point);

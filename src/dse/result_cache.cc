@@ -1,9 +1,17 @@
 #include "result_cache.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "util/diag.hh"
+#include "util/failpoint.hh"
+#include "util/hash.hh"
 
 namespace cryo::dse
 {
@@ -11,10 +19,27 @@ namespace cryo::dse
 namespace
 {
 
-/** Parse one cache line; returns false (no throw) on damage. */
+/** write() until done (EINTR-safe); false on any hard failure. */
 bool
-parseLine(const std::string &line, std::string *hash,
-          PointMetrics *metrics)
+writeFull(int fd, const char *data, std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** Parse one JSON payload; returns false (no throw) on damage. */
+bool
+parsePayload(const std::string &line, std::string *hash,
+             PointMetrics *metrics)
 {
     try {
         const JsonValue v = parseJson(line, "<cache line>");
@@ -30,38 +55,51 @@ parseLine(const std::string &line, std::string *hash,
     }
 }
 
+/**
+ * Strip and verify v2 framing: "v2 <len> <crc8hex> <payload>".
+ * False when the frame is malformed, the length disagrees (torn
+ * append), or the CRC does not match (corruption).
+ */
+bool
+unframe(const std::string &line, std::string *payload)
+{
+    if (line.size() < 3 || line.compare(0, 3, "v2 ") != 0)
+        return false;
+    std::size_t pos = 3;
+    std::uint64_t len = 0;
+    bool anyDigit = false;
+    while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+        len = len * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+        anyDigit = true;
+        ++pos;
+    }
+    if (!anyDigit || pos >= line.size() || line[pos] != ' ')
+        return false;
+    ++pos;
+    if (pos + 9 > line.size() || line[pos + 8] != ' ')
+        return false;
+    const std::string crc = line.substr(pos, 8);
+    pos += 9;
+    *payload = line.substr(pos);
+    if (payload->size() != len)
+        return false;
+    return crcHex(Crc32c::of(*payload)) == crc;
+}
+
 } // namespace
 
-ResultCache::ResultCache(std::string path, CacheWritability writability)
-    : path_(std::move(path))
+ResultCache::ResultCache(std::string path, CacheWritability writability,
+                         CacheDurability durability)
+    : path_(std::move(path)), durability_(durability)
 {
     if (path_.empty())
         return;
 
-    std::ifstream in{path_};
-    if (in) {
-        std::string line;
-        std::size_t bad = 0;
-        while (std::getline(in, line)) {
-            if (line.empty())
-                continue;
-            std::string hash;
-            PointMetrics m;
-            if (parseLine(line, &hash, &m)) {
-                entries_.insert_or_assign(std::move(hash), m);
-            } else {
-                ++bad;
-            }
-        }
-        loaded_ = entries_.size();
-        if (bad > 0)
-            warn("dropped " + std::to_string(bad) +
-                 " damaged line(s) from result cache \"" + path_ +
-                 "\" (interrupted append); the points re-evaluate");
-    }
+    loadExisting();
 
-    out_.open(path_, std::ios::app);
-    if (!out_) {
+    fd_ = ::open(path_.c_str(),
+                 O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+    if (fd_ < 0) {
         fatalIf(writability == CacheWritability::kRequireWritable,
                 "cannot open result cache \"" + path_ +
                     "\" for appending");
@@ -70,10 +108,79 @@ ResultCache::ResultCache(std::string path, CacheWritability writability)
              "new results stay in memory");
         return;
     }
-    fileOpen_ = true;
+
+    // Migrate in place when the file holds legacy (v1) or damaged
+    // records: the crash-safe compaction leaves a clean all-v2 file,
+    // and damaged lines live on only in the quarantine sidecar.
+    if (sawLegacy_ || quarantined_ > 0)
+        compactLocked();
 }
 
-ResultCache::~ResultCache() = default;
+ResultCache::~ResultCache()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+ResultCache::quarantinePath(const std::string &path)
+{
+    return path + ".quarantine";
+}
+
+void
+ResultCache::quarantine(const std::string &line)
+{
+    ++quarantined_;
+    const std::string sidecar = quarantinePath(path_);
+    const int qfd = ::open(sidecar.c_str(),
+                           O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                           0644);
+    if (qfd < 0)
+        return; // counted and warned about regardless
+    const std::string out = line + "\n";
+    writeFull(qfd, out.data(), out.size());
+    ::close(qfd);
+}
+
+void
+ResultCache::loadExisting()
+{
+    std::ifstream in{path_};
+    if (!in)
+        return;
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::string payload;
+        std::string hash;
+        PointMetrics m;
+        if (unframe(line, &payload)) {
+            if (parsePayload(payload, &hash, &m))
+                entries_.insert_or_assign(std::move(hash), m);
+            else
+                quarantine(line);
+        } else if (line[0] == '{') {
+            // Legacy v1 record: a bare JSON line, no framing.
+            if (parsePayload(line, &hash, &m)) {
+                entries_.insert_or_assign(std::move(hash), m);
+                sawLegacy_ = true;
+            } else {
+                quarantine(line);
+            }
+        } else {
+            quarantine(line);
+        }
+    }
+    loaded_ = entries_.size();
+    if (quarantined_ > 0)
+        warn("quarantined " + std::to_string(quarantined_) +
+             " damaged record(s) from result cache \"" + path_ +
+             "\" to \"" + quarantinePath(path_) +
+             "\"; the points re-evaluate");
+}
 
 bool
 ResultCache::lookup(const std::string &hashHex, PointMetrics *out) const
@@ -100,32 +207,83 @@ ResultCache::formatLine(const std::string &hashHex,
     return line.str();
 }
 
+std::string
+ResultCache::formatRecord(const std::string &hashHex,
+                          const PointMetrics &m)
+{
+    const std::string payload = formatLine(hashHex, m);
+    return "v2 " + std::to_string(payload.size()) + " " +
+           crcHex(Crc32c::of(payload)) + " " + payload;
+}
+
+void
+ResultCache::degradeLocked(const std::string &why)
+{
+    // A mid-run write failure (disk full, injected fault) must not
+    // kill sibling evaluations: degrade to memory-only stores once.
+    warn("append to result cache \"" + path_ + "\" failed (" + why +
+         "); further results stay in memory only");
+    ::close(fd_);
+    fd_ = -1;
+}
+
+bool
+ResultCache::appendLocked(const std::string &hashHex,
+                          const PointMetrics &m)
+{
+    const std::string record = formatRecord(hashHex, m) + "\n";
+    const failpoint::Action fp =
+        failpoint::eval("cache.append.write");
+    if (fp.kind == failpoint::ActionKind::kError) {
+        degradeLocked("failpoint \"cache.append.write\" fired");
+        return false;
+    }
+    if (fp.kind == failpoint::ActionKind::kPartial) {
+        // The torn-write crash shape: the prefix really lands in the
+        // file, so the next load must detect and quarantine it.
+        const std::size_t n = std::min(
+            static_cast<std::size_t>(fp.arg), record.size());
+        writeFull(fd_, record.data(), n);
+        degradeLocked("failpoint \"cache.append.write\" tore the "
+                      "write at " +
+                      std::to_string(n) + " byte(s)");
+        return false;
+    }
+    if (!writeFull(fd_, record.data(), record.size())) {
+        degradeLocked("write failed");
+        return false;
+    }
+    if (durability_ == CacheDurability::kFsyncPerStore &&
+        ::fsync(fd_) != 0) {
+        degradeLocked("fsync failed");
+        return false;
+    }
+    return true;
+}
+
 void
 ResultCache::store(const std::string &hashHex, const PointMetrics &m)
 {
     std::lock_guard<std::mutex> lock(mu_);
     const bool fresh = entries_.find(hashHex) == entries_.end();
     entries_.insert_or_assign(hashHex, m);
-    if (fresh && fileOpen_) {
-        out_ << formatLine(hashHex, m) << '\n';
-        out_.flush(); // checkpoint: every record survives a kill
-        if (!out_) {
-            // A mid-run write failure (disk full, file truncated
-            // under us) must not kill sibling evaluations: degrade
-            // to memory-only stores and say so once.
-            warn("append to result cache \"" + path_ +
-                 "\" failed; further results stay in memory only");
-            out_.close();
-            fileOpen_ = false;
-        }
-    }
+    if (fresh && fd_ >= 0)
+        appendLocked(hashHex, m);
+}
+
+void
+ResultCache::flush()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ >= 0)
+        ::fsync(fd_);
 }
 
 bool
 ResultCache::writable() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return fileOpen_;
+    return fd_ >= 0;
 }
 
 std::size_t
@@ -141,15 +299,77 @@ ResultCache::rewrite()
     std::lock_guard<std::mutex> lock(mu_);
     if (path_.empty())
         return;
-    out_.close();
-    std::ofstream fresh{path_, std::ios::trunc};
-    fatalIf(!fresh, "cannot rewrite result cache \"" + path_ + "\"");
-    for (const auto &[hash, metrics] : entries_)
-        fresh << formatLine(hash, metrics) << '\n';
-    fresh.close();
-    out_.open(path_, std::ios::app);
-    fatalIf(!out_, "cannot reopen result cache \"" + path_ + "\"");
-    fileOpen_ = true;
+    compactLocked();
+}
+
+void
+ResultCache::compactLocked()
+{
+    // Crash-safety contract: the original file stays byte-intact
+    // until the rename, and rename(2) on one filesystem is atomic -
+    // a crash at any instant leaves old-or-new, never a hybrid.
+    const std::string tmp = path_ + ".tmp";
+    const int tfd = ::open(
+        tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    fatalIf(tfd < 0, "cannot open \"" + tmp +
+                         "\" for result cache compaction");
+
+    std::string buf;
+    for (const auto &[hash, metrics] : entries_) {
+        buf += formatRecord(hash, metrics);
+        buf += '\n';
+    }
+
+    const failpoint::Action fp =
+        failpoint::eval("cache.compact.write");
+    bool ok = true;
+    std::string why;
+    if (fp.kind == failpoint::ActionKind::kError) {
+        ok = false;
+        why = "failpoint \"cache.compact.write\" fired";
+    } else if (fp.kind == failpoint::ActionKind::kPartial) {
+        const std::size_t n =
+            std::min(static_cast<std::size_t>(fp.arg), buf.size());
+        writeFull(tfd, buf.data(), n);
+        ok = false;
+        why = "failpoint \"cache.compact.write\" tore the write at " +
+              std::to_string(n) + " byte(s)";
+    } else if (!writeFull(tfd, buf.data(), buf.size())) {
+        ok = false;
+        why = "write failed";
+    }
+    if (ok && ::fsync(tfd) != 0) {
+        ok = false;
+        why = "fsync failed";
+    }
+    ::close(tfd);
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        fatal("compacting result cache \"" + path_ + "\": " + why +
+              " (original file left intact)");
+    }
+
+    const failpoint::Action rn =
+        failpoint::eval("cache.compact.rename");
+    if (rn.kind != failpoint::ActionKind::kNone) {
+        ::unlink(tmp.c_str());
+        fatal("compacting result cache \"" + path_ +
+              "\": failpoint \"cache.compact.rename\" fired "
+              "(original file left intact)");
+    }
+    if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fatal("cannot rename \"" + tmp + "\" over result cache \"" +
+              path_ + "\"");
+    }
+
+    // The append fd (when open) now references the unlinked old
+    // inode; reopen on the compacted file.
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+    fatalIf(fd_ < 0, "cannot reopen result cache \"" + path_ +
+                         "\" after compaction");
 }
 
 } // namespace cryo::dse

@@ -1,31 +1,45 @@
 /**
  * @file
  * Hash-keyed JSONL result cache - the DSE engine's checkpoint and
- * dedupe layer.
+ * dedupe layer, with per-record integrity framing.
  *
- * One line per evaluated point:
+ * One framed record per line (schema v2):
  * @code
- *   {"hash":"8d3f...16 hex...","metrics":{...}}
+ *   v2 <len> <crc32c-8hex> {"hash":"8d3f...","metrics":{...}}
  * @endcode
+ * `len` is the byte length of the JSON payload and the CRC32C covers
+ * exactly those bytes, so a torn append (kill mid-write), a flipped
+ * bit, or an editor accident is detected per record - not merely per
+ * "last line". Legacy v1 caches (bare JSON lines) still load; the
+ * file is migrated to v2 framing in place (crash-safely) the first
+ * time a v1 or damaged record is seen on a writable cache.
+ *
+ * Damaged records are never fatal: each one is appended verbatim to a
+ * quarantine sidecar (`<path>.quarantine`) for post-mortems, counted,
+ * and warned about once per load. The points simply re-evaluate.
  *
  * The key is DesignPoint::hashHex() (kSchema-tagged canonical content
  * hash), so a cache survives process restarts, shard reshuffles, and
  * spec edits: any point whose content is unchanged hits, everything
- * else misses and re-evaluates. Appends are flushed per record, which
- * makes every record a checkpoint - a killed sweep resumes from the
- * last completed point. A truncated final line (the kill race) is
- * detected on load, warned about once, and dropped.
+ * else misses and re-evaluates. Appends go straight to the fd (one
+ * write() per record), which makes every record a checkpoint - a
+ * killed sweep resumes from the last completed point. An opt-in
+ * fsync-per-store mode extends that to power loss.
  *
  * Duplicate keys are legal (two shards may race on a shared point);
  * the last occurrence wins, and rewrite() compacts the file back to
- * one line per key in sorted-key order.
+ * one record per key in sorted-key order via write-temp -> fsync ->
+ * atomic rename, so a crash at any instant leaves either the old or
+ * the new file - never a truncated hybrid.
+ *
+ * Failpoint sites: "cache.append.write" (error / partial(BYTES)),
+ * "cache.compact.write", "cache.compact.rename".
  */
 
 #ifndef CRYOWIRE_DSE_RESULT_CACHE_HH
 #define CRYOWIRE_DSE_RESULT_CACHE_HH
 
 #include <cstddef>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -51,6 +65,20 @@ enum class CacheWritability
 };
 
 /**
+ * How hard each store() pushes the record toward the platter.
+ *
+ * kWritePerStore issues one write() per record - survives process
+ * death (the common CI/cluster kill), not power loss. kFsyncPerStore
+ * adds an fsync per record - survives power loss at a real throughput
+ * cost; meant for long unattended sweeps on flaky hosts.
+ */
+enum class CacheDurability
+{
+    kWritePerStore,
+    kFsyncPerStore,
+};
+
+/**
  * The cache. Thread-safe: lookup/insert/append may be called from
  * parallelFor workers.
  */
@@ -59,15 +87,16 @@ class ResultCache
   public:
     /**
      * Open the cache at @p path ("" = in-memory only). An existing
-     * file is loaded (deduped, truncated tail tolerated); a missing
-     * file starts empty and is created on the first append. When the
-     * file cannot be opened for appending, kRequireWritable is
-     * fatal(); kTolerateReadOnly warns once and serves lookups with
-     * memory-only stores.
+     * file is loaded (deduped; damaged or legacy records handled as
+     * documented above); a missing file starts empty and is created
+     * on the first append. When the file cannot be opened for
+     * appending, kRequireWritable is fatal(); kTolerateReadOnly warns
+     * once and serves lookups with memory-only stores.
      */
     explicit ResultCache(
         std::string path,
-        CacheWritability writability = CacheWritability::kRequireWritable);
+        CacheWritability writability = CacheWritability::kRequireWritable,
+        CacheDurability durability = CacheDurability::kWritePerStore);
     ~ResultCache();
 
     ResultCache(const ResultCache &) = delete;
@@ -78,13 +107,20 @@ class ResultCache
 
     /**
      * Record a result: remembered in memory and appended to the file
-     * (flushed - this is the checkpoint). A key already present is
-     * remembered but not re-appended.
+     * (one write() - this is the checkpoint; plus fsync under
+     * kFsyncPerStore). A key already present is remembered but not
+     * re-appended.
      */
     void store(const std::string &hashHex, const PointMetrics &m);
 
     /** Entries loaded from disk at construction. */
     std::size_t loadedEntries() const { return loaded_; }
+
+    /** Damaged records quarantined to the sidecar at load. */
+    std::size_t quarantinedEntries() const { return quarantined_; }
+
+    /** fsync the append fd (shutdown flush); no-op when read-only. */
+    void flush();
 
     /** True while appends still reach the file. */
     bool writable() const;
@@ -93,22 +129,40 @@ class ResultCache
     std::size_t size() const;
 
     /**
-     * Rewrite the file compacted: one line per key, keys sorted, last
-     * occurrence winning. No-op for in-memory caches.
+     * Rewrite the file compacted: one record per key, keys sorted,
+     * last occurrence winning, v2-framed. Crash-safe (temp + fsync +
+     * rename). No-op for in-memory caches. A failpoint-injected
+     * failure throws FatalError and leaves the original file intact.
      */
     void rewrite();
 
-    /** Render one cache line (no trailing newline); used by tests. */
+    /** Path of the quarantine sidecar for a cache at @p path. */
+    static std::string quarantinePath(const std::string &path);
+
+    /** Render one payload line (no framing, no newline); tests. */
     static std::string formatLine(const std::string &hashHex,
                                   const PointMetrics &m);
 
+    /** Render one framed v2 record (no trailing newline); tests. */
+    static std::string formatRecord(const std::string &hashHex,
+                                    const PointMetrics &m);
+
   private:
+    void loadExisting();
+    void quarantine(const std::string &line);
+    bool appendLocked(const std::string &hashHex,
+                      const PointMetrics &m);
+    void compactLocked();
+    void degradeLocked(const std::string &why);
+
     std::string path_;
+    CacheDurability durability_ = CacheDurability::kWritePerStore;
     mutable std::mutex mu_;
     std::map<std::string, PointMetrics> entries_;
-    std::ofstream out_;
-    bool fileOpen_ = false;
+    int fd_ = -1;
     std::size_t loaded_ = 0;
+    std::size_t quarantined_ = 0;
+    bool sawLegacy_ = false;
 };
 
 } // namespace cryo::dse

@@ -46,7 +46,11 @@ runSweep(const SweepSpec &spec, const PointEvaluator &evaluator,
          i < total; i += static_cast<std::size_t>(options.shardCount))
         mine.push_back(i);
 
-    ResultCache cache{options.cachePath};
+    ResultCache cache{options.cachePath,
+                      CacheWritability::kRequireWritable,
+                      options.fsyncCache
+                          ? CacheDurability::kFsyncPerStore
+                          : CacheDurability::kWritePerStore};
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> evaluated{0};
 
@@ -76,6 +80,7 @@ runSweep(const SweepSpec &spec, const PointEvaluator &evaluator,
         stats->shardPoints = mine.size();
         stats->cacheHits = hits.load();
         stats->evaluated = evaluated.load();
+        stats->quarantined = cache.quarantinedEntries();
     }
     return results;
 }

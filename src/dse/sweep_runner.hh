@@ -52,6 +52,9 @@ struct SweepOptions
 
     /** Result-cache path; "" = in-memory (no persistence). */
     std::string cachePath;
+
+    /** Fsync the cache after every stored record (power-loss-safe). */
+    bool fsyncCache = false;
 };
 
 /** What one runSweep call did. */
@@ -61,6 +64,7 @@ struct SweepStats
     std::size_t shardPoints = 0; ///< owned by this shard
     std::size_t cacheHits = 0;   ///< served from the cache
     std::size_t evaluated = 0;   ///< freshly computed
+    std::size_t quarantined = 0; ///< damaged cache records sidelined
 };
 
 /** Render one result line (no trailing newline). */

@@ -1,0 +1,185 @@
+#include "client.hh"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/diag.hh"
+
+namespace cryo::svc
+{
+
+namespace
+{
+
+/** Replies whose cause is transient: the work never ran to a
+ * delivered answer, and evals are idempotent through the cache. */
+bool
+isRetryableStatus(const std::string &status)
+{
+    return status == "overloaded" || status == "expired";
+}
+
+} // namespace
+
+Client::Client(ClientConfig cfg)
+    : cfg_(std::move(cfg)), jitter_(cfg_.jitterSeed)
+{
+    fatalIf(cfg_.socketPath.empty(), "client needs a socket path");
+    fatalIf(cfg_.connectAttempts < 1,
+            "client connectAttempts must be >= 1");
+    fd_ = connectWithBackoff();
+    reader_ = std::make_unique<LineReader>(fd_, cfg_.maxLineBytes);
+}
+
+Client::Client(const std::string &socketPath)
+    : Client(ClientConfig{.socketPath = socketPath})
+{
+}
+
+Client::~Client()
+{
+    closeFd(fd_);
+}
+
+std::int64_t
+Client::backoffMs(std::int64_t base, int attempt)
+{
+    std::int64_t wait = base;
+    for (int i = 0; i < attempt && wait < 60'000; ++i)
+        wait *= 2;
+    // Deterministic jitter in [0.5, 1.5): spreads retry herds while
+    // replaying bit-identically for a given seed.
+    const double scale = 0.5 + jitter_.uniform();
+    wait = static_cast<std::int64_t>(
+        static_cast<double>(wait) * scale);
+    return wait < 1 ? 1 : wait;
+}
+
+int
+Client::connectWithBackoff()
+{
+    for (int attempt = 0;; ++attempt) {
+        try {
+            const int fd = connectUnix(cfg_.socketPath);
+            if (cfg_.recvTimeoutMs > 0)
+                setRecvTimeout(fd, cfg_.recvTimeoutMs);
+            return fd;
+        } catch (const FatalError &err) {
+            if (attempt + 1 >= cfg_.connectAttempts)
+                fatal("client: cannot connect to \"" +
+                      cfg_.socketPath + "\" after " +
+                      std::to_string(cfg_.connectAttempts) +
+                      " attempt(s): " + err.message());
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                backoffMs(cfg_.connectBackoffMs, attempt)));
+        }
+    }
+}
+
+void
+Client::reconnect()
+{
+    closeFd(fd_);
+    fd_ = connectWithBackoff();
+    reader_ = std::make_unique<LineReader>(fd_, cfg_.maxLineBytes);
+    ++reconnects_;
+}
+
+void
+Client::send(const std::string &line)
+{
+    fatalIf(!sendAll(fd_, line + "\n"), "client: send to \"" +
+                                            cfg_.socketPath +
+                                            "\" failed (peer gone)");
+}
+
+void
+Client::sendRaw(const std::string &buffer)
+{
+    fatalIf(!sendAll(fd_, buffer), "client: send to \"" +
+                                       cfg_.socketPath +
+                                       "\" failed (peer gone)");
+}
+
+Reply
+Client::read()
+{
+    std::string line;
+    switch (reader_->next(&line)) {
+    case LineReader::Status::kLine:
+        return Reply::parse(line, "<reply>");
+    case LineReader::Status::kEof:
+        fatal("client: connection to \"" + cfg_.socketPath +
+              "\" closed while waiting for a reply");
+    case LineReader::Status::kError:
+        fatal("client: read from \"" + cfg_.socketPath + "\" failed");
+    case LineReader::Status::kOverlong:
+        fatal("client: reply line exceeds " +
+              std::to_string(cfg_.maxLineBytes) + " bytes");
+    case LineReader::Status::kTimeout:
+        fatal("client: no reply from \"" + cfg_.socketPath +
+              "\" within " + std::to_string(cfg_.recvTimeoutMs) +
+              " ms");
+    }
+    panic("unhandled LineReader status");
+}
+
+Reply
+Client::call(const Request &r)
+{
+    const std::string line = formatRequest(r);
+    std::string lastFailure;
+    for (int attempt = 0;; ++attempt) {
+        bool transportFailed = false;
+        if (!sendAll(fd_, line + "\n")) {
+            transportFailed = true;
+            lastFailure = "send failed (peer gone)";
+        } else {
+            std::string replyLine;
+            switch (reader_->next(&replyLine)) {
+            case LineReader::Status::kLine: {
+                const Reply reply =
+                    Reply::parse(replyLine, "<reply>");
+                if (!isRetryableStatus(reply.status) ||
+                    attempt >= cfg_.retryBudget)
+                    return reply;
+                lastFailure = "\"" + reply.status + "\" reply";
+                break; // retryable; fall through to backoff
+            }
+            case LineReader::Status::kEof:
+                transportFailed = true;
+                lastFailure = "connection closed";
+                break;
+            case LineReader::Status::kError:
+                transportFailed = true;
+                lastFailure = "read failed";
+                break;
+            case LineReader::Status::kOverlong:
+                fatal("client: reply line exceeds " +
+                      std::to_string(cfg_.maxLineBytes) + " bytes");
+            case LineReader::Status::kTimeout:
+                // The reply may still be in flight; the stream can
+                // no longer be matched to requests, so the retry
+                // must go through a fresh connection.
+                transportFailed = true;
+                lastFailure =
+                    "no reply within " +
+                    std::to_string(cfg_.recvTimeoutMs) + " ms";
+                break;
+            }
+        }
+        if (attempt >= cfg_.retryBudget)
+            fatal("client: request \"" + r.id + "\" to \"" +
+                  cfg_.socketPath + "\" failed after " +
+                  std::to_string(attempt + 1) + " attempt(s): " +
+                  lastFailure);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            backoffMs(cfg_.retryBackoffMs, attempt)));
+        if (transportFailed)
+            reconnect();
+        ++retries_;
+    }
+}
+
+} // namespace cryo::svc

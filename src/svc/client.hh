@@ -1,0 +1,141 @@
+/**
+ * @file
+ * svc::Client - the one real client for cryowire-serve, shared by
+ * cryowire_loadgen, the tests, and any future tool, so retry and
+ * deadline semantics are written (and tested) exactly once.
+ *
+ * What it owns:
+ *
+ *  - connection establishment with a bounded retry + exponential
+ *    backoff loop, so a client racing a daemon's startup (the CI
+ *    ordering hazard) converges instead of flaking;
+ *  - per-call deadlines (Request::deadlineMs travels on the wire and
+ *    the server refuses to start work past it) and receive timeouts
+ *    (SO_RCVTIMEO via setRecvTimeout, surfaced as kTimeout);
+ *  - a per-call retry budget with exponential backoff and
+ *    deterministic seeded jitter: "overloaded" and "expired" replies,
+ *    receive timeouts, and lost connections are retryable (the server
+ *    never started - or never finished delivering - the work; evals
+ *    are idempotent through the cache), while "error" and "failed"
+ *    are deterministic rejections that retrying cannot fix.
+ *
+ * Jitter is drawn from a util::Rng seeded by ClientConfig::jitterSeed,
+ * so a test replays the exact same backoff schedule every run - the
+ * same determinism discipline as the failpoint framework.
+ *
+ * Not thread-safe: one Client per thread (loadgen keeps its reader
+ * thread on the raw fd() and uses the Client for connect + send).
+ */
+
+#ifndef CRYOWIRE_SVC_CLIENT_HH
+#define CRYOWIRE_SVC_CLIENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "svc/protocol.hh"
+#include "util/rng.hh"
+#include "util/socket.hh"
+
+namespace cryo::svc
+{
+
+/** Connection + retry policy for one Client. */
+struct ClientConfig
+{
+    /** Daemon socket to connect to (required). */
+    std::string socketPath;
+
+    /** Total connect attempts (>= 1). */
+    int connectAttempts = 1;
+
+    /** Wait before the second connect attempt [ms]; doubles after. */
+    std::int64_t connectBackoffMs = 50;
+
+    /** SO_RCVTIMEO per read [ms]; 0 = block forever. */
+    std::int64_t recvTimeoutMs = 0;
+
+    /** call(): retries after a retryable failure (0 = one shot). */
+    int retryBudget = 0;
+
+    /** Wait before the first call() retry [ms]; doubles after. */
+    std::int64_t retryBackoffMs = 10;
+
+    /** Seed for the deterministic backoff jitter stream. */
+    std::uint64_t jitterSeed = 1;
+
+    /** Longest accepted reply line [bytes]. */
+    std::size_t maxLineBytes = 1 << 20;
+};
+
+/** One connection to a cryowire-serve daemon. */
+class Client
+{
+  public:
+    /** Connect (with the config's retry policy); fatal() when every
+     * attempt fails. */
+    explicit Client(ClientConfig cfg);
+
+    /** Convenience: connect once to @p socketPath, defaults else. */
+    explicit Client(const std::string &socketPath);
+
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Send one request line (newline appended); fatal() on a dead
+     * peer - use call() for retry semantics. */
+    void send(const std::string &line);
+
+    /** Send pre-framed bytes verbatim (pipelining tests). */
+    void sendRaw(const std::string &buffer);
+
+    /**
+     * Read one reply line and parse it. fatal() on EOF, error, an
+     * overlong line, or a receive timeout.
+     */
+    Reply read();
+
+    /**
+     * One request/reply round trip with the retry policy: retryable
+     * outcomes ("overloaded"/"expired" replies, receive timeouts,
+     * lost connections - reconnecting as needed) are retried up to
+     * retryBudget times with jittered exponential backoff; the final
+     * outcome (or a non-retryable reply) is returned. fatal() when
+     * the budget is exhausted on a transport failure.
+     */
+    Reply call(const Request &r);
+
+    /** The raw connection (loadgen's reader thread). */
+    int fd() const { return fd_; }
+
+    /** call() retries performed over this client's lifetime. */
+    std::uint64_t retries() const { return retries_; }
+
+    /** Reconnects performed by call() over this client's lifetime. */
+    std::uint64_t reconnects() const { return reconnects_; }
+
+  private:
+    /** One bounded connect loop; returns the fd or fatal()s. */
+    int connectWithBackoff();
+
+    /** Drop and re-establish the connection (fresh LineReader). */
+    void reconnect();
+
+    /** base * 2^attempt, scaled by jitter in [0.5, 1.5). */
+    std::int64_t backoffMs(std::int64_t base, int attempt);
+
+    ClientConfig cfg_;
+    int fd_ = -1;
+    std::unique_ptr<LineReader> reader_;
+    Rng jitter_;
+    std::uint64_t retries_ = 0;
+    std::uint64_t reconnects_ = 0;
+};
+
+} // namespace cryo::svc
+
+#endif // CRYOWIRE_SVC_CLIENT_HH

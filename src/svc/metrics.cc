@@ -39,6 +39,8 @@ ServerStats::onReply(const std::string &status, std::int64_t latencyUs)
         ++counters_.failed;
     else if (status == "overloaded")
         ++counters_.overloaded;
+    else if (status == "expired")
+        ++counters_.expired;
     else
         panic("unknown reply status \"" + status + "\"");
     latencyUs_.add(static_cast<double>(latencyUs));
@@ -97,6 +99,7 @@ ServerStats::writeJson(JsonWriter &w) const
     w.key("errors").value(counters_.errors);
     w.key("failed").value(counters_.failed);
     w.key("overloaded").value(counters_.overloaded);
+    w.key("expired").value(counters_.expired);
     w.key("cache_hits").value(counters_.cacheHits);
     w.key("deduped").value(counters_.deduped);
     w.key("evaluated").value(counters_.evaluated);

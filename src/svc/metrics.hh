@@ -28,6 +28,7 @@ struct SvcCounters
     std::uint64_t errors = 0;       ///< "error" replies (bad requests)
     std::uint64_t failed = 0;       ///< "failed" replies (eval threw)
     std::uint64_t overloaded = 0;   ///< "overloaded" replies (shed)
+    std::uint64_t expired = 0;      ///< "expired" replies (deadline)
     std::uint64_t cacheHits = 0;    ///< evals answered from the cache
     std::uint64_t deduped = 0;      ///< evals joined to an in-flight twin
     std::uint64_t evaluated = 0;    ///< evals that ran the model stack

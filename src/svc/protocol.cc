@@ -119,6 +119,7 @@ requestFromJson(const JsonValue &v)
     bool haveOp = false;
     const JsonValue *point = nullptr;
     const JsonValue *metrics = nullptr;
+    const JsonValue *deadline = nullptr;
     for (const JsonValue::Member &m : v.members()) {
         if (m.first == "id") {
             r.id = m.second.asString();
@@ -130,9 +131,12 @@ requestFromJson(const JsonValue &v)
             point = &m.second;
         } else if (m.first == "metrics") {
             metrics = &m.second;
+        } else if (m.first == "deadline_ms") {
+            deadline = &m.second;
         } else {
             fatal("unknown request member \"" + m.first + "\" " +
-                  at(m.second) + " (legal: id, op, point, metrics)");
+                  at(m.second) +
+                  " (legal: id, op, point, metrics, deadline_ms)");
         }
     }
     fatalIf(!haveId,
@@ -164,6 +168,15 @@ requestFromJson(const JsonValue &v)
             r.metrics.push_back(s);
         }
     }
+    if (deadline != nullptr) {
+        fatalIf(r.op != Op::kEval,
+                "member \"deadline_ms\" " + at(*deadline) +
+                    " is only valid for op \"eval\"");
+        r.deadlineMs = deadline->asInteger();
+        fatalIf(r.deadlineMs < 0,
+                "member \"deadline_ms\" " + at(*deadline) +
+                    " must be >= 0 (0 = no deadline)");
+    }
     if (r.op == Op::kEval)
         r.point.validate();
     return r;
@@ -192,6 +205,8 @@ formatRequest(const Request &r)
                 w.value(m);
             w.endArray();
         }
+        if (r.deadlineMs > 0)
+            w.key("deadline_ms").value(r.deadlineMs);
     }
     w.endObject();
     return out.str();
@@ -285,6 +300,21 @@ formatOverloaded(const std::string &id, std::size_t inflight,
     return out.str();
 }
 
+std::string
+formatExpired(const std::string &id, std::int64_t deadlineMs,
+              std::int64_t latencyUs)
+{
+    std::ostringstream out;
+    JsonWriter w{out, /*indent=*/0};
+    w.beginObject();
+    w.key("id").value(id);
+    w.key("status").value("expired");
+    w.key("deadline_ms").value(deadlineMs);
+    w.key("latency_us").value(latencyUs);
+    w.endObject();
+    return out.str();
+}
+
 Reply
 Reply::parse(std::string_view line, const std::string &source)
 {
@@ -321,6 +351,8 @@ Reply::parse(std::string_view line, const std::string &source)
             r.queued = static_cast<std::size_t>(m.second.asInteger());
         } else if (m.first == "limit") {
             r.limit = static_cast<std::size_t>(m.second.asInteger());
+        } else if (m.first == "deadline_ms") {
+            r.deadlineMs = m.second.asInteger();
         } else {
             fatal("unknown reply member \"" + m.first + "\" " +
                   at(m.second));
@@ -329,9 +361,10 @@ Reply::parse(std::string_view line, const std::string &source)
     fatalIf(r.status.empty(),
             "reply " + at(v) + ": missing member \"status\"");
     fatalIf(r.status != "ok" && r.status != "error" &&
-                r.status != "failed" && r.status != "overloaded",
+                r.status != "failed" && r.status != "overloaded" &&
+                r.status != "expired",
             "reply " + at(v) + ": unknown status \"" + r.status +
-                "\" (legal: ok, error, failed, overloaded)");
+                "\" (legal: ok, error, failed, overloaded, expired)");
     return r;
 }
 

@@ -11,16 +11,20 @@
  *    "metrics":["perf","totalPower"]}
  * @endcode
  * "id" and "op" are required; "point" (partial DesignPoint via the
- * field registry - unnamed fields keep their defaults) and "metrics"
- * (subset of PointMetrics::metricNames(); absent/empty = all) are
- * only legal for op "eval". Ops: "eval", "ping", "stats",
- * "shutdown".
+ * field registry - unnamed fields keep their defaults), "metrics"
+ * (subset of PointMetrics::metricNames(); absent/empty = all), and
+ * "deadline_ms" (per-request deadline; the server abandons work it
+ * cannot start in time) are only legal for op "eval". Ops: "eval",
+ * "ping", "stats", "shutdown".
  *
  * Reply lines carry "status": "ok" (with op-specific payload),
  * "error" (malformed request - the client's fault; "message" cites
  * line/column), "failed" (the evaluator rejected the point;
- * "message" plus the CRYO_CONTEXT chain in "context"), or
- * "overloaded" (admission control shed the request; retry later).
+ * "message" plus the CRYO_CONTEXT chain in "context"),
+ * "overloaded" (admission control shed the request; retry later), or
+ * "expired" (the request's deadline passed while it sat in the
+ * admission queue; the evaluation was never started - safe to
+ * retry).
  * Every reply carries "latency_us", the server-side receive-to-reply
  * time. Metric payloads render in canonical registry order, so equal
  * requests produce byte-identical replies modulo latency_us.
@@ -67,6 +71,9 @@ struct Request
     /** Requested metric names; empty = all, canonical order. */
     std::vector<std::string> metrics;
 
+    /** Per-request deadline in ms (eval only); 0 = none. */
+    std::int64_t deadlineMs = 0;
+
     bool operator==(const Request &other) const = default;
 };
 
@@ -108,6 +115,11 @@ std::string formatOverloaded(const std::string &id,
                              std::size_t inflight, std::size_t queued,
                              std::size_t limit, std::int64_t latencyUs);
 
+/** The "expired" reply: the deadline passed before evaluation. */
+std::string formatExpired(const std::string &id,
+                          std::int64_t deadlineMs,
+                          std::int64_t latencyUs);
+
 /**
  * One parsed reply - the client-side view (loadgen, tests). Nested
  * "metrics"/"stats" payloads are re-rendered compactly into strings
@@ -115,7 +127,7 @@ std::string formatOverloaded(const std::string &id,
  */
 struct Reply
 {
-    std::string status; ///< ok | error | failed | overloaded
+    std::string status; ///< ok | error | failed | overloaded | expired
     bool hasId = false;
     std::string id;
     std::string op;             ///< ok replies name the op
@@ -130,6 +142,7 @@ struct Reply
     std::size_t inflight = 0;  ///< overloaded: running evaluations
     std::size_t queued = 0;    ///< overloaded: admission queue depth
     std::size_t limit = 0;     ///< overloaded: concurrency limit
+    std::int64_t deadlineMs = 0; ///< expired: the deadline that passed
 
     /** Strict parse; malformed replies throw cryo::FatalError. */
     static Reply parse(std::string_view line, const std::string &source);

@@ -1,5 +1,6 @@
 #include "server.hh"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
@@ -20,7 +21,9 @@ Server::Server(ServerConfig config)
           cfg_.cachePath, // "" = in-memory only
           cfg_.tolerateReadOnlyCache
               ? dse::CacheWritability::kTolerateReadOnly
-              : dse::CacheWritability::kRequireWritable)),
+              : dse::CacheWritability::kRequireWritable,
+          cfg_.fsyncCache ? dse::CacheDurability::kFsyncPerStore
+                          : dse::CacheDurability::kWritePerStore)),
       eval_(evaluator_, cache_.get()),
       stats_(cfg_.latencyBins, cfg_.latencyBinUs),
       epoch_(std::chrono::steady_clock::now()),
@@ -110,10 +113,24 @@ Server::stop()
 
     {
         std::unique_lock<std::mutex> lock(stateMu_);
-        stateCv_.wait(lock, [this] { return outstanding_ == 0; });
+        if (!stateCv_.wait_for(
+                lock, std::chrono::milliseconds(cfg_.drainDeadlineMs),
+                [this] { return outstanding_ == 0; })) {
+            // In-flight tasks hold `this` and cannot be abandoned;
+            // all a deadline can buy is a loud diagnostic.
+            warn("drain deadline (" +
+                 std::to_string(cfg_.drainDeadlineMs) +
+                 " ms) passed with " + std::to_string(outstanding_) +
+                 " evaluation(s) still in flight; waiting for them");
+            stateCv_.wait(lock, [this] { return outstanding_ == 0; });
+        }
         running_ = false;
         stateCv_.notify_all();
     }
+
+    // Every reply is out; make the checkpoint survive power loss
+    // too before reporting the shutdown as complete.
+    cache_->flush();
 
     listener_.reset();
     {
@@ -176,8 +193,16 @@ Server::connLoop(std::shared_ptr<Conn> conn)
                                   0),
                       "error", 0);
         }
-        return; // kEof / kError / kOverlong
+        break; // kEof / kError / kOverlong
     }
+
+    // Release this reader's ownership share. In-flight and queued
+    // evaluations for this connection hold their own Conn references,
+    // so their replies still go out; once the last one is written the
+    // fd closes and the client sees EOF now - not at server shutdown.
+    std::lock_guard<std::mutex> lock(connsMu_);
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
 }
 
 void
@@ -336,6 +361,24 @@ Server::submitEval(Pending p)
     ThreadPool::global().submit([this, p = std::move(p)] {
         std::string reply;
         std::string status;
+        // The deadline gates *starting* work: a request that aged out
+        // in the admission queue expires here instead of burning an
+        // eval slot on an answer nobody is waiting for.
+        const std::int64_t waitedUs = nowUs() - p.startUs;
+        if (p.req.deadlineMs > 0 &&
+            waitedUs > p.req.deadlineMs * 1000) {
+            reply = formatExpired(p.req.id, p.req.deadlineMs,
+                                  waitedUs);
+            status = "expired";
+            sendReply(p.conn, reply, status, waitedUs);
+            finishEval();
+            {
+                std::lock_guard<std::mutex> lock(stateMu_);
+                --outstanding_;
+                stateCv_.notify_all();
+            }
+            return;
+        }
         try {
             CRYO_CONTEXT("serving eval request \"" + p.req.id + "\"");
             const dse::CachedEvaluator::Outcome out =

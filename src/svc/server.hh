@@ -64,6 +64,17 @@ struct ServerConfig
      */
     bool tolerateReadOnlyCache = true;
 
+    /** Fsync the cache after every stored record (power-loss-safe). */
+    bool fsyncCache = false;
+
+    /**
+     * stop()'s drain budget [ms]: after shedding the queue, wait this
+     * long for in-flight evaluations before warning. In-flight work
+     * is never abandoned (the tasks hold the server), so the wait
+     * continues past the deadline - but loudly.
+     */
+    std::int64_t drainDeadlineMs = 5000;
+
     AdmissionConfig admission;
 
     /** Grow the shared ThreadPool to this many workers (0 = leave). */
@@ -95,7 +106,8 @@ class Server
     /**
      * Graceful shutdown: close the listener, wake the connection
      * readers, shed the queue with "overloaded" replies, wait for
-     * in-flight evaluations to reply. Idempotent.
+     * in-flight evaluations to reply (warning past drainDeadlineMs),
+     * then flush the cache. Idempotent.
      */
     void stop();
 

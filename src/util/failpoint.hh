@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic failpoints: named fault-injection sites compiled into
+ * the tree, activated at runtime by schedule strings.
+ *
+ * A site is a string literal at the place a fault can be injected:
+ * @code
+ *   CRYO_FAILPOINT("cache.append.write");
+ * @endcode
+ * Unarmed sites cost one relaxed atomic load (a global armed count),
+ * so the hooks stay in release builds and every fault path the tests
+ * exercise is the path production runs.
+ *
+ * Schedules are strings so tests, CLI flags (`--failpoint SITE=SPEC`),
+ * and scripts share one syntax:
+ * @code
+ *   SPEC    := TRIGGER ":" ACTION
+ *   TRIGGER := always | nth(N) | every(K) | prob(P,SEED)
+ *   ACTION  := error | partial(BYTES) | delay(MS)
+ * @endcode
+ * Triggers are deterministic: `nth(N)` fires on exactly the Nth hit
+ * of the site (1-based), `every(K)` on hits K, 2K, 3K, ...; `prob`
+ * draws from a dedicated util::Rng seeded by SEED, so a single-
+ * threaded run replays bit-identically. Actions: `error` makes the
+ * site throw cryo::FatalError (or, at I/O sites that report failure
+ * by return value, report failure), `partial(BYTES)` makes a write
+ * site persist only the first BYTES bytes before failing (the torn-
+ * write crash shape), `delay(MS)` sleeps the hitting thread - the
+ * tool for building queueing backlogs and losing deadline races on
+ * purpose.
+ *
+ * Everything lives behind one mutex; sites are hit from parallelFor
+ * workers and server threads. The registry is process-global mutable
+ * state, which is why this file lives in util/ (the one layer the
+ * static-state rule exempts).
+ */
+
+#ifndef CRYOWIRE_UTIL_FAILPOINT_HH
+#define CRYOWIRE_UTIL_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cryo::failpoint
+{
+
+/** What an armed site does on a firing hit. */
+enum class ActionKind
+{
+    kNone,    ///< not armed / not scheduled to fire on this hit
+    kError,   ///< fail the operation (throw or error return)
+    kPartial, ///< write sites: persist arg bytes, then fail
+    kDelay,   ///< sleep arg milliseconds (applied inside eval())
+};
+
+/** The action a hit must apply (arg: bytes for kPartial). */
+struct Action
+{
+    ActionKind kind = ActionKind::kNone;
+    std::uint64_t arg = 0;
+};
+
+/**
+ * Arm @p site with schedule @p spec (grammar above). Re-arming a site
+ * replaces its schedule and resets its hit/fire counters. A malformed
+ * spec is fatal() naming the offending piece.
+ */
+void arm(const std::string &site, const std::string &spec);
+
+/**
+ * Arm a semicolon-separated list of `site=spec` pairs - the CLI
+ * surface (`--failpoint "a=nth(2):error;b=always:delay(5)"`).
+ */
+void armFromList(const std::string &list);
+
+/** Disarm @p site (a site not armed is fine). */
+void disarm(const std::string &site);
+
+/** Disarm everything and forget all counters (test teardown). */
+void disarmAll();
+
+/** Times @p site was evaluated since it was (re-)armed. */
+std::uint64_t hits(const std::string &site);
+
+/** Times @p site actually fired since it was (re-)armed. */
+std::uint64_t fires(const std::string &site);
+
+/** Names of currently armed sites, sorted (diagnostics). */
+std::vector<std::string> armedSites();
+
+namespace detail
+{
+/** Count of armed sites; the macro's fast path. */
+extern std::atomic<int> g_armedCount;
+
+/** Slow path: look up @p site, advance its trigger, apply kDelay
+ * inline (sleep), and return the action the site must apply. */
+Action evalSlow(const char *site);
+
+/** evalSlow + throw FatalError for kError/kPartial (macro backend;
+ * partial degrades to error at sites that cannot write partially). */
+void raiseSlow(const char *site);
+} // namespace detail
+
+/**
+ * Evaluate @p site: kNone when unarmed or not scheduled this hit.
+ * kDelay is already applied (slept) on return. Sites that can write
+ * partially switch on the result; everything else uses the macro.
+ */
+inline Action
+eval(const char *site)
+{
+    if (detail::g_armedCount.load(std::memory_order_relaxed) == 0)
+        return Action{};
+    return detail::evalSlow(site);
+}
+
+} // namespace cryo::failpoint
+
+/**
+ * Declare a failpoint site: no-op until armed; throws cryo::FatalError
+ * ("failpoint \"<site>\" fired") on an error schedule hit.
+ */
+#define CRYO_FAILPOINT(site)                                           \
+    do {                                                               \
+        if (::cryo::failpoint::detail::g_armedCount.load(              \
+                std::memory_order_relaxed) != 0)                       \
+            ::cryo::failpoint::detail::raiseSlow(site);                \
+    } while (false)
+
+#endif // CRYOWIRE_UTIL_FAILPOINT_HH

@@ -26,6 +26,7 @@
 #ifndef CRYOWIRE_UTIL_HASH_HH
 #define CRYOWIRE_UTIL_HASH_HH
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <cstddef>
@@ -98,6 +99,55 @@ class Fnv1a
     std::uint64_t state_ = kOffsetBasis;
 };
 
+/**
+ * Streaming CRC32C (Castagnoli polynomial, reflected) - the result
+ * cache's per-record integrity check. Unlike Fnv1a, which fingerprints
+ * canonical *content*, this checksums raw *bytes as written*: its job
+ * is detecting torn appends and flipped bits in the file, so it must
+ * cover exactly what the file holds. Matches the standard CRC-32C
+ * (iSCSI, RFC 3720) test vectors; the pinned values in tests make any
+ * drift loud.
+ */
+class Crc32c
+{
+  public:
+    /** Feed @p n raw bytes. */
+    Crc32c &bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i)
+            state_ = kTable[(state_ ^ p[i]) & 0xffu] ^ (state_ >> 8);
+        return *this;
+    }
+
+    /** Feed a string's bytes (no length prefix - raw coverage). */
+    Crc32c &str(std::string_view s) { return bytes(s.data(), s.size()); }
+
+    std::uint32_t digest() const { return ~state_; }
+
+    /** One-shot convenience. */
+    static std::uint32_t of(std::string_view s)
+    {
+        Crc32c c;
+        c.str(s);
+        return c.digest();
+    }
+
+  private:
+    static constexpr std::array<std::uint32_t, 256> kTable = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1u) != 0 ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+
+    std::uint32_t state_ = 0xffffffffu;
+};
+
 /** Digest rendered as 16 lowercase hex digits (zero-padded). */
 inline std::string
 hashHex(std::uint64_t digest)
@@ -105,6 +155,19 @@ hashHex(std::uint64_t digest)
     static constexpr char kHex[] = "0123456789abcdef";
     std::string out(16, '0');
     for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
+        digest >>= 4;
+    }
+    return out;
+}
+
+/** CRC32C digest rendered as 8 lowercase hex digits (zero-padded). */
+inline std::string
+crcHex(std::uint32_t digest)
+{
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out(8, '0');
+    for (int i = 7; i >= 0; --i) {
         out[static_cast<std::size_t>(i)] = kHex[digest & 0xf];
         digest >>= 4;
     }

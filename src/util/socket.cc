@@ -5,10 +5,14 @@
 #include <utility>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "util/diag.hh"
+#include "util/failpoint.hh"
 
 namespace cryo
 {
@@ -73,6 +77,17 @@ connectUnix(const std::string &path)
 bool
 sendAll(int fd, std::string_view data)
 {
+    const failpoint::Action fp = failpoint::eval("socket.send.write");
+    if (fp.kind == failpoint::ActionKind::kError)
+        return false;
+    if (fp.kind == failpoint::ActionKind::kPartial) {
+        // Push a prefix onto the wire, then report the peer gone -
+        // the torn-reply shape a crashed server leaves behind.
+        sendAll(fd, data.substr(0, static_cast<std::size_t>(std::min(
+                        static_cast<std::uint64_t>(data.size()),
+                        fp.arg))));
+        return false;
+    }
     std::size_t sent = 0;
     while (sent < data.size()) {
         const ssize_t n =
@@ -86,6 +101,16 @@ sendAll(int fd, std::string_view data)
         sent += static_cast<std::size_t>(n);
     }
     return true;
+}
+
+bool
+setRecvTimeout(int fd, std::int64_t millis)
+{
+    timeval tv;
+    tv.tv_sec = millis / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((millis % 1000) * 1000);
+    return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                        sizeof(tv)) == 0;
 }
 
 UnixListener::UnixListener(std::string path, int backlog)
@@ -186,6 +211,8 @@ LineReader::next(std::string *line)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return Status::kTimeout; // SO_RCVTIMEO expired
             return Status::kError;
         }
         buf_.append(chunk, static_cast<std::size_t>(n));

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -51,9 +52,18 @@ int connectUnix(const std::string &path);
 /**
  * Write all of @p data to @p fd, retrying short writes and EINTR.
  * Returns false when the peer is gone (EPIPE/reset) or the fd is
- * unusable; never raises SIGPIPE.
+ * unusable; never raises SIGPIPE. Failpoint site "socket.send.write"
+ * (error = report the peer gone, partial(BYTES) = send a prefix then
+ * report failure).
  */
 bool sendAll(int fd, std::string_view data);
+
+/**
+ * Arm SO_RCVTIMEO on @p fd: a recv blocked longer than @p millis
+ * fails with EAGAIN, which LineReader reports as kTimeout. 0 clears
+ * the timeout (block forever). Returns false if setsockopt failed.
+ */
+bool setRecvTimeout(int fd, std::int64_t millis);
 
 /**
  * Listening unix-domain socket. A stale socket file at @p path (a
@@ -103,6 +113,9 @@ class LineReader
         kEof,      ///< orderly peer close; no partial line pending
         kError,    ///< read error (reset, bad fd)
         kOverlong, ///< a line exceeded the maximum length
+        kTimeout,  ///< SO_RCVTIMEO expired (see setRecvTimeout);
+                   ///< buffered partial input is kept - next() may
+                   ///< be called again
     };
 
     explicit LineReader(int fd, std::size_t maxLineBytes = 1 << 20);

@@ -1,0 +1,21 @@
+/** Fixture [layering/bad]: dse (rank 5) includes svc (rank 7). The
+ * sweep engine must not depend on the serving layer - the daemon and
+ * the client library wrap the engine, never the reverse (the result
+ * cache's durability hooks live in dse precisely so svc can reuse
+ * them without an upward edge). */
+
+#ifndef CRYOWIRE_DSE_USES_SVC_HH
+#define CRYOWIRE_DSE_USES_SVC_HH
+
+#include "svc/svc_thing.hh"
+
+namespace cryo::dse
+{
+inline int
+servicePort(const cryo::svc::SvcThing &t)
+{
+    return t.port;
+}
+} // namespace cryo::dse
+
+#endif // CRYOWIRE_DSE_USES_SVC_HH

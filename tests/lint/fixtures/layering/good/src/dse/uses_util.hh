@@ -1,0 +1,20 @@
+/** Fixture [layering/good]: dse (rank 5) includes util (rank 0) -
+ * the edge the failpoint framework rides (result_cache.cc and
+ * point_eval.cc both hook util/failpoint.hh), so a rank-table edit
+ * that broke any-layer -> util would fail here first. */
+
+#ifndef CRYOWIRE_DSE_USES_UTIL_HH
+#define CRYOWIRE_DSE_USES_UTIL_HH
+
+#include "util/fp_thing.hh"
+
+namespace cryo::dse
+{
+inline int
+fpArg(const cryo::fp::FpThing &t)
+{
+    return t.arg;
+}
+} // namespace cryo::dse
+
+#endif // CRYOWIRE_DSE_USES_UTIL_HH

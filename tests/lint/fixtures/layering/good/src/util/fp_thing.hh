@@ -1,0 +1,15 @@
+/** Fixture [layering/good]: a minimal util (rank 0) header - the
+ * failpoint-framework shape every layer above is allowed to use. */
+
+#ifndef CRYOWIRE_UTIL_FP_THING_HH
+#define CRYOWIRE_UTIL_FP_THING_HH
+
+namespace cryo::fp
+{
+struct FpThing
+{
+    int arg = 0;
+};
+} // namespace cryo::fp
+
+#endif // CRYOWIRE_UTIL_FP_THING_HH

@@ -1,0 +1,39 @@
+/** Fixture [static-state/good]: mutable process-global state in
+ * src/util stays legal - the exemption exists exactly for the
+ * failpoint registry / thread-pool singleton pattern, where one
+ * mutex-guarded registry serves the whole process. */
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace cryo::fp
+{
+
+std::atomic<int> g_armedCount{0}; // macro fast path: mutable atomic
+
+namespace
+{
+
+std::mutex g_mu; // guards the registry below
+
+std::map<std::string, int> &
+registry()
+{
+    static std::map<std::string, int> sites; // mutable static: util-only
+    return sites;
+}
+
+} // namespace
+
+void
+arm(const std::string &site, int value)
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    const bool fresh = registry().emplace(site, value).second;
+    if (fresh)
+        g_armedCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace cryo::fp

@@ -28,6 +28,7 @@
 
 #include "dse/point_eval.hh"
 #include "svc/admission.hh"
+#include "svc/client.hh"
 #include "svc/metrics.hh"
 #include "svc/protocol.hh"
 #include "svc/server.hh"
@@ -478,49 +479,10 @@ TEST(Protocol, PropertyRoundTripCorpus)
 /* Live-server harness.                                               */
 /* ------------------------------------------------------------------ */
 
-/** One test client: blocking round trips over the daemon's socket. */
-class Client
-{
-  public:
-    explicit Client(const std::string &socketPath)
-        : fd_(connectUnix(socketPath)), reader_(fd_)
-    {
-    }
-
-    ~Client() { closeFd(fd_); }
-
-    Client(const Client &) = delete;
-    Client &operator=(const Client &) = delete;
-
-    void send(const std::string &line)
-    {
-        fatalIf(!sendAll(fd_, line + "\n"), "test client send failed");
-    }
-
-    /** Many pre-framed lines in one write (pipelining tests). */
-    void sendRaw(const std::string &buffer)
-    {
-        fatalIf(!sendAll(fd_, buffer), "test client send failed");
-    }
-
-    Reply read()
-    {
-        std::string line;
-        fatalIf(reader_.next(&line) != LineReader::Status::kLine,
-                "test client expected a reply line");
-        return Reply::parse(line, "<reply>");
-    }
-
-    Reply call(const Request &r)
-    {
-        send(formatRequest(r));
-        return read();
-    }
-
-  private:
-    int fd_;
-    LineReader reader_;
-};
+/** The tests talk to the daemon through the real client library, so
+ * its connect / send / read paths are exercised by every server test
+ * (retry-specific behavior gets dedicated tests in test_chaos.cc). */
+using svc::Client;
 
 /** The differential corpus: 8 distinct points x 4 metric subsets,
  * 200 requests, shuffled deterministically. */
@@ -796,6 +758,69 @@ TEST(SvcFault, UnwritableCacheDegradesToMemoryOnly)
     cfg.tolerateReadOnlyCache = false;
     EXPECT_THROW(Server{cfg}, FatalError);
     std::filesystem::remove_all(dir);
+}
+
+TEST(SvcFault, OverlongRequestLineGetsTypedErrorThenDisconnect)
+{
+    ServerConfig cfg;
+    cfg.socketPath = "t_svc_overlong.sock";
+    cfg.maxLineBytes = 256;
+    Server server{cfg};
+    server.start();
+
+    // A request longer than the server's line cap: framing is lost,
+    // so the server must say why (a typed error reply) and drop the
+    // connection rather than scan forever or buffer unboundedly.
+    {
+        Client client{cfg.socketPath};
+        client.sendRaw(std::string(1024, 'x') + "\n");
+        const Reply r = client.read();
+        EXPECT_EQ(r.status, "error");
+        EXPECT_NE(r.message.find("exceeds"), std::string::npos);
+        EXPECT_NE(r.message.find("256"), std::string::npos);
+        // The connection is gone; the client's next read sees EOF.
+        EXPECT_THROW(client.read(), FatalError);
+    }
+
+    // The daemon itself is unharmed: a fresh connection works.
+    Client again{cfg.socketPath};
+    Request ping;
+    ping.id = "p1";
+    ping.op = Op::kPing;
+    EXPECT_EQ(again.call(ping).status, "ok");
+
+    server.stop();
+    const SvcCounters c = server.serverStats().counters();
+    EXPECT_EQ(c.errors, 1u);
+}
+
+TEST(Protocol, DeadlineRoundTripsAndExpiredReplyParses)
+{
+    Request r;
+    r.id = "q1";
+    r.op = Op::kEval;
+    r.point.workload = "streamcluster";
+    r.deadlineMs = 250;
+    const Request back = parseRequest(formatRequest(r), "<rt>");
+    EXPECT_EQ(back, r);
+    EXPECT_EQ(back.deadlineMs, 250);
+
+    // deadline_ms must be non-negative and eval-only.
+    EXPECT_THROW(parseRequest(R"({"id":"q2","op":"eval",)"
+                              R"("deadline_ms":-1})",
+                              "<bad>"),
+                 FatalError);
+    EXPECT_THROW(parseRequest(R"({"id":"q3","op":"ping",)"
+                              R"("deadline_ms":5})",
+                              "<bad>"),
+                 FatalError);
+
+    const Reply rep =
+        Reply::parse(formatExpired("q1", 250, 1234), "<reply>");
+    EXPECT_EQ(rep.status, "expired");
+    EXPECT_EQ(rep.id, "q1");
+    EXPECT_EQ(rep.deadlineMs, 250);
+    EXPECT_EQ(rep.latencyUs, 1234);
 }
 
 /* ------------------------------------------------------------------ */

@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# SIGKILL crash-recovery gate for the serving/persistence stack.
+#
+#   tools/chaos_kill9.sh BUILD_DIR
+#
+# Three phases, each a hard acceptance criterion:
+#
+#   1. A daemon under sustained load is SIGKILLed mid-flight (delay
+#      failpoints keep evaluations in the air at kill time), so the
+#      result cache on disk is whatever the kill left behind -
+#      possibly ending in a torn append.
+#   2. A fresh daemon restarts on that cache. It must load without
+#      error (a torn tail record quarantines, never kills the load),
+#      and a --verify load run must see every reply byte-identical
+#      to a direct PointEvaluator - the crash may cost cache entries,
+#      never correctness.
+#   3. A record is deliberately corrupted. The restarted daemon must
+#      quarantine it (sidecar + warning) and keep serving, and the
+#      sweep driver must surface the quarantine count in its stats
+#      line.
+#
+# Runs under whatever instrumentation BUILD_DIR was configured with;
+# CI runs it against the ASan tree.
+
+set -uo pipefail
+
+BUILD_DIR="${1:?usage: chaos_kill9.sh BUILD_DIR}"
+SERVE="$BUILD_DIR/bench/cryowire_serve"
+LOADGEN="$BUILD_DIR/bench/cryowire_loadgen"
+SWEEP="$BUILD_DIR/bench/cryowire_sweep"
+
+WORK="$(mktemp -d /tmp/cryowire_chaos9.XXXXXX)"
+SERVE_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "chaos_kill9: FAIL: $*" >&2
+    exit 1
+}
+
+SOCK="$WORK/chaos.sock"
+CACHE="$WORK/chaos.cache.jsonl"
+
+for bin in "$SERVE" "$LOADGEN" "$SWEEP"; do
+    [[ -x "$bin" ]] || fail "missing binary $bin (build first)"
+done
+
+# ---------------------------------------------------------------- #
+echo "==> phase 1: SIGKILL a loaded daemon mid-flight"
+
+# every(3):delay(10) keeps a rotating subset of evaluations slow, so
+# the kill reliably lands with work (and cache appends) in flight.
+"$SERVE" --socket "$SOCK" --cache "$CACHE" --quiet \
+    --failpoint 'dse.eval=every(3):delay(10)' &
+SERVE_PID=$!
+
+"$LOADGEN" --socket "$SOCK" --rate 500 --duration-ms 10000 \
+    --connections 2 --distinct 16 --seed 9 --quiet &
+LG_PID=$!
+
+sleep 1.2
+kill -9 "$SERVE_PID" 2>/dev/null || fail "daemon died before the kill"
+wait "$SERVE_PID" 2>/dev/null
+SERVE_PID=""
+# The load generator loses its peer mid-run; a non-zero exit is the
+# expected, graceful outcome - a crash (>= 128) is not.
+wait "$LG_PID"
+LG_RC=$?
+[[ "$LG_RC" -lt 128 ]] || fail "loadgen crashed (exit $LG_RC)"
+[[ -s "$CACHE" ]] || fail "the kill left no cache file to recover"
+echo "    cache survives with $(wc -l <"$CACHE") line(s)"
+
+# ---------------------------------------------------------------- #
+echo "==> phase 2: restart; cache loads clean, replies byte-identical"
+
+"$SERVE" --socket "$SOCK" --cache "$CACHE" --quiet \
+    2>"$WORK/serve2.err" &
+SERVE_PID=$!
+
+"$LOADGEN" --socket "$SOCK" --rate 300 --duration-ms 2000 \
+    --connections 2 --distinct 16 --seed 9 --verify \
+    --shutdown-after --quiet ||
+    fail "post-crash replies diverged from the direct evaluator"
+wait "$SERVE_PID"
+RC=$?
+SERVE_PID=""
+[[ "$RC" -eq 0 ]] || fail "restarted daemon exited $RC (stderr: $(cat "$WORK/serve2.err"))"
+# A torn tail record may or may not exist; what is banned is dying
+# over one. Anything quarantined must have gone to the sidecar.
+if grep -q "quarantined" "$WORK/serve2.err"; then
+    [[ -s "$CACHE.quarantine" ]] ||
+        fail "daemon reported quarantine but wrote no sidecar"
+    echo "    torn tail record quarantined (as designed)"
+fi
+echo "    verify run passed: byte-identical replies after SIGKILL"
+
+# ---------------------------------------------------------------- #
+echo "==> phase 3: deliberate corruption quarantines, never kills"
+
+rm -f "$CACHE.quarantine"
+# Flip record 1's payload out from under its CRC, and append a line
+# that is not a record at all.
+sed -i '1s/"metrics"/"metricsX"/' "$CACHE"
+echo 'vandalized by chaos_kill9' >>"$CACHE"
+
+"$SERVE" --socket "$SOCK" --cache "$CACHE" --quiet \
+    2>"$WORK/serve3.err" &
+SERVE_PID=$!
+
+"$LOADGEN" --socket "$SOCK" --rate 200 --duration-ms 1000 \
+    --connections 1 --distinct 8 --seed 9 --verify \
+    --shutdown-after --quiet ||
+    fail "daemon failed to serve over a corrupted cache"
+wait "$SERVE_PID"
+RC=$?
+SERVE_PID=""
+[[ "$RC" -eq 0 ]] || fail "daemon exited $RC over a corrupted cache"
+grep -q "quarantined 2 damaged record(s)" "$WORK/serve3.err" ||
+    fail "expected 2 quarantined records (stderr: $(cat "$WORK/serve3.err"))"
+[[ -s "$CACHE.quarantine" ]] || fail "no quarantine sidecar written"
+grep -q "vandalized" "$CACHE.quarantine" ||
+    fail "the vandalized line is not in the sidecar"
+
+# The sweep driver surfaces the same counter in its stats line.
+cat >"$WORK/spec.json" <<'EOF'
+{
+    "name": "chaos9",
+    "base": { "workload": "streamcluster" },
+    "axes": [
+        { "field": "tempK",
+          "range": { "from": 77, "to": 300, "steps": 4 } }
+    ]
+}
+EOF
+SWEEP_CACHE="$WORK/sweep.cache.jsonl"
+"$SWEEP" --spec "$WORK/spec.json" --cache "$SWEEP_CACHE" \
+    --out /dev/null >/dev/null 2>&1 ||
+    fail "seed sweep failed"
+echo 'vandalized by chaos_kill9' >>"$SWEEP_CACHE"
+SWEEP_OUT="$("$SWEEP" --spec "$WORK/spec.json" --cache "$SWEEP_CACHE" \
+    --out /dev/null 2>&1)" || fail "sweep died over a corrupted cache"
+echo "$SWEEP_OUT" | grep -q "1 quarantined" ||
+    fail "sweep stats line lacks the quarantine count: $SWEEP_OUT"
+echo "    quarantine surfaced by daemon and sweep stats"
+
+echo "==> chaos_kill9: all phases passed"

@@ -23,6 +23,11 @@
 #                            unit/differential suite and the daemon
 #                            smoke, then a short loadgen burst gated
 #                            against the BENCH_serve.json baseline
+#   tools/check.sh --chaos   failure-model path: build the chaos
+#                            suite + the serve/sweep stack, run
+#                            test_chaos (every failpoint schedule),
+#                            then the SIGKILL recovery gate
+#                            (tools/chaos_kill9.sh)
 #
 # clang-tidy and clang-format are optional: when absent the step is
 # skipped with a notice instead of failing, so the gate still runs on
@@ -106,6 +111,24 @@ case "$MODE" in
         echo "==> all checks passed"
         exit 0
         ;;
+    --chaos)
+        # Failure-model path: the failpoint suite plus the SIGKILL
+        # crash-recovery gate, against the plain -Werror tree (CI
+        # additionally runs both under ASan in the chaos job).
+        echo "==> configure (${CMAKE_ARGS[*]})"
+        cmake -S "$ROOT" -B "$BUILD_DIR" "${CMAKE_ARGS[@]}" >/dev/null
+        echo "==> build test_chaos + serve/sweep stack"
+        cmake --build "$BUILD_DIR" -j "$(nproc)" \
+            --target test_chaos cryowire_serve cryowire_loadgen \
+            cryowire_sweep \
+            -- --no-print-directory
+        echo "==> test_chaos"
+        "$BUILD_DIR/tests/test_chaos"
+        echo "==> chaos_kill9 (SIGKILL recovery gate)"
+        "$ROOT/tools/chaos_kill9.sh" "$BUILD_DIR"
+        echo "==> all checks passed"
+        exit 0
+        ;;
     --lint)
         # Lint-only fast path: no configure, no build.
         mkdir -p "$BUILD_DIR"
@@ -119,7 +142,7 @@ case "$MODE" in
         ;;
     "") ;;
     *)
-        echo "usage: $0 [--lint|--asan|--ubsan|--tsan|--bench|--dse|--serve]" >&2
+        echo "usage: $0 [--lint|--asan|--ubsan|--tsan|--bench|--dse|--serve|--chaos]" >&2
         exit 2
         ;;
 esac
